@@ -1,0 +1,184 @@
+// Package densevlc's benchmark harness: one benchmark per table and figure
+// of the paper's evaluation (regenerating the artefact end to end at
+// reduced workload), plus micro-benchmarks of the hot paths a deployment
+// exercises per decision: channel-matrix construction, SINR evaluation, the
+// ranking heuristic, the optimal solver, frame codec and the NLOS sync
+// exchange.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package densevlc
+
+import (
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/experiments"
+	"densevlc/internal/frame"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+	"densevlc/internal/vlcsync"
+)
+
+// benchOpts shrinks the experiment workloads so a full -bench=. pass stays
+// in CI territory; cmd/experiments runs the paper-scale versions.
+func benchOpts() experiments.Options { return experiments.Options{Seed: 1, Quick: true} }
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	g, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		if tab := g.Run(benchOpts()); len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+// One benchmark per paper artefact.
+
+func BenchmarkTable1Parameters(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2Hardware(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkTable3FrameStructure(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkTable6Placements(b *testing.B)       { benchExperiment(b, "table6") }
+func BenchmarkFig07Instance(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig02OperatingModes(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFig03IVCurve(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkFig04TaylorError(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig05Illumination(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig06RandomInstances(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig08ThroughputVsPower(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig09SwingWaterfall(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10SwingCDF(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFig11HeuristicVsOptimal(b *testing.B) {
+	benchExperiment(b, "fig11")
+}
+func BenchmarkSec5Speedup(b *testing.B)          { benchExperiment(b, "speedup") }
+func BenchmarkFig12SyncDelay(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkTable4SyncError(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkTable5Iperf(b *testing.B)          { benchExperiment(b, "table5") }
+func BenchmarkFig18Scenario1(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkFig19Scenario2(b *testing.B)       { benchExperiment(b, "fig19") }
+func BenchmarkFig20Scenario3(b *testing.B)       { benchExperiment(b, "fig20") }
+func BenchmarkFig21PowerEfficiency(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkExtDensitySweep(b *testing.B)      { benchExperiment(b, "density") }
+func BenchmarkExtPrecoding(b *testing.B)         { benchExperiment(b, "precoding") }
+func BenchmarkExtOFDM(b *testing.B)              { benchExperiment(b, "ofdm") }
+func BenchmarkExtAdaptation(b *testing.B)        { benchExperiment(b, "adaptation") }
+func BenchmarkExtNLOSRobustness(b *testing.B)    { benchExperiment(b, "nlosrobustness") }
+func BenchmarkSec71FrontEnd(b *testing.B)        { benchExperiment(b, "frontend") }
+func BenchmarkExtBlockage(b *testing.B)          { benchExperiment(b, "blockage") }
+func BenchmarkExtAdaptiveKappa(b *testing.B)     { benchExperiment(b, "adaptivekappa") }
+func BenchmarkExtRXOrientation(b *testing.B)     { benchExperiment(b, "orientation") }
+
+// Micro-benchmarks of the per-decision hot paths.
+
+func paperEnv() *alloc.Env {
+	set := scenario.Default()
+	return set.Env(scenario.Fig7Instance(), nil)
+}
+
+func BenchmarkBuildChannelMatrix(b *testing.B) {
+	set := scenario.Default()
+	emitters := set.Emitters()
+	dets := set.Detectors(scenario.Fig7Instance())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := channel.BuildMatrix(emitters, dets, nil); m.N != 36 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+func BenchmarkSINR36x4(b *testing.B) {
+	env := paperEnv()
+	s, err := alloc.Heuristic{Kappa: 1.3}.Allocate(env, 1.19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := channel.SINR(env.Params, env.H, s); len(out) != 4 {
+			b.Fatal("bad sinr")
+		}
+	}
+}
+
+func BenchmarkHeuristicDecision(b *testing.B) {
+	env := paperEnv()
+	policy := alloc.Heuristic{Kappa: 1.3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Allocate(env, 1.19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalDecision(b *testing.B) {
+	env := paperEnv()
+	policy := alloc.Optimal{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Allocate(env, 1.19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameSerialize(b *testing.B) {
+	d := frame.Downlink{
+		Eth: frame.Eth{EtherType: frame.EtherTypeVLC},
+		PHY: frame.PHY{TXIDMask: frame.MaskOf(7, 13, 6)},
+		MAC: frame.MAC{Dst: 0x0101, Protocol: 1, Payload: make([]byte, 200)},
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(frame.EthHeaderLen + frame.TXIDLen + frame.AirLen(200)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Serialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	d := frame.Downlink{
+		Eth: frame.Eth{EtherType: frame.EtherTypeVLC},
+		PHY: frame.PHY{TXIDMask: frame.MaskOf(7)},
+		MAC: frame.MAC{Dst: 0x0101, Protocol: 1, Payload: make([]byte, 200)},
+	}
+	wire, err := d.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := frame.DecodeDownlink(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNLOSSyncExchange(b *testing.B) {
+	session, err := vlcsync.NewSession(vlcsync.Config{
+		LeaderID: 2, SymbolRate: 100e3, SampleRate: 1e6, GuardTime: 50e-6,
+	}, stats.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := vlcsync.Follower{SNR: 4, PathDelay: 19e-9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		session.Synchronize(f)
+	}
+}

@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-quick] [-seed N] [-instances N] [name ...]
+//
+// With no names, every experiment runs in paper order. Names follow the
+// registry (table1, fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11,
+// speedup, fig12, table4, table5, fig18, fig19, fig20, fig21, density,
+// blockage, adaptivekappa, orientation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"densevlc/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := flag.Int64("seed", 1, "random seed")
+	instances := flag.Int("instances", 0, "random instances for Fig. 6-based studies (0 = paper's 100)")
+	formatName := flag.String("format", "text", "output format: text, csv or json")
+	flag.Parse()
+
+	format, err := experiments.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, g := range experiments.All() {
+			fmt.Println(g.Name)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Instances: *instances, Quick: *quick}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, g := range experiments.All() {
+			names = append(names, g.Name)
+		}
+	}
+
+	failed := false
+	for _, name := range names {
+		g, ok := experiments.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", name)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		table := g.Run(opts)
+		if err := table.Write(os.Stdout, format); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		if format == experiments.FormatText {
+			fmt.Printf("\n(%s in %.2fs)\n\n", name, time.Since(start).Seconds())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command sweep runs parameter sweeps over the allocation policies and
+// prints CSV for plotting: budget × policy system throughput, per-κ curves,
+// and the SISO/D-MISO operating points.
+//
+// Usage:
+//
+//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	sc := flag.Int("scenario", 2, "receiver placement (Table 6 scenario 1, 2 or 3)")
+	points := flag.Int("points", 24, "number of budget points")
+	max := flag.Float64("max", 3.0, "largest communication power budget in watts")
+	withOptimal := flag.Bool("optimal", false, "include the optimal policy (slow)")
+	seed := flag.Int64("seed", 1, "random seed (unused by the deterministic sweeps, kept for symmetry)")
+	flag.Parse()
+	_ = seed
+
+	if *sc < 1 || *sc > 3 {
+		log.Fatalf("unknown scenario %d", *sc)
+	}
+	set := scenario.Default()
+	env := set.Env(scenario.Scenario(*sc).RXPositions(), nil)
+
+	policies := []alloc.Policy{
+		alloc.Heuristic{Kappa: 1.0, AllowPartial: true},
+		alloc.Heuristic{Kappa: 1.2, AllowPartial: true},
+		alloc.Heuristic{Kappa: 1.3, AllowPartial: true},
+		alloc.Heuristic{Kappa: 1.5, AllowPartial: true},
+		alloc.AdaptiveKappa{AllowPartial: true},
+	}
+	if *withOptimal {
+		policies = append(policies, alloc.Optimal{})
+	}
+
+	budgets := alloc.BudgetGrid(*max, *points)
+
+	w := os.Stdout
+	fmt.Fprint(w, "budget_w")
+	for _, p := range policies {
+		fmt.Fprintf(w, ",%s_mbps", p.Name())
+	}
+	fmt.Fprintln(w)
+
+	results := make([][]alloc.SweepPoint, len(policies))
+	for i, p := range policies {
+		pts, err := alloc.Sweep(env, p, budgets)
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		results[i] = pts
+	}
+	for bi, b := range budgets {
+		fmt.Fprintf(w, "%.3f", b)
+		for pi := range policies {
+			fmt.Fprintf(w, ",%.4f", results[pi][bi].Eval.SumThroughput/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Baseline operating points as comment lines.
+	siso := alloc.SISO{}
+	dmiso := alloc.DMISO{}
+	if s, err := siso.Allocate(env, siso.OperatingPower(env)+1e-9); err == nil {
+		ev := alloc.Evaluate(env, s)
+		fmt.Fprintf(w, "# SISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
+	}
+	if s, err := dmiso.Allocate(env, dmiso.OperatingPower(env)+1e-9); err == nil {
+		ev := alloc.Evaluate(env, s)
+		fmt.Fprintf(w, "# D-MISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
+	}
+}

@@ -1,0 +1,57 @@
+// Mobility: a receiver rides the gantry across the room while the
+// controller re-measures channels and re-aims its beamspot each round —
+// the cell-free handover-free operation the paper motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"densevlc/internal/core"
+	"densevlc/internal/geom"
+	"densevlc/internal/mobility"
+	"densevlc/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// RX1 crosses the room at gantry speed along the y = 1.25 corridor,
+	// staying clear of the three parked receivers on the scenario-3 spots.
+	fixed := scenario.Scenario3.RXPositions()
+	traj := []mobility.Trajectory{
+		mobility.Waypoints{
+			Points: []geom.Vec{geom.V(0.45, 1.25, 0), geom.V(2.55, 1.25, 0)},
+			Speed:  0.25,
+		},
+		mobility.Static{Pos: fixed[1]},
+		mobility.Static{Pos: fixed[2]},
+		mobility.Static{Pos: fixed[3]},
+	}
+
+	res, err := sys.Simulate(core.SimulateOptions{
+		Trajectories:  traj,
+		Budget:        1.19,
+		Rounds:        12,
+		RoundDuration: 1.0,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("round  RX1 position     RX1 Mb/s  system Mb/s")
+	fmt.Println("----------------------------------------------")
+	for _, r := range res.Rounds {
+		p := r.RXPositions[0]
+		fmt.Printf("%5d  (%.2f, %.2f)     %7.2f  %11.2f\n",
+			r.Round, p.X, p.Y, r.Eval.Throughput[0]/1e6, r.Eval.SumThroughput/1e6)
+	}
+	fmt.Printf("\nno cell boundaries were crossed: the beamspot followed the receiver.\n")
+	fmt.Printf("mean system throughput: %.2f Mb/s\n", res.MeanSystemThroughput/1e6)
+}

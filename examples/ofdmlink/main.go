@@ -1,0 +1,110 @@
+// OFDM link: the Sec. 9 upgrade path in action — a frame's bytes carried by
+// DCO-OFDM over the optical channel instead of Manchester-OOK, with the
+// constellation picked per receiver from its measured SINR.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/dsp"
+	"densevlc/internal/ofdm"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The deployment's own operating point: κ=1.3 at 1.19 W on the Fig. 7
+	// receivers, as in the paper's evaluation.
+	env := scenario.Default().Env(scenario.Fig7Instance(), nil)
+	s, err := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, 1.19)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := alloc.Evaluate(env, s)
+
+	fmt.Println("adaptive DCO-OFDM at the deployment's per-RX SINRs (N=128, CP=16):")
+	fmt.Println()
+
+	rng := stats.NewRand(1)
+	payload := make([]byte, 150)
+	rng.Read(payload)
+
+	for i, sinr := range ev.SINR {
+		// Pick the densest constellation whose back-to-back BER survives
+		// the Reed–Solomon margin at this SINR. Per-sample noise relative
+		// to the OFDM swing scales as 1/sqrt(SINR).
+		noiseRel := 1 / math.Sqrt(sinr) / 3
+		best := 0
+		for _, bps := range []int{2, 4, 6} {
+			q, err := ofdm.NewQAM(bps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := &ofdm.Modem{N: 128, CP: 16, QAM: q}
+			ber, err := m.MeasureBER(stats.SplitRand(rng), 30000, noiseRel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ber < 0.02 { // inside the RS(216,200) correction budget
+				best = bps
+			}
+		}
+		if best == 0 {
+			fmt.Printf("RX%d: SINR %5.1f → no constellation survives; stay on OOK\n", i+1, sinr)
+			continue
+		}
+
+		q, _ := ofdm.NewQAM(best)
+		m := &ofdm.Modem{N: 128, CP: 16, QAM: q}
+
+		// Carry the payload end to end: bytes → bits (padded to a whole
+		// OFDM symbol) → waveform → noisy channel → bits → bytes. Pad with
+		// random filler, not zeros: a constant pad loads every carrier with
+		// the same point, and the resulting time-domain impulse clips at
+		// the bias — the PAPR hazard real systems scramble away.
+		bits := dsp.BytesToBits(payload)
+		dataBits := len(bits)
+		bps := m.BitsPerSymbol()
+		for len(bits)%bps != 0 {
+			bits = append(bits, byte(rng.Intn(2)))
+		}
+		wave, err := m.Modulate(bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Channel: flat optical gain + AWGN at the SINR-implied level.
+		mean := 0.0
+		for _, v := range wave {
+			mean += v
+		}
+		mean /= float64(len(wave))
+		var swing float64
+		for _, v := range wave {
+			swing += (v - mean) * (v - mean)
+		}
+		swing = math.Sqrt(swing / float64(len(wave)))
+		sigma := noiseRel * swing
+		noisy := make([]float64, len(wave))
+		for k, v := range wave {
+			noisy[k] = v*1e-6 + sigma*1e-6*rng.NormFloat64()
+		}
+		gotBits, err := m.Demodulate(noisy, 1e-6, len(bits))
+		if err != nil {
+			log.Fatal(err)
+		}
+		errs := 0
+		for k := 0; k < dataBits; k++ {
+			if gotBits[k] != bits[k] {
+				errs++
+			}
+		}
+		fmt.Printf("RX%d: SINR %5.1f → %2d-QAM, %.2f bit/s/Hz (OOK: 0.5), %d/%d bit errors pre-FEC\n",
+			i+1, sinr, 1<<best, m.SpectralEfficiency(), errs, dataBits)
+	}
+	fmt.Println("\nManchester-OOK carries 0.5 bit/s/Hz; the spectral-efficiency column is the Sec. 9 headroom.")
+}

@@ -1,0 +1,61 @@
+// Power efficiency: DenseVLC against the SISO (nearest TX only) and D-MISO
+// (all TXs blasting) baselines on the paper's scenario 2 — the Fig. 21
+// comparison behind the headline "+45% throughput or 2.3× power efficiency".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	set := scenario.Default()
+	env := set.Env(scenario.Scenario2.RXPositions(), nil)
+
+	dense := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+	siso := alloc.SISO{}
+	dmiso := alloc.DMISO{}
+
+	// Baseline operating points.
+	sisoSwings, err := siso.Allocate(env, siso.OperatingPower(env)+1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sisoEval := alloc.Evaluate(env, sisoSwings)
+	dmisoSwings, err := dmiso.Allocate(env, dmiso.OperatingPower(env)+1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmisoEval := alloc.Evaluate(env, dmisoSwings)
+
+	fmt.Printf("SISO   : %6.3f W → %6.2f Mb/s (%.1f Mb/s per W)\n",
+		sisoEval.CommPower, sisoEval.SumThroughput/1e6, sisoEval.PowerEfficiency()/1e6)
+	fmt.Printf("D-MISO : %6.3f W → %6.2f Mb/s (%.1f Mb/s per W)\n\n",
+		dmisoEval.CommPower, dmisoEval.SumThroughput/1e6, dmisoEval.PowerEfficiency()/1e6)
+
+	fmt.Println("DenseVLC (κ=1.3) sweep:")
+	budgets := alloc.ActivationGrid(env, 36)
+	points, err := alloc.Sweep(env, dense, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var matched bool
+	for _, p := range points {
+		marker := ""
+		if !matched && p.Eval.SumThroughput >= dmisoEval.SumThroughput {
+			matched = true
+			marker = fmt.Sprintf("  ← matches D-MISO at %.1f×%s less power",
+				dmisoEval.CommPower/p.Eval.CommPower, "")
+		}
+		fmt.Printf("  %5.2f W → %6.2f Mb/s%s\n", p.Eval.CommPower, p.Eval.SumThroughput/1e6, marker)
+	}
+	if matched {
+		fmt.Println("\npaper: DenseVLC reaches D-MISO's throughput at 1.19 W vs 2.68 W (2.3×),")
+		fmt.Println("while beating SISO's throughput at that point by 45%.")
+	}
+}

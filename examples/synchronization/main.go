@@ -1,0 +1,70 @@
+// Synchronization: compare the three ways of aligning a beamspot's
+// transmitters — none, NTP/PTP, and the paper's NLOS-VLC pilot — first as
+// trigger-time error (Table 4), then as what that error does to frames on
+// the air (Table 5's mechanism).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"densevlc/internal/clock"
+	"densevlc/internal/frame"
+	"densevlc/internal/phy"
+	"densevlc/internal/stats"
+	"densevlc/internal/vlcsync"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := stats.NewRand(1)
+
+	// Part 1 — trigger error at 100 Ksymbols/s.
+	fmt.Println("median pairwise trigger error at 100 Ksym/s (5000 trials):")
+	none := clock.MedianPairwiseDelay(rng, clock.MethodNone, 100e3, 5000)
+	ptp := clock.MedianPairwiseDelay(rng, clock.MethodNTPPTP, 100e3, 5000)
+	fmt.Printf("  %-22s %7.3f µs (paper: 10.040)\n", clock.MethodNone, none*1e6)
+	fmt.Printf("  %-22s %7.3f µs (paper:  4.565)\n", clock.MethodNTPPTP, ptp*1e6)
+
+	session, err := vlcsync.NewSession(vlcsync.Config{
+		LeaderID: 2, SymbolRate: 100e3, SampleRate: 1e6, GuardTime: 50e-6,
+	}, stats.SplitRand(rng))
+	if err != nil {
+		log.Fatal(err)
+	}
+	follower := vlcsync.Follower{SNR: 4, PathDelay: 19e-9}
+	delays := session.PairwiseDelays(follower, follower, 400)
+	fmt.Printf("  %-22s %7.3f µs (paper:  0.575)\n\n", clock.MethodNLOSVLC, stats.Median(delays)*1e6)
+
+	// Part 2 — what the trigger error does to frames: two transmitters of
+	// equal strength modulating the same frame with a growing offset.
+	fmt.Println("frame survival vs transmitter misalignment (two equal TXs):")
+	link, err := phy.NewLink(phy.Config{
+		SymbolRate: 100e3, SampleRate: 1e6,
+		NoiseStd: math.Sqrt(7.02e-23 * 1e6),
+	}, stats.SplitRand(rng))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const amp = 1.1e-8 / 2
+	payload := make([]byte, 64)
+	for _, offset := range []float64{0, 0.6e-6, 2e-6, 5e-6, 10e-6, 20e-6} {
+		ok := 0
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			rng.Read(payload)
+			mac := frame.MAC{Dst: 1, Src: 0, Payload: append([]byte(nil), payload...)}
+			got, _, err := link.TransmitReceive(mac, []phy.TXSignal{
+				{Amplitude: amp, ClockPPM: 10},
+				{Amplitude: amp, Offset: offset, ClockPPM: -15},
+			})
+			if err == nil && string(got.Payload) == string(payload) {
+				ok++
+			}
+		}
+		fmt.Printf("  offset %5.1f µs: %3d%% of frames decode\n", offset*1e6, 100*ok/trials)
+	}
+	fmt.Println("\nthe NLOS method's ≈0.6 µs error sits safely inside the tolerance;")
+	fmt.Println("the unsynchronised ≈10 µs (two chips) does not — Table 5's collapse.")
+}

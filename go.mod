@@ -1,0 +1,3 @@
+module densevlc
+
+go 1.22

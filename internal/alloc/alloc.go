@@ -1,0 +1,137 @@
+// Package alloc implements DenseVLC's power-allocation policies: the optimal
+// policy obtained by solving the nonlinear program of Eq. (5)–(7), the
+// ranking-based Signal-to-Jamming-Ratio heuristic of Algorithm 1, and the
+// SISO / D-MISO baselines the paper compares against (Sec. 8.3).
+//
+// All policies share one contract: given the measured channel matrix and a
+// communication power budget, produce the swing-current matrix the
+// controller pushes to the transmitters.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/led"
+)
+
+// Env is the environment a policy allocates within: link-budget parameters,
+// the measured path-loss matrix, and the LED model that defines swing limits
+// and the power cost of a swing.
+type Env struct {
+	Params channel.Params
+	H      *channel.Matrix
+	LED    led.Model
+}
+
+// Validate reports whether the environment is internally consistent.
+func (e *Env) Validate() error {
+	if e.H == nil {
+		return errors.New("alloc: nil channel matrix")
+	}
+	if err := e.Params.Validate(); err != nil {
+		return err
+	}
+	if err := e.LED.Validate(); err != nil {
+		return err
+	}
+	if e.H.N < 1 || e.H.M < 1 {
+		return fmt.Errorf("alloc: degenerate channel matrix %dx%d", e.H.N, e.H.M)
+	}
+	return nil
+}
+
+// N returns the number of transmitters.
+func (e *Env) N() int { return e.H.N }
+
+// M returns the number of receivers.
+func (e *Env) M() int { return e.H.M }
+
+// ActivationCost returns the communication power one TX draws at full swing,
+// P_C,tx,max = r·(Isw,max/2)² — the paper's 74.42 mW quantum.
+func (e *Env) ActivationCost() float64 { return e.LED.MaxCommPower() }
+
+// Policy computes a swing allocation for a power budget.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Allocate returns the swing matrix for the given total communication
+	// power budget P_C,tot in watts. Implementations must respect both the
+	// per-TX swing bound (6) and the power budget (7).
+	Allocate(env *Env, budget float64) (channel.Swings, error)
+}
+
+// Evaluate computes the metrics of an allocation under the environment.
+type Evaluation struct {
+	SINR          []float64
+	Throughput    []float64 // per-RX, bit/s
+	SumThroughput float64   // bit/s
+	SumLog        float64   // objective (5)
+	CommPower     float64   // P_C,tot actually consumed, W
+}
+
+// Evaluate scores a swing allocation.
+func Evaluate(env *Env, s channel.Swings) Evaluation {
+	sinr := channel.SINR(env.Params, env.H, s)
+	tput := channel.Throughput(env.Params, sinr)
+	ev := Evaluation{
+		SINR:       sinr,
+		Throughput: tput,
+		SumLog:     channel.SumLogThroughput(env.Params, sinr),
+		CommPower:  s.CommPower(env.Params.DynamicResistance),
+	}
+	for _, t := range tput {
+		ev.SumThroughput += t
+	}
+	return ev
+}
+
+// PowerEfficiency returns throughput per watt of communication power,
+// the paper's Sec. 8.3 figure of merit. Zero power yields zero.
+func (ev Evaluation) PowerEfficiency() float64 {
+	if ev.CommPower <= 0 {
+		return 0
+	}
+	return ev.SumThroughput / ev.CommPower
+}
+
+// Assignment pairs a transmitter with the receiver it serves. RX < 0 means
+// the TX stays in illumination-only mode.
+type Assignment struct {
+	TX int
+	RX int
+}
+
+// SwingsFromAssignments builds the swing matrix that drives each assigned TX
+// at full swing for its receiver, spending at most budget. TXs are activated
+// in the order given; the first TX that no longer fits is driven at the
+// partial swing that exactly exhausts the budget when allowPartial is true
+// (used for smooth budget sweeps), otherwise skipped along with everything
+// after it.
+func SwingsFromAssignments(env *Env, order []Assignment, budget float64, allowPartial bool) channel.Swings {
+	s := channel.NewSwings(env.N(), env.M())
+	cost := env.ActivationCost()
+	remaining := budget
+	r := env.Params.DynamicResistance
+	for _, a := range order {
+		if a.RX < 0 || a.RX >= env.M() || a.TX < 0 || a.TX >= env.N() {
+			continue
+		}
+		if remaining <= 0 {
+			break
+		}
+		if cost <= remaining {
+			s[a.TX][a.RX] = env.LED.MaxSwing
+			remaining -= cost
+			continue
+		}
+		if allowPartial {
+			// r·(isw/2)² = remaining  =>  isw = 2·sqrt(remaining/r)
+			s[a.TX][a.RX] = env.LED.ClampSwing(2 * math.Sqrt(remaining/r))
+		}
+		break
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/geom"
+	"densevlc/internal/optimize"
+)
+
+func TestOptimalRespectsConstraints(t *testing.T) {
+	env := testEnv(fig7RX())
+	r := env.Params.DynamicResistance
+	for _, budget := range []float64{0, 0.074, 0.3, 1.19} {
+		s, err := Optimal{}.Allocate(env, budget)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if p := s.CommPower(r); p > budget+1e-9 {
+			t.Errorf("budget %v: power %v", budget, p)
+		}
+		for j := range s {
+			if tot := s.TXTotal(j); tot > env.LED.MaxSwing+1e-9 {
+				t.Errorf("budget %v: TX %d swing %v", budget, j, tot)
+			}
+			for k := range s[j] {
+				if s[j][k] < 0 {
+					t.Errorf("negative swing at (%d,%d)", j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalBeatsOrMatchesEveryHeuristic(t *testing.T) {
+	// The optimal policy is the yardstick of Fig. 11: no κ may beat it.
+	env := testEnv(fig7RX())
+	for _, budget := range []float64{0.3, 1.19} {
+		sOpt, err := Optimal{}.Allocate(env, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Evaluate(env, sOpt)
+		for _, kappa := range []float64{1.0, 1.2, 1.3, 1.5} {
+			sH, err := Heuristic{Kappa: kappa, AllowPartial: true}.Allocate(env, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := Evaluate(env, sH)
+			if h.SumLog > opt.SumLog+1e-9 {
+				t.Errorf("budget %v: κ=%.1f objective %v beats optimal %v",
+					budget, kappa, h.SumLog, opt.SumLog)
+			}
+		}
+	}
+}
+
+func TestOptimalZeroBudget(t *testing.T) {
+	env := testEnv(fig7RX())
+	s, err := Optimal{}.Allocate(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range s {
+		if s.TXTotal(j) != 0 {
+			t.Fatal("zero budget must allocate nothing")
+		}
+	}
+}
+
+func TestOptimalServesEveryReceiver(t *testing.T) {
+	// The sum-log objective enforces proportional fairness: with enough
+	// budget for 4 activations every receiver gets nonzero throughput.
+	env := testEnv(fig7RX())
+	s, err := Optimal{}.Allocate(env, 4*env.ActivationCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(env, s)
+	for i, tp := range ev.Throughput {
+		if tp <= 0 {
+			t.Errorf("RX%d starved", i+1)
+		}
+	}
+}
+
+func TestOptimalInsight1SequentialActivation(t *testing.T) {
+	// Insight 1/Fig. 9: with a budget of exactly one activation, the
+	// optimal policy pours the power into each receiver's preferred TX
+	// rather than spreading it thin. We check the budget-1 solution
+	// concentrates ≥60% of its power on at most 4 transmitters.
+	env := testEnv(fig7RX())
+	budget := env.ActivationCost()
+	s, err := Optimal{}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := env.Params.DynamicResistance
+	var powers []float64
+	total := 0.0
+	for j := range s {
+		half := s.TXTotal(j) / 2
+		p := r * half * half
+		powers = append(powers, p)
+		total += p
+	}
+	// Top-4 power share.
+	top := 0.0
+	for n := 0; n < 4; n++ {
+		best := 0
+		for j := range powers {
+			if powers[j] > powers[best] {
+				best = j
+			}
+		}
+		top += powers[best]
+		powers[best] = 0
+	}
+	if total == 0 {
+		t.Fatal("no power allocated")
+	}
+	if top/total < 0.6 {
+		t.Errorf("optimal solution too diffuse: top-4 TXs carry %.0f%% of power", 100*top/total)
+	}
+}
+
+func TestOptimalInsight2DiscretizationNearOptimal(t *testing.T) {
+	// Insight 2: restricting each TX to zero-or-full swing costs almost
+	// nothing. Compare the continuous optimal objective against the best
+	// discretised ranking solution; the paper reports a 1.8% throughput
+	// gap for κ=1.3, so allow a modest margin on the Fig. 7 instance.
+	env := testEnv(fig7RX())
+	budget := 8 * env.ActivationCost()
+
+	sOpt, err := Optimal{}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Evaluate(env, sOpt)
+
+	sH, err := Heuristic{Kappa: 1.3}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Evaluate(env, sH)
+
+	if h.SumThroughput < 0.85*opt.SumThroughput {
+		t.Errorf("discretised heuristic %.3e too far below optimal %.3e",
+			h.SumThroughput, opt.SumThroughput)
+	}
+}
+
+// tinyEnv builds a 2-TX / 2-RX environment small enough for Nelder–Mead.
+func tinyEnv() *Env {
+	env := testEnv([]geom.Vec{geom.V(0.75, 0.75, 0), geom.V(2.25, 2.25, 0)})
+	// Keep only TX8 (idx 7) and TX29 (idx 28), the TXs above the two RXs,
+	// plus their cross links, by shrinking the matrix.
+	h := channel.NewMatrix(2, 2)
+	for a, j := range []int{7, 28} {
+		for i := 0; i < 2; i++ {
+			h.H[a][i] = env.H.Gain(j, i)
+		}
+	}
+	return &Env{Params: env.Params, H: h, LED: env.LED}
+}
+
+func TestOptimalAgreesWithNelderMeadOnTinyInstance(t *testing.T) {
+	env := tinyEnv()
+	budget := 1.5 * env.ActivationCost()
+
+	sOpt, err := Optimal{}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Evaluate(env, sOpt)
+
+	// Independent derivative-free solve of the same program.
+	prob := newProblem(env, budget)
+	proj := prob.projector()
+	nm := optimize.NelderMead(prob.Value, proj, []float64{0.1, 0.01, 0.01, 0.1}, 0.2, 20000)
+
+	if nm.Value > opt.SumLog+1e-3 {
+		t.Errorf("Nelder–Mead found a better optimum: %v vs %v", nm.Value, opt.SumLog)
+	}
+}
+
+func TestProblemGradientMatchesFiniteDifferences(t *testing.T) {
+	env := testEnv(fig7RX())
+	prob := newProblem(env, 1.0)
+	n := env.N() * env.M()
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.01 + 0.003*float64(i%7)
+	}
+	grad := make([]float64, n)
+	prob.Gradient(x, grad)
+
+	// h = 1e-5 balances truncation against round-off: the objective is
+	// O(50), so smaller steps drown in floating-point noise.
+	const h = 1e-5
+	for _, i := range []int{0, 5, 37, 70, 143} {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		fd := (prob.Value(xp) - prob.Value(xm)) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-3*(math.Abs(fd)+1e-3) {
+			t.Errorf("grad[%d] = %v, finite difference %v", i, grad[i], fd)
+		}
+	}
+}
+
+func TestProblemValueStarvedReceiver(t *testing.T) {
+	env := testEnv(fig7RX())
+	prob := newProblem(env, 1.0)
+	x := make([]float64, env.N()*env.M()) // all-zero: every receiver starved
+	if v := prob.Value(x); !math.IsInf(v, -1) {
+		t.Errorf("all-zero allocation should be -Inf, got %v", v)
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	s := channel.NewSwings(3, 2)
+	s[0][1], s[2][0] = 0.5, 0.7
+	x := flatten(s)
+	if len(x) != 6 || x[1] != 0.5 || x[4] != 0.7 {
+		t.Errorf("flatten = %v", x)
+	}
+	s2 := unflatten(x, 3, 2)
+	for j := range s {
+		for k := range s[j] {
+			if s[j][k] != s2[j][k] {
+				t.Errorf("round trip mismatch at (%d,%d)", j, k)
+			}
+		}
+	}
+	if flatten(nil) != nil {
+		t.Error("flatten(nil) should be nil")
+	}
+}

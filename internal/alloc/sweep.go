@@ -1,0 +1,70 @@
+package alloc
+
+import "fmt"
+
+// SweepPoint is one budget point of a policy sweep.
+type SweepPoint struct {
+	Budget     float64 // requested P_C,tot, W
+	Eval       Evaluation
+	Throughput []float64 // alias of Eval.Throughput for convenience
+}
+
+// Sweep evaluates a policy across a list of power budgets, the x-axis of
+// Figs. 8, 11, 18–21.
+func Sweep(env *Env, policy Policy, budgets []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(budgets))
+	for _, b := range budgets {
+		s, err := policy.Allocate(env, b)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: %s at %.3f W: %w", policy.Name(), b, err)
+		}
+		ev := Evaluate(env, s)
+		out = append(out, SweepPoint{Budget: b, Eval: ev, Throughput: ev.Throughput})
+	}
+	return out, nil
+}
+
+// BudgetGrid returns count budgets evenly spaced over (0, max], excluding
+// zero (where every policy trivially delivers nothing).
+func BudgetGrid(max float64, count int) []float64 {
+	if count < 1 {
+		return nil
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = max * float64(i+1) / float64(count)
+	}
+	return out
+}
+
+// ActivationGrid returns the budgets at which whole numbers of transmitters
+// activate: k·P_C,tx,max for k = 1..n. The experimental evaluation
+// (Sec. 8.2) sweeps budgets exactly this way — "assigning the TXs from the
+// ranked list one by one".
+func ActivationGrid(env *Env, n int) []float64 {
+	cost := env.ActivationCost()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i+1) * cost
+	}
+	return out
+}
+
+// NormalizeSystem returns each sweep point's system throughput divided by
+// the maximum across the sweep, the normalisation of Figs. 18–21.
+func NormalizeSystem(points []SweepPoint) []float64 {
+	max := 0.0
+	for _, p := range points {
+		if p.Eval.SumThroughput > max {
+			max = p.Eval.SumThroughput
+		}
+	}
+	out := make([]float64, len(points))
+	if max == 0 {
+		return out
+	}
+	for i, p := range points {
+		out[i] = p.Eval.SumThroughput / max
+	}
+	return out
+}

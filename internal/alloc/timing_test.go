@@ -1,0 +1,21 @@
+package alloc
+
+import "testing"
+
+func BenchmarkOptimalSolve(b *testing.B) {
+	env := testEnv(fig7RX())
+	for i := 0; i < b.N; i++ {
+		if _, err := (Optimal{}).Allocate(env, 1.19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristicSolve(b *testing.B) {
+	env := testEnv(fig7RX())
+	for i := 0; i < b.N; i++ {
+		if _, err := (Heuristic{Kappa: 1.3}).Allocate(env, 1.19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQFuncKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.158655},
+		{2, 0.022750},
+		{3, 0.001350},
+		{-1, 0.841345},
+	}
+	for _, c := range cases {
+		if got := QFunc(c.x); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestChipSNR(t *testing.T) {
+	if got := ChipSNR(4, 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ChipSNR(4,1) = %v", got)
+	}
+	if got := ChipSNR(4, 5); math.Abs(got-math.Sqrt(20)) > 1e-12 {
+		t.Errorf("ChipSNR(4,5) = %v", got)
+	}
+	if ChipSNR(0, 1) != 0 || ChipSNR(1, 0) != 0 || ChipSNR(-1, 1) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestManchesterBitBERShape(t *testing.T) {
+	// Zero SNR → coin flip; monotone decreasing; tiny at high SNR.
+	if ManchesterBitBER(0) != 0.5 {
+		t.Error("zero SNR BER should be 0.5")
+	}
+	prev := 0.5
+	for snr := 0.5; snr <= 8; snr += 0.5 {
+		ber := ManchesterBitBER(snr)
+		if ber >= prev {
+			t.Fatalf("BER not decreasing at chip SNR %v", snr)
+		}
+		prev = ber
+	}
+	if ManchesterBitBER(6) > 1e-15 {
+		t.Errorf("BER at chip SNR 6 = %v, should be negligible", ManchesterBitBER(6))
+	}
+}
+
+func TestByteErrorProb(t *testing.T) {
+	if ByteErrorProb(0) != 0 || ByteErrorProb(1) != 1 || ByteErrorProb(2) != 1 {
+		t.Error("edge cases")
+	}
+	// Small-p approximation: ≈ 8p.
+	if got := ByteErrorProb(1e-4); math.Abs(got-8e-4) > 1e-6 {
+		t.Errorf("ByteErrorProb(1e-4) = %v", got)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// P(X > 0) = 1 − (1−p)^n.
+	n, p := 10, 0.1
+	want := 1 - math.Pow(0.9, 10)
+	if got := BinomialTail(n, p, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("tail(10,0.1,0) = %v, want %v", got, want)
+	}
+	// P(X > n) = 0; p = 1 → certain; degenerate inputs.
+	if BinomialTail(10, 0.5, 10) != 0 || BinomialTail(10, 1.0, 3) != 1 ||
+		BinomialTail(0, 0.5, 0) != 0 || BinomialTail(10, 0, 2) != 0 {
+		t.Error("edge cases")
+	}
+	// Symmetric binomial: P(X > n/2) for even n just under 0.5.
+	got := BinomialTail(10, 0.5, 5)
+	if got <= 0.3 || got >= 0.5 {
+		t.Errorf("tail(10,0.5,5) = %v", got)
+	}
+	// Stability at large n, small p: expectation-scale check.
+	// n=216, p=0.001 → mean 0.216, P(X>8) astronomically small but finite ≥ 0.
+	tiny := BinomialTail(216, 0.001, 8)
+	if tiny < 0 || tiny > 1e-10 {
+		t.Errorf("tail(216,0.001,8) = %v", tiny)
+	}
+}
+
+func TestFramePERShape(t *testing.T) {
+	// Monotone decreasing in SINR; 1 at zero SINR; ~0 at high SINR.
+	if got := FramePER(0, 128, 5); got < 0.999 {
+		t.Errorf("PER at zero SINR = %v", got)
+	}
+	prev := 1.0
+	for sinr := 0.2; sinr <= 12; sinr *= 1.5 {
+		per := FramePER(sinr, 128, 5)
+		if per > prev+1e-12 {
+			t.Fatalf("PER not decreasing at SINR %v", sinr)
+		}
+		prev = per
+	}
+	if per := FramePER(20, 128, 5); per > 1e-6 {
+		t.Errorf("PER at SINR 20 = %v", per)
+	}
+	// Longer frames are more fragile in the transition region (at high
+	// SINR both PERs vanish and the header term dominates equally).
+	if FramePER(0.8, 1000, 5) <= FramePER(0.8, 32, 5) {
+		t.Error("longer frames should lose more often")
+	}
+	// Zero payload still carries header + one parity block.
+	if per := FramePER(0.5, 0, 5); per <= 0 || per > 1 {
+		t.Errorf("zero-payload PER = %v", per)
+	}
+}
+
+func TestFramePERBandwidthTimeProduct(t *testing.T) {
+	// More integration time per chip (higher bt) improves the link.
+	if FramePER(1.5, 128, 5) >= FramePER(1.5, 128, 1) {
+		t.Error("higher bt should lower PER")
+	}
+}

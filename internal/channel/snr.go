@@ -1,0 +1,70 @@
+package channel
+
+import (
+	"errors"
+	"math"
+)
+
+// M2M4 errors.
+var (
+	// ErrTooFewSamples is returned when the estimator is given fewer than
+	// two samples.
+	ErrTooFewSamples = errors.New("channel: M2M4 estimator needs at least 2 samples")
+	// ErrDegenerate is returned when the sample moments are inconsistent
+	// with the signal-plus-AWGN model (e.g. pure noise, so that
+	// 3·M2² − M4 < 0). Callers should treat the link as having zero SNR.
+	ErrDegenerate = errors.New("channel: M2M4 moments inconsistent with signal+AWGN model")
+)
+
+// EstimateSNRM2M4 estimates the signal-to-noise ratio of a real, zero-mean,
+// binary-antipodal sample sequence (Manchester-coded OOK after AC coupling)
+// in additive white Gaussian noise, using the second- and fourth-order
+// moment (M2M4) estimator of Pauluzzi & Beaulieu — the estimator the paper's
+// receivers run (Sec. 7.2), chosen because it needs no data-aided channel
+// estimate and works directly on post-ADC samples.
+//
+// For y = s + n with s = ±A and n ~ N(0, σ²):
+//
+//	M2 = A² + σ²,  M4 = A⁴ + 6A²σ² + 3σ⁴
+//	A² = sqrt((3·M2² − M4) / 2),  σ² = M2 − A²
+//
+// The returned value is the linear SNR A²/σ².
+func EstimateSNRM2M4(samples []float64) (float64, error) {
+	if len(samples) < 2 {
+		return 0, ErrTooFewSamples
+	}
+	var m2, m4 float64
+	for _, y := range samples {
+		y2 := y * y
+		m2 += y2
+		m4 += y2 * y2
+	}
+	n := float64(len(samples))
+	m2 /= n
+	m4 /= n
+
+	d := 3*m2*m2 - m4
+	if d < 0 {
+		return 0, ErrDegenerate
+	}
+	s := math.Sqrt(d / 2)
+	noise := m2 - s
+	if noise <= 0 {
+		// Noise-free capture: SNR is effectively unbounded. Report a large
+		// finite value so downstream dB conversions stay usable.
+		return math.Inf(1), nil
+	}
+	return s / noise, nil
+}
+
+// SNRdB converts a linear SNR to decibels. Zero or negative input maps to
+// -Inf.
+func SNRdB(linear float64) float64 {
+	if linear <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(linear)
+}
+
+// SNRFromdB converts a decibel SNR to linear.
+func SNRFromdB(db float64) float64 { return math.Pow(10, db/10) }

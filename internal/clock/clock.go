@@ -1,0 +1,176 @@
+// Package clock models the timing subsystem of DenseVLC's transmitters:
+// free-running oscillators with offset and drift, and the trigger-time
+// error of the synchronisation methods the paper compares (Sec. 6.1):
+//
+//   - no synchronisation: each BeagleBone starts transmitting when the
+//     Ethernet frame arrives, so trigger times spread by network/OS jitter
+//     plus a full symbol period of phase ambiguity;
+//
+//   - NTP/PTP: transmitters wait for an absolute start time, leaving the
+//     residual clock-discipline error plus OS wake-up jitter, and about
+//     half a symbol period of loop-granularity ambiguity.
+//
+// The NLOS-VLC method of Sec. 6.2 is modelled mechanistically (waveform
+// level) in package vlcsync; this package covers the clock-based baselines
+// and the oscillator model both share.
+//
+// All times are in seconds.
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clock is a free-running local oscillator: local = (1+drift)·t + offset.
+type Clock struct {
+	// Offset is the initial phase error against true time, seconds.
+	Offset float64
+	// DriftPPM is the frequency error in parts per million (typical
+	// crystal: ±20 ppm).
+	DriftPPM float64
+}
+
+// NewClock draws a clock with Gaussian offset (std offsetStd seconds) and
+// uniform drift in ±driftPPM.
+func NewClock(rng *rand.Rand, offsetStd, driftPPM float64) Clock {
+	return Clock{
+		Offset:   offsetStd * rng.NormFloat64(),
+		DriftPPM: driftPPM * (2*rng.Float64() - 1),
+	}
+}
+
+// LocalTime converts true time to this clock's local reading.
+func (c Clock) LocalTime(t float64) float64 {
+	return t*(1+c.DriftPPM*1e-6) + c.Offset
+}
+
+// TrueTime converts a local reading back to true time.
+func (c Clock) TrueTime(local float64) float64 {
+	return (local - c.Offset) / (1 + c.DriftPPM*1e-6)
+}
+
+// Discipline slews the clock toward zero offset, leaving a residual error
+// (what NTP/PTP achieve): offset becomes a fresh Gaussian with the given
+// residual std.
+func (c *Clock) Discipline(rng *rand.Rand, residualStd float64) {
+	c.Offset = residualStd * rng.NormFloat64()
+}
+
+// Method identifies a synchronisation scheme of the paper's comparison.
+type Method int
+
+// The three methods of Table 4.
+const (
+	// MethodNone: transmit on Ethernet-frame arrival.
+	MethodNone Method = iota
+	// MethodNTPPTP: wait until an absolute NTP/PTP-disciplined time.
+	MethodNTPPTP
+	// MethodNLOSVLC: trigger on the NLOS pilot (simulated in vlcsync).
+	MethodNLOSVLC
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "no synchronization"
+	case MethodNTPPTP:
+		return "NTP/PTP"
+	case MethodNLOSVLC:
+		return "NLOS VLC"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Jitter parameters calibrated against Table 4's measurements (per-TX,
+// seconds). See DESIGN.md for the calibration argument.
+const (
+	// OSJitterStd is the per-transmitter network-delivery/OS-scheduling
+	// spread without synchronisation. The pairwise median |Δ| of two
+	// Gaussians is 0.954·σ; 10.5 µs reproduces Table 4's 10.040 µs at
+	// 100 Ksymbols/s.
+	OSJitterStd = 10.5e-6
+	// PTPResidualStd is the residual clock error after NTP/PTP
+	// discipline plus the OS wake-up jitter of the wait-until loop;
+	// 4.8 µs reproduces Table 4's 4.565 µs median at 100 Ksymbols/s.
+	PTPResidualStd = 4.8e-6
+	// PTPLoopFraction is the fraction of a symbol period of residual
+	// start ambiguity under NTP/PTP: the transmit loop polls the
+	// disciplined clock once per symbol, so starts quantise to about half
+	// a period on average.
+	PTPLoopFraction = 0.5
+)
+
+// TriggerError draws the trigger-time error of one transmitter for a
+// transmission at the given symbol rate, under the given method. The error
+// is relative to the ideal common start instant; pairwise synchronisation
+// delay is the difference of two draws.
+//
+// MethodNLOSVLC is not handled here — its error comes from the waveform
+// simulation in package vlcsync; calling it panics.
+func TriggerError(rng *rand.Rand, m Method, symbolRate float64) float64 {
+	symbolPeriod := 1 / symbolRate
+	switch m {
+	case MethodNone:
+		// Frame delivery jitter plus a full symbol of phase ambiguity:
+		// the TX's symbol loop starts wherever it happens to be.
+		return OSJitterStd*rng.NormFloat64() + rng.Float64()*symbolPeriod
+	case MethodNTPPTP:
+		return PTPResidualStd*rng.NormFloat64() + rng.Float64()*symbolPeriod*PTPLoopFraction
+	default:
+		panic(fmt.Sprintf("clock: TriggerError does not model %v", m))
+	}
+}
+
+// PairwiseDelay draws the measured synchronisation delay between two
+// transmitters: |err₁ − err₂|.
+func PairwiseDelay(rng *rand.Rand, m Method, symbolRate float64) float64 {
+	d := TriggerError(rng, m, symbolRate) - TriggerError(rng, m, symbolRate)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MedianPairwiseDelay estimates the median synchronisation delay over n
+// trials, mirroring the paper's measurement procedure (median over a frame,
+// averaged over 10 frames).
+func MedianPairwiseDelay(rng *rand.Rand, m Method, symbolRate float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	delays := make([]float64, n)
+	for i := range delays {
+		delays[i] = PairwiseDelay(rng, m, symbolRate)
+	}
+	// Median by partial sort (n is small; a full sort is fine).
+	return median(delays)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MaxSymbolRate returns the highest symbol rate at which two transmitters
+// synchronised with the given median delay keep symbol overlap within the
+// given fraction of the symbol width: rate = fraction / delay. This is the
+// paper's 10% criterion, by which NTP/PTP's ≈7 µs delay at its operating
+// point caps the rate at 14.28 Ksymbols/s (Sec. 6.1).
+func MaxSymbolRate(medianDelay, maxOverlapFraction float64) float64 {
+	if medianDelay <= 0 {
+		return 0
+	}
+	return maxOverlapFraction / medianDelay
+}

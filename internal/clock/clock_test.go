@@ -1,0 +1,146 @@
+package clock
+
+import (
+	"math"
+	"testing"
+
+	"densevlc/internal/stats"
+)
+
+func TestClockConversionRoundTrip(t *testing.T) {
+	c := Clock{Offset: 1e-3, DriftPPM: 20}
+	for _, tt := range []float64{0, 1, 100, 1e4} {
+		local := c.LocalTime(tt)
+		back := c.TrueTime(local)
+		if math.Abs(back-tt) > 1e-9 {
+			t.Errorf("round trip at %v: %v", tt, back)
+		}
+	}
+}
+
+func TestClockDrift(t *testing.T) {
+	c := Clock{DriftPPM: 20}
+	// After 1 s a 20 ppm clock gains 20 µs.
+	if got := c.LocalTime(1) - 1; math.Abs(got-20e-6) > 1e-12 {
+		t.Errorf("drift gain = %v", got)
+	}
+}
+
+func TestNewClockWithinBounds(t *testing.T) {
+	rng := stats.NewRand(1)
+	for i := 0; i < 100; i++ {
+		c := NewClock(rng, 1e-3, 20)
+		if math.Abs(c.DriftPPM) > 20 {
+			t.Fatalf("drift %v out of bounds", c.DriftPPM)
+		}
+	}
+}
+
+func TestDiscipline(t *testing.T) {
+	rng := stats.NewRand(2)
+	offsets := make([]float64, 500)
+	for i := range offsets {
+		c := Clock{Offset: 0.5}
+		c.Discipline(rng, 5e-6)
+		offsets[i] = math.Abs(c.Offset)
+	}
+	med := stats.Median(offsets)
+	// Median |N(0,σ)| = 0.674σ ≈ 3.4 µs.
+	if med < 2e-6 || med > 5e-6 {
+		t.Errorf("disciplined offset median = %v", med)
+	}
+}
+
+func TestTable4NoSyncMedian(t *testing.T) {
+	// Table 4: 10.040 µs median at 100 Ksymbols/s without synchronisation.
+	rng := stats.NewRand(3)
+	med := MedianPairwiseDelay(rng, MethodNone, 100e3, 20000)
+	if med < 7e-6 || med > 14e-6 {
+		t.Errorf("no-sync median = %v µs, paper reports 10.040 µs", med*1e6)
+	}
+}
+
+func TestTable4NTPPTPMedian(t *testing.T) {
+	// Table 4: 4.565 µs median at 100 Ksymbols/s with NTP/PTP.
+	rng := stats.NewRand(4)
+	med := MedianPairwiseDelay(rng, MethodNTPPTP, 100e3, 20000)
+	if med < 3e-6 || med > 7e-6 {
+		t.Errorf("NTP/PTP median = %v µs, paper reports 4.565 µs", med*1e6)
+	}
+}
+
+func TestNTPPTPAtLeastTwiceBetter(t *testing.T) {
+	// Fig. 12: NTP/PTP improves the delay by at least a factor of two at
+	// every symbol rate.
+	rng := stats.NewRand(5)
+	for _, rate := range []float64{1e3, 2e3, 5e3, 10e3, 20e3, 50e3, 64e3} {
+		none := MedianPairwiseDelay(rng, MethodNone, rate, 5000)
+		ptp := MedianPairwiseDelay(rng, MethodNTPPTP, rate, 5000)
+		if ptp >= none/1.8 {
+			t.Errorf("rate %v: NTP/PTP %v not ≈2x better than none %v", rate, ptp, none)
+		}
+	}
+}
+
+func TestDelayDecreasesWithSymbolRate(t *testing.T) {
+	// Fig. 12's shape: both curves fall as the symbol rate grows (the
+	// symbol-period ambiguity shrinks), then floor out.
+	rng := stats.NewRand(6)
+	for _, m := range []Method{MethodNone, MethodNTPPTP} {
+		low := MedianPairwiseDelay(rng, m, 1e3, 5000)
+		high := MedianPairwiseDelay(rng, m, 64e3, 5000)
+		if high >= low {
+			t.Errorf("%v: delay did not decrease with symbol rate (%v → %v)", m, low, high)
+		}
+		// At 1 Ksym/s the delay is dominated by the ~1 ms symbol period:
+		// hundreds of µs, matching Fig. 12's top-left region.
+		if m == MethodNone && (low < 100e-6 || low > 600e-6) {
+			t.Errorf("no-sync delay at 1 Ksym/s = %v, want hundreds of µs", low)
+		}
+	}
+}
+
+func TestTriggerErrorPanicsOnNLOS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NLOS method should panic here (modelled in vlcsync)")
+		}
+	}()
+	TriggerError(stats.NewRand(1), MethodNLOSVLC, 1e5)
+}
+
+func TestMaxSymbolRate(t *testing.T) {
+	// 10% overlap at 7 µs delay → 14.28 Ksymbols/s (Sec. 6.1).
+	got := MaxSymbolRate(7e-6, 0.1)
+	if math.Abs(got-14285.7) > 1 {
+		t.Errorf("max rate = %v, want ≈14285.7", got)
+	}
+	if MaxSymbolRate(0, 0.1) != 0 {
+		t.Error("zero delay should report 0 (undefined)")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodNone.String() != "no synchronization" ||
+		MethodNTPPTP.String() != "NTP/PTP" ||
+		MethodNLOSVLC.String() != "NLOS VLC" ||
+		Method(9).String() != "Method(9)" {
+		t.Error("method strings")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("even median")
+	}
+}
+
+func TestMedianPairwiseDelayMinTrials(t *testing.T) {
+	rng := stats.NewRand(7)
+	if d := MedianPairwiseDelay(rng, MethodNone, 1e5, 0); d < 0 {
+		t.Error("n<1 should clamp to 1 trial and return a value")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/mobility"
+	"densevlc/internal/scenario"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Setup.Grid.Rows = 0
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("empty grid accepted")
+	}
+	bad = DefaultConfig()
+	bad.Setup.LED.BiasCurrent = 0
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("invalid LED accepted")
+	}
+	bad = DefaultConfig()
+	bad.Setup.Params.Bandwidth = 0
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Nil policy defaults to the heuristic.
+	cfg := DefaultConfig()
+	cfg.Policy = nil
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() == nil {
+		t.Error("nil policy not defaulted")
+	}
+}
+
+func TestAllocateScenario2(t *testing.T) {
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Allocate(scenario.Scenario2.RXPositions(), 1.19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SystemThroughput() < 1e6 {
+		t.Errorf("throughput = %v", out.SystemThroughput())
+	}
+	if out.Eval.CommPower > 1.19+1e-9 {
+		t.Errorf("power = %v over budget", out.Eval.CommPower)
+	}
+	if out.Env.N() != 36 || out.Env.M() != 4 {
+		t.Errorf("env dims %dx%d", out.Env.N(), out.Env.M())
+	}
+	if _, err := s.Allocate(nil, 1); err == nil {
+		t.Error("empty receivers accepted")
+	}
+	if _, err := s.Allocate(scenario.Scenario2.RXPositions(), -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Sweep(scenario.Scenario1.RXPositions(), []float64{0.1, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[2].Eval.SumThroughput < pts[0].Eval.SumThroughput {
+		t.Error("throughput should grow with budget in scenario 1")
+	}
+	if _, err := s.Sweep(nil, []float64{1}); err == nil {
+		t.Error("empty receivers accepted")
+	}
+}
+
+func TestIlluminationFacade(t *testing.T) {
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Illumination(2.2, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if !st.CompliesISO8995() {
+		t.Errorf("default deployment should satisfy ISO 8995-1: %+v", st)
+	}
+	if math.Abs(st.Average-564) > 20 {
+		t.Errorf("average %v lux, paper reports 564", st.Average)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = alloc.Heuristic{Kappa: 1.3}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj []mobility.Trajectory
+	for _, p := range scenario.Scenario3.RXPositions() {
+		traj = append(traj, mobility.Static{Pos: p})
+	}
+	res, err := s.Simulate(SimulateOptions{
+		Trajectories: traj,
+		Budget:       0.3,
+		Rounds:       2,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Errorf("%d rounds", len(res.Rounds))
+	}
+}

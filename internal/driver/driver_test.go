@@ -1,0 +1,120 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"densevlc/internal/led"
+	"densevlc/internal/phy"
+)
+
+func TestFluxModelCalibration(t *testing.T) {
+	f := CreeXTEFlux()
+	m := led.CreeXTE()
+	// Anchored to the illumination calibration.
+	if got := f.Flux(m.BiasCurrent); math.Abs(got-m.LuminousFluxAtBias) > 0.1 {
+		t.Errorf("flux at bias = %v, want %v", got, m.LuminousFluxAtBias)
+	}
+	if f.Flux(0) != 0 || f.Flux(-1) != 0 {
+		t.Error("non-positive currents emit nothing")
+	}
+	// Droop: doubling the current less than doubles the flux.
+	if f.Flux(0.9) >= 2*f.Flux(0.45) {
+		t.Error("no droop — doubling current doubled flux")
+	}
+	// Monotone within the validity range.
+	prev := 0.0
+	for i := 0.05; i < 1/(2*f.Droop); i += 0.05 {
+		v := f.Flux(i)
+		if v <= prev {
+			t.Fatalf("flux not increasing at %v A", i)
+		}
+		prev = v
+	}
+}
+
+func TestBrightnessNeutralHigh(t *testing.T) {
+	f := CreeXTEFlux()
+	ih, err := f.BrightnessNeutralHigh(0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Due to droop, Ih must exceed 2·Ib.
+	if ih <= 0.9 {
+		t.Errorf("Ih = %v, droop requires > 0.9 A", ih)
+	}
+	// And the defining equation holds: half-duty HIGH flux equals bias flux.
+	if got := f.Flux(ih) / 2; math.Abs(got-f.Flux(0.45)) > 0.01*f.Flux(0.45) {
+		t.Errorf("brightness mismatch: %v vs %v", got, f.Flux(0.45))
+	}
+	if _, err := f.BrightnessNeutralHigh(0); err == nil {
+		t.Error("zero bias accepted")
+	}
+	// A brutal droop makes neutrality unreachable.
+	brutal := FluxModel{Eta0: 300, Droop: 1.0}
+	if _, err := brutal.BrightnessNeutralHigh(0.45); err == nil {
+		t.Error("unsatisfiable droop accepted")
+	}
+}
+
+func TestDesignMatchesPaperPowerMeasurements(t *testing.T) {
+	// Sec. 7.1: "The average measured electrical power consumption is
+	// 2.51 W for illumination and 3.04 W for 50% duty cycled
+	// communication." A 5 V rail with ≈0.28 W of logic overhead and the
+	// droop-implied 1.1 A HIGH current reproduces both within 2%.
+	d, err := NewDesign(led.CreeXTE(), CreeXTEFlux(), 5.0, 0.28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.IlluminationPower(); math.Abs(got-2.51) > 0.05 {
+		t.Errorf("illumination power = %.3f W, paper measures 2.51 W", got)
+	}
+	if got := d.CommunicationPower(); math.Abs(got-3.04) > 0.06 {
+		t.Errorf("communication power = %.3f W, paper measures 3.04 W", got)
+	}
+	if d.CommunicationOverhead() <= 0 {
+		t.Error("communication must cost extra power")
+	}
+	// Agreement with the constants package phy carries.
+	if math.Abs(d.IlluminationPower()-phy.FrontEndPowerIllum) > 0.05 ||
+		math.Abs(d.CommunicationPower()-phy.FrontEndPowerComm) > 0.06 {
+		t.Error("driver design disagrees with the phy constants")
+	}
+}
+
+func TestDesignResistorsPlausible(t *testing.T) {
+	d, err := NewDesign(led.CreeXTE(), CreeXTEFlux(), 5.0, 0.28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bias branch: (5 − Vf(0.45))/0.45 ≈ (5 − 2.88)/0.45 ≈ 4.7 Ω.
+	if d.RBias < 3 || d.RBias > 6 {
+		t.Errorf("bias resistor = %.2f Ω", d.RBias)
+	}
+	if d.RHigh <= 0 {
+		t.Errorf("high branch resistor = %.2f Ω", d.RHigh)
+	}
+	if d.HighCurrent < 1.0 || d.HighCurrent > 1.25 {
+		t.Errorf("HIGH current = %.3f A, expected ≈1.1 A", d.HighCurrent)
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	m := led.CreeXTE()
+	f := CreeXTEFlux()
+	if _, err := NewDesign(m, f, 0, 0.28); err == nil {
+		t.Error("zero supply accepted")
+	}
+	if _, err := NewDesign(m, f, 5, -1); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	// Supply below the forward voltage cannot drive the LED.
+	if _, err := NewDesign(m, f, 2.0, 0.28); err == nil {
+		t.Error("undersized supply accepted")
+	}
+	bad := m
+	bad.BiasCurrent = 0
+	if _, err := NewDesign(bad, f, 5, 0.28); err == nil {
+		t.Error("invalid LED accepted")
+	}
+}

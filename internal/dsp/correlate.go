@@ -1,0 +1,103 @@
+package dsp
+
+import "math"
+
+// CrossCorrelate returns the normalised cross-correlation of the template
+// against the signal at every lag in [0, len(signal)−len(template)]:
+//
+//	c[k] = Σ_i signal[k+i]·template[i] / (‖signal[k:k+n]‖·‖template‖)
+//
+// Values are in [−1, 1]; 1 means a perfect scaled match. Used by receivers
+// to locate the frame preamble and by transmitters to detect the NLOS
+// synchronisation pilot.
+func CrossCorrelate(signal, template []float64) []float64 {
+	n := len(template)
+	if n == 0 || len(signal) < n {
+		return nil
+	}
+	tNorm := 0.0
+	for _, t := range template {
+		tNorm += t * t
+	}
+	tNorm = math.Sqrt(tNorm)
+	if tNorm == 0 {
+		return nil
+	}
+
+	out := make([]float64, len(signal)-n+1)
+	// Rolling window energy.
+	var wEnergy float64
+	for i := 0; i < n; i++ {
+		wEnergy += signal[i] * signal[i]
+	}
+	for k := range out {
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += signal[k+i] * template[i]
+		}
+		if wEnergy > 0 {
+			out[k] = dot / (math.Sqrt(wEnergy) * tNorm)
+		}
+		if k+n < len(signal) {
+			wEnergy += signal[k+n]*signal[k+n] - signal[k]*signal[k]
+			if wEnergy < 0 {
+				wEnergy = 0 // guard against floating-point drift
+			}
+		}
+	}
+	return out
+}
+
+// FindPeak returns the index and value of the maximum of xs, or (-1, 0) for
+// an empty slice.
+func FindPeak(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		return -1, 0
+	}
+	best, bestV := 0, xs[0]
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// DetectEdge returns the index of the first sample where the signal crosses
+// the threshold upward (previous sample below, current at or above), or −1.
+// The NLOS sync receivers run this on the filtered photodiode stream to
+// time-stamp the pilot's leading edge at their sampling resolution.
+func DetectEdge(xs []float64, threshold float64) int {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] < threshold && xs[i] >= threshold {
+			return i
+		}
+	}
+	return -1
+}
+
+// MovingAverage smooths xs with a centred window of the given width
+// (clamped at the edges). Width < 2 returns a copy.
+func MovingAverage(xs []float64, width int) []float64 {
+	out := make([]float64, len(xs))
+	if width < 2 {
+		copy(out, xs)
+		return out
+	}
+	half := width / 2
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Manchester coding (Sec. 3.3): each data bit becomes two chips. A binary 0
+// is the transition LOW→HIGH (Il → Ih), a binary 1 is HIGH→LOW (Ih → Il).
+// The 50% duty cycle keeps average brightness equal to illumination mode.
+//
+// Chips are represented as float64 levels −1 (LOW) and +1 (HIGH), the
+// AC-coupled signal seen by the receiver; the TX front-end maps them to the
+// three drive levels.
+
+// ErrOddChips reports a chip stream whose length is not a whole number of
+// bit periods.
+var ErrOddChips = errors.New("dsp: chip stream length is not a multiple of 2")
+
+// ManchesterEncode expands bits (one bit per byte, values 0 or 1) into
+// chips: bit 0 → (−1, +1), bit 1 → (+1, −1).
+func ManchesterEncode(bits []byte) []float64 {
+	out := make([]float64, 0, 2*len(bits))
+	for _, b := range bits {
+		if b == 0 {
+			out = append(out, -1, +1)
+		} else {
+			out = append(out, +1, -1)
+		}
+	}
+	return out
+}
+
+// ManchesterDecode recovers bits from chip levels by comparing the two
+// halves of each bit period: first half below second → 0, above → 1. It
+// works on noisy soft values, deciding by the sign of the difference.
+// A tie (equal halves) decodes as 0 and is counted in ties, letting callers
+// treat heavy ties as a bad capture.
+func ManchesterDecode(chips []float64) (bits []byte, ties int, err error) {
+	if len(chips)%2 != 0 {
+		return nil, 0, ErrOddChips
+	}
+	bits = make([]byte, len(chips)/2)
+	for i := range bits {
+		a, b := chips[2*i], chips[2*i+1]
+		switch {
+		case a < b:
+			bits[i] = 0
+		case a > b:
+			bits[i] = 1
+		default:
+			bits[i] = 0
+			ties++
+		}
+	}
+	return bits, ties, nil
+}
+
+// BytesToBits unpacks bytes MSB-first into one-bit-per-byte form.
+func BytesToBits(data []byte) []byte {
+	out := make([]byte, 0, 8*len(data))
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (b>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs one-bit-per-byte values MSB-first. The bit count must
+// be a multiple of 8.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("dsp: %d bits is not a whole number of bytes", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("dsp: bit value %d at index %d", b, i)
+		}
+		out[i/8] |= b << uint(7-i%8)
+	}
+	return out, nil
+}
+
+// Upsample repeats each chip samplesPerChip times, converting a chip stream
+// to a waveform at the TX DAC rate.
+func Upsample(chips []float64, samplesPerChip int) []float64 {
+	if samplesPerChip < 1 {
+		samplesPerChip = 1
+	}
+	out := make([]float64, 0, len(chips)*samplesPerChip)
+	for _, c := range chips {
+		for i := 0; i < samplesPerChip; i++ {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Downsample integrates each chip period of a waveform back to one soft
+// chip value (matched filtering for rectangular pulses: the mean over the
+// chip). offset is the sample index where the first chip starts.
+func Downsample(samples []float64, samplesPerChip, offset int) []float64 {
+	if samplesPerChip < 1 || offset < 0 || offset >= len(samples) {
+		return nil
+	}
+	n := (len(samples) - offset) / samplesPerChip
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		base := offset + i*samplesPerChip
+		for j := 0; j < samplesPerChip; j++ {
+			sum += samples[base+j]
+		}
+		out[i] = sum / float64(samplesPerChip)
+	}
+	return out
+}

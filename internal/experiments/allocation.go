@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+// budgetGrid is the P_C,tot axis of Figs. 8–11: 0–3 W.
+func budgetGrid(quick bool) []float64 {
+	if quick {
+		return []float64{0.3, 1.2, 3.0}
+	}
+	return []float64{0.15, 0.3, 0.45, 0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0}
+}
+
+// optimalPolicy is the fmincon substitute tuned for sweeps.
+func optimalPolicy() alloc.Optimal { return alloc.Optimal{} }
+
+// Fig08 reproduces the average throughput (system and per receiver) versus
+// communication power with 95% confidence intervals over random instances,
+// under the optimal policy.
+func Fig08(opts Options) Table {
+	set := scenario.Default()
+	rng := stats.NewRand(opts.Seed)
+	insts := set.RandomInstances(rng, opts.instances())
+	budgets := budgetGrid(opts.Quick)
+	policy := optimalPolicy()
+
+	t := Table{
+		ID:     "Fig. 8",
+		Title:  f("Average throughput vs P_C,tot over %d random instances (optimal policy)", len(insts)),
+		Header: []string{"P_C,tot [W]", "system [Mbit/s]", "±CI95", "RX1", "RX2", "RX3", "RX4"},
+	}
+
+	for _, budget := range budgets {
+		sys := make([]float64, 0, len(insts))
+		per := make([][]float64, 4)
+		for _, inst := range insts {
+			env := set.Env(inst, nil)
+			s, err := policy.Allocate(env, budget)
+			if err != nil {
+				continue
+			}
+			ev := alloc.Evaluate(env, s)
+			sys = append(sys, ev.SumThroughput/1e6)
+			for i, tp := range ev.Throughput {
+				per[i] = append(per[i], tp/1e6)
+			}
+		}
+		sum := stats.Summarize(sys)
+		row := []string{
+			f("%.2f", budget),
+			f("%.2f", sum.Mean),
+			f("%.2f", sum.CI95),
+		}
+		for i := 0; i < 4; i++ {
+			row = append(row, f("%.2f", stats.Mean(per[i])))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: throughput rises with budget, growth slows beyond ≈1.2 W; per-RX curves stay balanced (proportional fairness)",
+		"paper scale: system ≈10 Mbit/s at 3 W with B = 1 MHz")
+	return t
+}
+
+// Fig09 reproduces the optimal swing waterfall for the Fig. 7 instance:
+// which transmitters ramp to full swing as the budget grows, for RX1 and
+// RX2.
+func Fig09(opts Options) Table {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	policy := optimalPolicy()
+
+	steps := []float64{0.07, 0.15, 0.3, 0.6, 0.9, 1.2, 1.8, 2.4}
+	if opts.Quick {
+		steps = []float64{0.15, 0.6, 1.8}
+	}
+
+	t := Table{
+		ID:     "Fig. 9",
+		Title:  "Optimal swing levels vs communication power (Fig. 7 instance)",
+		Header: []string{"P_C,tot [W]", "RX1 active TXs (swing mA)", "RX2 active TXs (swing mA)"},
+	}
+	for _, budget := range steps {
+		s, err := policy.Allocate(env, budget)
+		if err != nil {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%.2f", budget),
+			activeList(s, 0),
+			activeList(s, 1),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: RX1's activation order starts TX8→TX14→TX7→TX2→TX1→TX13; RX2 starts at TX10",
+		"Insight 1: power pours into each receiver's preferred TX before the next activates")
+	return t
+}
+
+func activeList(s [][]float64, rx int) string {
+	out := ""
+	for j := range s {
+		if s[j][rx] > 1e-3 {
+			if out != "" {
+				out += " "
+			}
+			out += f("TX%d(%.0f)", j+1, s[j][rx]*1000)
+		}
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// Fig10 reproduces the empirical CDFs of the optimal swing level that
+// selected transmitters apply toward RX2, across instances and budgets.
+func Fig10(opts Options) Table {
+	set := scenario.Default()
+	rng := stats.NewRand(opts.Seed)
+	n := 5 // the paper visualises five instances
+	if opts.Quick {
+		n = 2
+	}
+	insts := set.RandomInstances(rng, n)
+	budgets := budgetGrid(opts.Quick)
+	policy := optimalPolicy()
+
+	// The paper's TX3, TX5, TX10, TX15 (1-based).
+	watch := []int{2, 4, 9, 14}
+	samples := make(map[int][]float64, len(watch))
+
+	for _, inst := range insts {
+		env := set.Env(inst, nil)
+		for _, budget := range budgets {
+			s, err := policy.Allocate(env, budget)
+			if err != nil {
+				continue
+			}
+			for _, tx := range watch {
+				samples[tx] = append(samples[tx], s[tx][1]) // toward RX2
+			}
+		}
+	}
+
+	t := Table{
+		ID:     "Fig. 10",
+		Title:  f("Empirical CDF of optimal swing toward RX2 (%d instances × %d budgets)", n, len(budgets)),
+		Header: []string{"TX", "P(Isw=0)", "P(Isw<450mA)", "P(Isw<900mA)", "P(full swing)"},
+	}
+	for _, tx := range watch {
+		e := stats.NewECDF(samples[tx])
+		atZero := e.At(1e-6)
+		below450 := e.At(0.45)
+		below900 := e.At(0.9 - 1e-6)
+		t.Rows = append(t.Rows, []string{
+			f("TX%d", tx+1),
+			f("%.2f", atZero),
+			f("%.2f", below450),
+			f("%.2f", below900),
+			f("%.2f", 1-below900),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: TX10 mostly at full swing (best channel to RX2); TX5 similar with an offset; TX3 transitions smoothly; TX15 unused (too much interference)")
+	return t
+}
+
+// Fig11 reproduces the heuristic verification: system throughput for
+// κ ∈ {1.0, 1.2, 1.3, 1.5} against the optimal on the Fig. 7 instance, and
+// the distribution of the throughput loss across random instances.
+func Fig11(opts Options) Table {
+	set := scenario.Default()
+	kappas := []float64{1.0, 1.2, 1.3, 1.5}
+	budgets := budgetGrid(opts.Quick)
+	policy := optimalPolicy()
+
+	// Left plot: curves for the Fig. 7 instance.
+	env := set.Env(scenario.Fig7Instance(), nil)
+	t := Table{
+		ID:     "Fig. 11",
+		Title:  "Heuristic vs optimal (Fig. 7 instance), then loss over random instances",
+		Header: []string{"P_C,tot [W]", "optimal [Mb/s]", "κ=1.0", "κ=1.2", "κ=1.3", "κ=1.5"},
+	}
+	for _, budget := range budgets {
+		sOpt, err := policy.Allocate(env, budget)
+		if err != nil {
+			continue
+		}
+		row := []string{f("%.2f", budget), f("%.2f", alloc.Evaluate(env, sOpt).SumThroughput/1e6)}
+		for _, k := range kappas {
+			sH, err := alloc.Heuristic{Kappa: k, AllowPartial: true}.Allocate(env, budget)
+			if err != nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f("%.2f", alloc.Evaluate(env, sH).SumThroughput/1e6))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	// Right plot: average loss across instances, averaged over budgets.
+	rng := stats.NewRand(opts.Seed)
+	insts := set.RandomInstances(rng, opts.instances())
+	losses := make(map[float64][]float64, len(kappas))
+	lossBudgets := budgets
+	if !opts.Quick {
+		lossBudgets = []float64{0.3, 0.6, 1.2, 2.4} // keep the sweep tractable
+	}
+	for _, inst := range insts {
+		envI := set.Env(inst, nil)
+		for _, k := range kappas {
+			var rel []float64
+			for _, budget := range lossBudgets {
+				sOpt, err := policy.Allocate(envI, budget)
+				if err != nil {
+					continue
+				}
+				opt := alloc.Evaluate(envI, sOpt).SumThroughput
+				sH, err := alloc.Heuristic{Kappa: k, AllowPartial: true}.Allocate(envI, budget)
+				if err != nil || opt == 0 {
+					continue
+				}
+				h := alloc.Evaluate(envI, sH).SumThroughput
+				rel = append(rel, 100*(h-opt)/opt)
+			}
+			if len(rel) > 0 {
+				losses[k] = append(losses[k], stats.Mean(rel))
+			}
+		}
+	}
+	for _, k := range kappas {
+		t.Notes = append(t.Notes,
+			f("κ=%.1f: mean loss %.1f%% across %d instances (paper: κ=1.0 −40.3%%, κ=1.2 −2.4%%, κ=1.3 −1.8%%, κ=1.5 −2.6%%)",
+				k, stats.Mean(losses[k]), len(losses[k])))
+	}
+	return t
+}
+
+// Speedup reproduces Sec. 5's complexity claim: the ranking heuristic is
+// 99.96% cheaper than the optimal solve (165 s vs 0.07 s in Matlab).
+func Speedup(opts Options) Table {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+
+	reps := 3
+	if opts.Quick {
+		reps = 1
+	}
+
+	timeIt := func(p alloc.Policy) float64 {
+		best := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := p.Allocate(env, 1.19); err != nil {
+				return math.NaN()
+			}
+			if d := time.Since(start).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm the heuristic measurement: it is microseconds, so repeat it.
+	hPolicy := alloc.Heuristic{Kappa: 1.3}
+	start := time.Now()
+	iters := 200
+	for i := 0; i < iters; i++ {
+		if _, err := hPolicy.Allocate(env, 1.19); err != nil {
+			break
+		}
+	}
+	hTime := time.Since(start).Seconds() / float64(iters)
+	oTime := timeIt(optimalPolicy())
+
+	t := Table{
+		ID:     "Sec. 5",
+		Title:  "Decision complexity: optimal vs ranking heuristic",
+		Header: []string{"policy", "time per decision", "reduction"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"optimal (projected-gradient multistart)", f("%.3f s", oTime), "-"},
+		[]string{"heuristic (κ=1.3)", f("%.6f s", hTime), f("%.2f%%", 100*(1-hTime/oTime))},
+	)
+	t.Notes = append(t.Notes, "paper: 165 s vs 0.07 s in Matlab — a 99.96% reduction; absolute times differ (Go vs Matlab), the ratio is the claim")
+	return t
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"densevlc/internal/illum"
+	"densevlc/internal/led"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+// Fig03 reproduces the LED I-V curve of Fig. 3 (CREE XT-E model, Eq. 8).
+func Fig03(Options) Table {
+	m := led.CreeXTE()
+	t := Table{
+		ID:     "Fig. 3",
+		Title:  "LED I-V curve (CREE XT-E, Shockley + series resistance)",
+		Header: []string{"I [mA]", "V [V]", "P [W]"},
+	}
+	for _, mA := range []float64{0, 50, 100, 200, 300, 450, 600, 750, 900, 1000} {
+		i := mA / 1000
+		t.Rows = append(t.Rows, []string{
+			f("%.0f", mA),
+			f("%.3f", m.ForwardVoltage(i)),
+			f("%.3f", m.Power(i)),
+		})
+	}
+	t.Notes = append(t.Notes, "bias point Ib = 450 mA sits mid-curve, allowing the full ±450 mA swing (Fig. 3 of the paper)")
+	return t
+}
+
+// Fig04 reproduces the Taylor-approximation error on power consumption vs
+// swing level (Ib = 450 mA): ≈0.45% at 900 mA in the paper.
+func Fig04(Options) Table {
+	m := led.CreeXTE()
+	m.DynamicResistanceOverride = 0 // the figure is about the analytic model
+	t := Table{
+		ID:     "Fig. 4",
+		Title:  "Relative error of the Taylor power approximation vs swing (Ib = 450 mA)",
+		Header: []string{"Isw [mA]", "error [%]"},
+	}
+	for mA := 0.0; mA <= 1000; mA += 100 {
+		t.Rows = append(t.Rows, []string{
+			f("%.0f", mA),
+			f("%.3f", 100*m.TaylorError(mA/1000)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		f("error at 900 mA: %.2f%% (paper: 0.45%%)", 100*m.TaylorError(0.9)))
+	return t
+}
+
+// Fig05 reproduces the illuminance distribution: 564 lux average and 74%
+// uniformity inside the 2.2 m × 2.2 m area of interest.
+func Fig05(Options) Table {
+	set := scenario.Default()
+	flux := make([]float64, set.Grid.N())
+	for i := range flux {
+		flux[i] = set.LED.LuminousFluxAtBias
+	}
+	t := Table{
+		ID:     "Fig. 5",
+		Title:  "Illuminance over the area of interest (6x6 grid, 0.8 m work plane)",
+		Header: []string{"region", "avg [lux]", "min [lux]", "max [lux]", "uniformity", "ISO 8995-1"},
+	}
+	for _, reg := range []struct {
+		name string
+		w, h float64
+	}{
+		{"2.2 m AOI", 2.2, 2.2},
+		{"full floor", 3.0, 3.0},
+	} {
+		m, err := illum.Compute(illum.Config{
+			Emitters: set.Emitters(), Flux: flux, PlaneZ: set.RXPlaneZ,
+			Region: illum.CenteredRegion(set.Room, reg.w, reg.h),
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, "compute error: "+err.Error())
+			continue
+		}
+		s := m.Stats()
+		ok := "no"
+		if s.CompliesISO8995() {
+			ok = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			reg.name,
+			f("%.0f", s.Average), f("%.0f", s.Min), f("%.0f", s.Max),
+			f("%.0f%%", 100*s.Uniformity), ok,
+		})
+	}
+	t.Notes = append(t.Notes, "paper: 564 lux average, 74% uniformity in the AOI (simulation setup)")
+	return t
+}
+
+// Fig06 summarises the random-instance workload generator: 100 receiver
+// placements jittered around the anchor transmitters.
+func Fig06(opts Options) Table {
+	set := scenario.Default()
+	rng := stats.NewRand(opts.Seed)
+	insts := set.RandomInstances(rng, opts.instances())
+
+	t := Table{
+		ID:     "Fig. 6",
+		Title:  f("%d random receiver instances around the anchor TXs", len(insts)),
+		Header: []string{"RX", "anchor TX", "anchor pos", "x range [m]", "y range [m]"},
+	}
+	for i, tx := range scenario.AnchorTXs {
+		minX, maxX := 99.0, -99.0
+		minY, maxY := 99.0, -99.0
+		for _, inst := range insts {
+			p := inst[i]
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		a := set.Grid.Pos(tx)
+		t.Rows = append(t.Rows, []string{
+			f("RX%d", i+1),
+			f("TX%d", tx+1),
+			f("(%.2f, %.2f)", a.X, a.Y),
+			f("%.2f–%.2f", minX, maxX),
+			f("%.2f–%.2f", minY, maxY),
+		})
+	}
+	t.Notes = append(t.Notes, f("jitter: uniform ±%.2f m around each anchor", scenario.InstanceJitter))
+	return t
+}
+
+// Table1 dumps the configured system parameters next to Table 1.
+func Table1(Options) Table {
+	set := scenario.Default()
+	m := set.LED
+	t := Table{
+		ID:     "Table 1",
+		Title:  "System parameters",
+		Header: []string{"parameter", "value", "paper"},
+	}
+	rows := [][3]string{
+		{"noise density N0", f("%.3g A²/Hz", set.Params.NoiseDensity), "7.02e-23 A²/Hz"},
+		{"bandwidth B", f("%.0f MHz", set.Params.Bandwidth/1e6), "1 MHz"},
+		{"half-power semi-angle", f("%.0f°", m.HalfPowerSemiAngle*180/3.141592653589793), "15°"},
+		{"saturation current Is", f("%.3g A", m.SaturationCurrent), "1.44e-18 A"},
+		{"ideality k / series Rs", f("%.2f / %.2f Ω", m.IdealityFactor, m.SeriesResistance), "2.68 / 0.19 Ω"},
+		{"bias Ib / efficiency η", f("%.0f mA / %.2f", m.BiasCurrent*1000, m.WallPlugEfficiency), "450 mA / 0.40"},
+		{"max swing Isw,max", f("%.0f mA", m.MaxSwing*1000), "900 mA"},
+		{"RX FOV / area", f("90° / %.1f mm²", 1.1), "90° / 1.1 mm²"},
+		{"responsivity R", f("%.2f A/W", set.Params.Responsivity), "0.40 A/W"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r[0], r[1], r[2]})
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the table as CSV: a comment line with id/title, the
+// header, then the rows. Notes become trailing comment lines, matching the
+// convention cmd/sweep uses.
+func (t Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the table as a JSON object.
+func (t Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes})
+}
+
+// WriteMarkdown emits the table as GitHub-flavoured markdown with the
+// notes as a trailing list — the format EXPERIMENTS.md quotes.
+func (t Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	if len(t.Notes) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, n := range t.Notes {
+			if _, err := fmt.Fprintf(w, "- %s\n", n); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Format identifies an output encoding for cmd/experiments.
+type Format int
+
+// Supported output formats.
+const (
+	FormatText Format = iota
+	FormatCSV
+	FormatJSON
+	FormatMarkdown
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "json":
+		return FormatJSON, nil
+	case "md", "markdown":
+		return FormatMarkdown, nil
+	default:
+		return FormatText, fmt.Errorf("experiments: unknown format %q (text, csv, json, markdown)", s)
+	}
+}
+
+// Write renders the table in the chosen format.
+func (t Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatCSV:
+		return t.WriteCSV(w)
+	case FormatJSON:
+		return t.WriteJSON(w)
+	case FormatMarkdown:
+		return t.WriteMarkdown(w)
+	default:
+		_, err := io.WriteString(w, t.Render())
+		return err
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	return Table{
+		ID: "Fig. T", Title: "export demo",
+		Header: []string{"x", "y"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# Fig. T — export demo", "x,y", "1,2", "3,4", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "Fig. T" || len(got.Rows) != 2 || got.Rows[1][1] != "4" || got.Notes[0] != "a note" {
+		t.Errorf("json = %+v", got)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"", FormatText, true},
+		{"text", FormatText, true},
+		{"CSV", FormatCSV, true},
+		{"json", FormatJSON, true},
+		{"xml", FormatText, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFormat(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseFormat(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	for _, f := range []Format{FormatText, FormatCSV, FormatJSON} {
+		var b bytes.Buffer
+		if err := sampleTable().Write(&b, f); err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("format %v produced nothing", f)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"densevlc/internal/driver"
+	"densevlc/internal/led"
+)
+
+// FrontEndStudy reproduces the Sec. 7.1 front-end engineering (Fig. 15):
+// the two-branch resistor design, the brightness-neutral HIGH current the
+// LED's efficiency droop forces, and the measured mode powers.
+func FrontEndStudy(Options) Table {
+	m := led.CreeXTE()
+	flux := driver.CreeXTEFlux()
+
+	t := Table{
+		ID:     "Sec. 7.1",
+		Title:  "TX front-end design (5 V rail, two-branch driver of Fig. 15)",
+		Header: []string{"quantity", "value", "paper"},
+	}
+	d, err := driver.NewDesign(m, flux, 5.0, 0.28)
+	if err != nil {
+		t.Notes = append(t.Notes, "design error: "+err.Error())
+		return t
+	}
+	t.Rows = append(t.Rows,
+		[]string{"bias branch resistor", f("%.2f Ω", d.RBias), "—"},
+		[]string{"HIGH branch resistor", f("%.2f Ω", d.RHigh), "—"},
+		[]string{"bias current", f("%.0f mA", d.BiasCurrent*1000), "450 mA"},
+		[]string{"brightness-neutral HIGH current", f("%.0f mA", d.HighCurrent*1000), "> 900 mA (droop)"},
+		[]string{"illumination-mode power", f("%.2f W", d.IlluminationPower()), "2.51 W"},
+		[]string{"communication-mode power", f("%.2f W", d.CommunicationPower()), "3.04 W"},
+		[]string{"communication overhead", f("%.2f W", d.CommunicationOverhead()), "0.53 W"},
+	)
+	t.Notes = append(t.Notes,
+		"flux droop (Φ = η0·I·(1 − 0.25·I)) forces the HIGH current above 2·Ib to keep 50% duty cycling brightness-neutral — the mechanism behind the 0.53 W measured communication overhead",
+		"the 74.42 mW of the allocation model is the LED-only share of that overhead; the driver's resistor dissipates the rest")
+	return t
+}

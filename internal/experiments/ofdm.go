@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/ofdm"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+// OFDMStudy quantifies Sec. 9's "advanced hardware" outlook: with faster
+// front-ends, DCO-OFDM with adaptive QAM replaces Manchester-OOK. The study
+// measures the BER of each constellation across noise levels and reports
+// the spectral efficiency each SINR operating point of the paper's
+// deployment could sustain, against Manchester-OOK's fixed 0.5 bit/s/Hz.
+func OFDMStudy(opts Options) Table {
+	rng := stats.NewRand(opts.Seed)
+	nbits := 120000
+	if opts.Quick {
+		nbits = 20000
+	}
+
+	t := Table{
+		ID:     "Ext. OFDM",
+		Title:  "DCO-OFDM constellations vs noise (N=128, CP=16, bias 3σ)",
+		Header: []string{"noise/swing", "QPSK BER", "16-QAM BER", "64-QAM BER"},
+	}
+	modems := make([]*ofdm.Modem, 0, 3)
+	for _, bps := range []int{2, 4, 6} {
+		q, err := ofdm.NewQAM(bps)
+		if err != nil {
+			t.Notes = append(t.Notes, "qam: "+err.Error())
+			return t
+		}
+		modems = append(modems, &ofdm.Modem{N: 128, CP: 16, QAM: q})
+	}
+	for _, noise := range []float64{0.05, 0.1, 0.15, 0.2, 0.3} {
+		row := []string{f("%.2f", noise)}
+		for _, m := range modems {
+			ber, err := m.MeasureBER(rng, nbits, noise)
+			if err != nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f("%.1e", ber))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	// What the paper's own SINR operating points could carry with OFDM:
+	// Shannon-style bits per symbol at the per-RX SINRs of the κ=1.3
+	// allocation at 1.19 W, versus Manchester-OOK's 0.5 bit/s/Hz.
+	env := scenario.Default().Env(scenario.Fig7Instance(), nil)
+	s, err := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, 1.19)
+	if err == nil {
+		ev := alloc.Evaluate(env, s)
+		for i, sinr := range ev.SINR {
+			eff := math.Log2(1 + sinr)
+			t.Notes = append(t.Notes,
+				f("RX%d at SINR %.1f could sustain %.1f bit/s/Hz with adaptive OFDM vs 0.5 for Manchester-OOK (x%.0f)",
+					i+1, sinr, eff, eff/0.5))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"16-QAM OFDM at N=128/CP=16 delivers 1.75 bit/s/Hz — 3.5x Manchester-OOK — whenever BER stays in Reed–Solomon range")
+	return t
+}

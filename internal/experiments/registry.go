@@ -1,0 +1,55 @@
+package experiments
+
+// Generator produces one table/figure.
+type Generator struct {
+	Name string
+	Run  func(Options) Table
+}
+
+// All lists every experiment in paper order: each table and figure of the
+// evaluation plus the Sec. 9 extension studies.
+func All() []Generator {
+	return []Generator{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table6", Table6},
+		{"fig2", Fig02},
+		{"fig3", Fig03},
+		{"fig4", Fig04},
+		{"fig5", Fig05},
+		{"fig6", Fig06},
+		{"fig7", Fig07},
+		{"fig8", Fig08},
+		{"fig9", Fig09},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"speedup", Speedup},
+		{"frontend", FrontEndStudy},
+		{"fig12", Fig12},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"fig21", Fig21},
+		{"density", DensitySweep},
+		{"precoding", PrecodingStudy},
+		{"ofdm", OFDMStudy},
+		{"adaptation", MobilityStudy},
+		{"nlosrobustness", SyncRobustness},
+		{"blockage", BlockageAblation},
+		{"adaptivekappa", AdaptiveKappaStudy},
+		{"orientation", RXOrientationStudy},
+	}
+}
+
+// Lookup returns the generator with the given name, or false.
+func Lookup(name string) (Generator, bool) {
+	for _, g := range All() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}

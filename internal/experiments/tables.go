@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"densevlc/internal/frame"
+	"densevlc/internal/rs"
+	"densevlc/internal/scenario"
+)
+
+// Table2 maps the prototype's hardware components (Table 2) to the modules
+// that model them here.
+func Table2(Options) Table {
+	t := Table{
+		ID:     "Table 2",
+		Title:  "Hardware components and their models in this reproduction",
+		Header: []string{"role", "prototype part", "modelled by"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"TX LED", "CREE XT-E", "led.CreeXTE (Shockley I-V, Taylor power, Lambertian order)"},
+		[]string{"TX lens", "TINA FA10645 (15° half-power)", "optics.Emitter order m ≈ 20"},
+		[]string{"TX driver", "NTR4501 transistors + resistors", "driver.Design (two-branch, brightness-neutral)"},
+		[]string{"RX photodiode", "Hamamatsu S5971 (1.1 mm²)", "optics.Detector area/FOV"},
+		[]string{"RX TIA / AC amp", "OPA659 / OPA355", "dsp.ACCoupler + amplitude SNR"},
+		[]string{"RX anti-aliasing", "7th-order Butterworth", "dsp.ButterworthLowpass(7, …)"},
+		[]string{"RX ADC", "ADS7883 (12 bit, 1 Msps)", "dsp.ADC + phy sampling"},
+		[]string{"embedded computer", "BeagleBone Black (+PRU)", "mac node state machines + node runtime"},
+		[]string{"gantry", "OpenBuilds ACRO", "mobility.Waypoints / RandomWaypoint"},
+	)
+	return t
+}
+
+// Table3 prints the frame structure as implemented, next to the paper's
+// field sizes.
+func Table3(Options) Table {
+	t := Table{
+		ID:     "Table 3",
+		Title:  "Frame structure (controller → VLC TXs)",
+		Header: []string{"field", "size", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"ETH header", f("%d B", frame.EthHeaderLen), "PHY+MAC header"},
+		[]string{"TX ID mask", f("%d B", frame.TXIDLen), "8 B"},
+		[]string{"pilot signal", f("%d symbols", frame.PilotSymbols), "32 symbols"},
+		[]string{"preamble", f("%d symbols", frame.PreambleSymbols), "32 symbols"},
+		[]string{"SFD", f("%d B (0x%02X)", frame.SFDLen, frame.SFD), "1 B"},
+		[]string{"length", f("%d B", frame.LengthLen), "2 B"},
+		[]string{"dst / src / protocol", f("%d B each", frame.AddrLen), "2 B each"},
+		[]string{"payload", "x B", "x B"},
+		[]string{"Reed–Solomon", f("⌈x/%d⌉ × %d B", rs.MaxDataPerBlock, rs.ParityBytes), "⌈x/200⌉ × 16 B"},
+	)
+	t.Notes = append(t.Notes,
+		f("air length for a 200 B payload: %d B after coding", frame.AirLen(200)))
+	return t
+}
+
+// Table6 prints the experimental receiver placements.
+func Table6(Options) Table {
+	t := Table{
+		ID:     "Table 6",
+		Title:  "RX positions in the experiments (metres)",
+		Header: []string{"scenario", "RX1", "RX2", "RX3", "RX4", "character"},
+	}
+	desc := map[scenario.Scenario]string{
+		scenario.Scenario1: "interference-free, no dominating TX",
+		scenario.Scenario2: "interference, no dominating TX",
+		scenario.Scenario3: "interference, dominating TX",
+	}
+	for _, sc := range []scenario.Scenario{scenario.Scenario1, scenario.Scenario2, scenario.Scenario3} {
+		row := []string{f("%d", int(sc))}
+		for _, p := range sc.RXPositions() {
+			row = append(row, f("(%.2f, %.2f)", p.X, p.Y))
+		}
+		row = append(row, desc[sc])
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

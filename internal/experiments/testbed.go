@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+// measuredEnv builds the experimental environment of Sec. 8.2: the true
+// optical gains of the testbed geometry perturbed by M2M4-grade measurement
+// noise, mimicking "experimental channel measurements reported to the
+// controller".
+func measuredEnv(sc scenario.Scenario, seed int64) *alloc.Env {
+	set := scenario.DefaultExperimental()
+	env := set.Env(sc.RXPositions(), nil)
+	rng := stats.NewRand(seed)
+	h := channel.NewMatrix(env.N(), env.M())
+	for j := 0; j < env.N(); j++ {
+		for i := 0; i < env.M(); i++ {
+			g := env.H.Gain(j, i) * (1 + 0.02*rng.NormFloat64())
+			if g < 0 {
+				g = 0
+			}
+			h.H[j][i] = g
+		}
+	}
+	return &alloc.Env{Params: env.Params, H: h, LED: env.LED}
+}
+
+// scenarioSweep runs the Sec. 8.2 procedure: rank with each κ, activate
+// transmitters one by one, and report normalised throughput.
+func scenarioSweep(sc scenario.Scenario, opts Options) Table {
+	env := measuredEnv(sc, opts.Seed)
+	kappas := []float64{1.0, 1.2, 1.3, 1.5}
+	steps := 36
+	if opts.Quick {
+		steps = 12
+	}
+	budgets := alloc.ActivationGrid(env, steps)
+
+	t := Table{
+		Title:  f("%v: normalised system throughput vs P_C,tot (measured channels)", sc),
+		Header: []string{"P_C,tot [W]", "κ=1.0", "κ=1.2", "κ=1.3", "κ=1.5", "RX1", "RX2", "RX3", "RX4"},
+	}
+
+	// Per-κ sweeps.
+	sweeps := make(map[float64][]alloc.SweepPoint, len(kappas))
+	for _, k := range kappas {
+		pts, err := alloc.Sweep(env, alloc.Heuristic{Kappa: k}, budgets)
+		if err != nil {
+			t.Notes = append(t.Notes, "sweep error: "+err.Error())
+			return t
+		}
+		sweeps[k] = pts
+	}
+	norms := make(map[float64][]float64, len(kappas))
+	for _, k := range kappas {
+		norms[k] = alloc.NormalizeSystem(sweeps[k])
+	}
+
+	// Per-RX normalised throughput under κ = 1.3.
+	ref := sweeps[1.3]
+	maxRX := make([]float64, env.M())
+	for _, p := range ref {
+		for i, tp := range p.Throughput {
+			if tp > maxRX[i] {
+				maxRX[i] = tp
+			}
+		}
+	}
+
+	for idx := range budgets {
+		row := []string{f("%.2f", budgets[idx])}
+		for _, k := range kappas {
+			row = append(row, f("%.2f", norms[k][idx]))
+		}
+		for i := 0; i < env.M(); i++ {
+			v := 0.0
+			if maxRX[i] > 0 {
+				v = ref[idx].Throughput[i] / maxRX[i]
+			}
+			row = append(row, f("%.2f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig18 reproduces Scenario 1 (interference-free, no dominating TX).
+func Fig18(opts Options) Table {
+	t := scenarioSweep(scenario.Scenario1, opts)
+	t.ID = "Fig. 18"
+	t.Notes = append(t.Notes,
+		"paper: assigning a TX to one RX causes no drop at the others (interference-free); κ values perform similarly, κ=1.0 slightly worse")
+	return t
+}
+
+// Fig19 reproduces Scenario 2 (interference, no dominating TX — the Fig. 7
+// placement).
+func Fig19(opts Options) Table {
+	t := scenarioSweep(scenario.Scenario2, opts)
+	t.ID = "Fig. 19"
+	t.Notes = append(t.Notes,
+		"paper: RX1 falls behind at higher budgets (closest to the interfering TXs); κ=1.0 weak at low budget; κ=1.3 good throughout")
+	return t
+}
+
+// Fig20 reproduces Scenario 3 (interference with a dominating TX: each RX
+// exactly under a transmitter).
+func Fig20(opts Options) Table {
+	t := scenarioSweep(scenario.Scenario3, opts)
+	t.ID = "Fig. 20"
+	t.Notes = append(t.Notes,
+		"paper: like scenario 2 but RX1 now comparable to the others; system throughput dips when many TXs are assigned (interference)")
+	return t
+}
+
+// Fig21 reproduces the power-efficiency comparison: DenseVLC (κ=1.3)
+// against the SISO and D-MISO baselines on Scenario 2. The paper reports
+// DenseVLC matching D-MISO's throughput at 1.19 W versus D-MISO's 2.68 W
+// (2.3x power efficiency) and beating SISO's throughput by 45% there.
+func Fig21(opts Options) Table {
+	env := measuredEnv(scenario.Scenario2, opts.Seed)
+
+	steps := 36
+	if opts.Quick {
+		steps = 12
+	}
+	budgets := alloc.ActivationGrid(env, steps)
+	dense, err := alloc.Sweep(env, alloc.Heuristic{Kappa: 1.3}, budgets)
+	if err != nil {
+		return Table{ID: "Fig. 21", Notes: []string{"sweep error: " + err.Error()}}
+	}
+
+	siso := alloc.SISO{}
+	dmiso := alloc.DMISO{}
+	sisoPower := siso.OperatingPower(env)
+	dmisoPower := dmiso.OperatingPower(env)
+	sisoSwings, err := siso.Allocate(env, sisoPower+1e-9)
+	if err != nil {
+		return Table{ID: "Fig. 21", Notes: []string{"SISO error: " + err.Error()}}
+	}
+	dmisoSwings, err := dmiso.Allocate(env, dmisoPower+1e-9)
+	if err != nil {
+		return Table{ID: "Fig. 21", Notes: []string{"D-MISO error: " + err.Error()}}
+	}
+	sisoEval := alloc.Evaluate(env, sisoSwings)
+	dmisoEval := alloc.Evaluate(env, dmisoSwings)
+
+	// Normalise everything to the best throughput seen.
+	maxT := dmisoEval.SumThroughput
+	for _, p := range dense {
+		if p.Eval.SumThroughput > maxT {
+			maxT = p.Eval.SumThroughput
+		}
+	}
+
+	t := Table{
+		ID:     "Fig. 21",
+		Title:  "DenseVLC (κ=1.3) vs SISO and D-MISO (scenario 2)",
+		Header: []string{"policy", "P_C,tot [W]", "normalised throughput"},
+	}
+	for _, p := range dense {
+		t.Rows = append(t.Rows, []string{
+			"DenseVLC", f("%.2f", p.Eval.CommPower), f("%.2f", p.Eval.SumThroughput/maxT),
+		})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"SISO", f("%.3f", sisoEval.CommPower), f("%.2f", sisoEval.SumThroughput/maxT)},
+		[]string{"D-MISO", f("%.2f", dmisoEval.CommPower), f("%.2f", dmisoEval.SumThroughput/maxT)},
+	)
+
+	// Headline metrics: the budget where DenseVLC first matches D-MISO's
+	// throughput, the implied power-efficiency gain, and the throughput
+	// gain over SISO at that operating point.
+	match := -1.0
+	var matchT float64
+	for _, p := range dense {
+		if p.Eval.SumThroughput >= dmisoEval.SumThroughput {
+			match = p.Eval.CommPower
+			matchT = p.Eval.SumThroughput
+			break
+		}
+	}
+	if match > 0 {
+		t.Notes = append(t.Notes,
+			f("DenseVLC reaches D-MISO's throughput at %.2f W vs %.2f W → power efficiency x%.1f (paper: 1.19 W vs 2.68 W, x2.3)",
+				match, dmisoEval.CommPower, dmisoEval.CommPower/match),
+			f("throughput gain over SISO at that point: +%.0f%% (paper: +45%%)",
+				100*(matchT-sisoEval.SumThroughput)/sisoEval.SumThroughput))
+	} else {
+		best := dense[len(dense)-1]
+		t.Notes = append(t.Notes,
+			f("DenseVLC peaks at %.2f of D-MISO's throughput within the sweep (D-MISO at %.2f W)",
+				best.Eval.SumThroughput/dmisoEval.SumThroughput, dmisoEval.CommPower))
+	}
+	t.Notes = append(t.Notes,
+		f("SISO operating point: %.0f mW (paper: 298 mW)", 1000*sisoEval.CommPower))
+	return t
+}

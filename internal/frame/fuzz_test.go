@@ -1,0 +1,65 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeDownlink feeds arbitrary bytes to the wire-frame parser: it
+// must never panic, and anything it accepts must re-serialise to an
+// equivalent frame (parse→build→parse fixed point).
+func FuzzDecodeDownlink(f *testing.F) {
+	good, _ := Downlink{
+		Eth: Eth{EtherType: EtherTypeVLC},
+		PHY: PHY{TXIDMask: MaskOf(7, 9)},
+		MAC: MAC{Dst: 1, Src: 2, Protocol: 3, Payload: []byte("seed payload")},
+	}.Serialize()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x7E}, 64))
+	f.Add(good[:len(good)-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, corrected, err := DecodeDownlink(data)
+		if err != nil {
+			return
+		}
+		if corrected < 0 {
+			t.Fatalf("negative correction count %d", corrected)
+		}
+		wire, err := d.Serialize()
+		if err != nil {
+			t.Fatalf("accepted frame does not re-serialise: %v", err)
+		}
+		d2, _, err := DecodeDownlink(wire)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if d2.Eth != d.Eth || d2.PHY != d.PHY ||
+			d2.MAC.Dst != d.MAC.Dst || d2.MAC.Src != d.MAC.Src ||
+			d2.MAC.Protocol != d.MAC.Protocol ||
+			!bytes.Equal(d2.MAC.Payload, d.MAC.Payload) {
+			t.Fatal("round trip not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodeMAC exercises the air-frame parser alone.
+func FuzzDecodeMAC(f *testing.F) {
+	raw, _ := SerializeMAC(MAC{Dst: 1, Src: 2, Protocol: 3, Payload: []byte("x")})
+	f.Add(raw)
+	f.Add([]byte{SFD})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, corrected, consumed, err := DecodeMAC(data)
+		if err != nil {
+			return
+		}
+		if consumed > len(data) || consumed < MACHeaderLen {
+			t.Fatalf("consumed %d of %d", consumed, len(data))
+		}
+		if corrected < 0 || len(m.Payload) > MaxPayload {
+			t.Fatalf("implausible decode: corrected=%d len=%d", corrected, len(m.Payload))
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Package geom provides the small amount of 3-D geometry DenseVLC needs:
+// vectors, points, and the room/grid layout of transmitters and receivers.
+//
+// Coordinates follow the paper's convention: x and y span the floor plane,
+// z points up. Transmitters sit on the ceiling facing straight down (normal
+// -z unless tilted); receivers sit on the floor or a table facing up
+// (normal +z unless tilted).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a 3-D vector (or point) in metres.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec.
+func V(x, y, z float64) Vec { return Vec{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec) Scale(s float64) Vec { return Vec{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v . w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec) Cross(w Vec) Vec {
+	return Vec{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec) Norm2() float64 { return v.Dot(v) }
+
+// Unit returns v normalised to unit length. The zero vector is returned
+// unchanged so callers never divide by zero; angle computations treat a zero
+// direction as "no line of sight".
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return Vec{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between points v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// IsZero reports whether all components are exactly zero.
+func (v Vec) IsZero() bool { return v == Vec{} }
+
+// String implements fmt.Stringer.
+func (v Vec) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// AngleBetween returns the angle in radians between v and w, in [0, pi].
+// If either vector is zero the angle is reported as pi/2 (orthogonal), which
+// in optical-gain terms means zero gain contribution.
+func AngleBetween(v, w Vec) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return math.Pi / 2
+	}
+	c := v.Dot(w) / (nv * nw)
+	// Clamp against floating-point drift before acos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

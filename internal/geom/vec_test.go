@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecArithmetic(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		c := a.Cross(b)
+		// The cross product is orthogonal to both inputs.
+		scale := a.Norm()*b.Norm() + 1
+		return almostEq(c.Dot(a)/scale, 0, 1e-9) && almostEq(c.Dot(b)/scale, 0, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: smallVecPairs}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossHandedness(t *testing.T) {
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); got != V(0, 0, 1) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestNormAndUnit(t *testing.T) {
+	v := V(3, 4, 0)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if v.Norm2() != 25 {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	u := v.Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if !(Vec{}).Unit().IsZero() {
+		t.Error("Unit of zero vector should stay zero")
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := V(0, 0, 0).Dist(V(1, 1, 1)); !almostEq(d, math.Sqrt(3), 1e-12) {
+		t.Errorf("Dist = %v", d)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want float64
+	}{
+		{V(1, 0, 0), V(1, 0, 0), 0},
+		{V(1, 0, 0), V(0, 1, 0), math.Pi / 2},
+		{V(1, 0, 0), V(-1, 0, 0), math.Pi},
+		{V(1, 0, 0), V(1, 1, 0), math.Pi / 4},
+		{Vec{}, V(1, 0, 0), math.Pi / 2}, // degenerate input → orthogonal
+	}
+	for _, c := range cases {
+		if got := AngleBetween(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("AngleBetween(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleBetweenNoNaNOnNearParallel(t *testing.T) {
+	// Floating-point drift can push the cosine slightly above 1; the clamp
+	// must keep acos defined.
+	a := V(1, 1e-16, 0)
+	b := V(1, 0, 0)
+	if got := AngleBetween(a, b); math.IsNaN(got) {
+		t.Error("AngleBetween returned NaN on near-parallel vectors")
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	f := func(deg float64) bool {
+		d := math.Mod(deg, 360)
+		return almostEq(Deg(Rad(d)), d, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

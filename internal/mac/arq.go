@@ -1,0 +1,109 @@
+package mac
+
+// ARQ tracks outstanding data frames for the controller's retransmission
+// logic: the prototype's receivers acknowledge over the WiFi uplink
+// (Sec. 7.2), and unacknowledged frames are resent until an attempt budget
+// runs out. The type is a pure bookkeeping state machine; timing lives with
+// the caller.
+type ARQ struct {
+	maxAttempts int
+	pending     map[uint16]PendingFrame
+	failed      int
+	delivered   int
+}
+
+// PendingFrame is one unacknowledged data frame.
+type PendingFrame struct {
+	// Seq is the frame's sequence number, kept across retransmissions so
+	// receivers can deduplicate.
+	Seq      uint16
+	RX       int
+	Payload  []byte
+	Attempts int
+}
+
+// NewARQ builds a tracker allowing maxAttempts transmissions per frame
+// (minimum 1).
+func NewARQ(maxAttempts int) *ARQ {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	return &ARQ{maxAttempts: maxAttempts, pending: map[uint16]PendingFrame{}}
+}
+
+// Track registers a transmission attempt under its sequence number.
+// attempts carries over the frame's previous tries (0 for a fresh frame).
+func (a *ARQ) Track(seq uint16, rx int, payload []byte, attempts int) {
+	a.pending[seq] = PendingFrame{Seq: seq, RX: rx, Payload: payload, Attempts: attempts + 1}
+}
+
+// Ack resolves a sequence number. It reports whether the frame was
+// outstanding (duplicate ACKs return false).
+func (a *ARQ) Ack(seq uint16) bool {
+	if _, ok := a.pending[seq]; !ok {
+		return false
+	}
+	delete(a.pending, seq)
+	a.delivered++
+	return true
+}
+
+// TakeRetryable removes and returns the outstanding frames that still have
+// attempts left; frames whose budget is exhausted are counted as failed and
+// dropped. Callers re-send the returned frames under their ORIGINAL
+// sequence numbers (so receivers deduplicate) and Track them again.
+func (a *ARQ) TakeRetryable() []PendingFrame {
+	var out []PendingFrame
+	for seq, p := range a.pending {
+		delete(a.pending, seq)
+		if p.Attempts >= a.maxAttempts {
+			a.failed++
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Outstanding returns the number of unresolved frames.
+func (a *ARQ) Outstanding() int { return len(a.pending) }
+
+// Delivered returns the number of acknowledged frames.
+func (a *ARQ) Delivered() int { return a.delivered }
+
+// Failed returns the number of frames that exhausted their attempt budget.
+func (a *ARQ) Failed() int { return a.failed }
+
+// DedupWindow remembers recently seen sequence numbers so receivers drop
+// duplicate deliveries caused by retransmissions crossing with delayed
+// ACKs. It keeps a bounded FIFO of the last Size entries.
+type DedupWindow struct {
+	size  int
+	seen  map[uint16]bool
+	order []uint16
+}
+
+// NewDedupWindow builds a window remembering the last size sequence
+// numbers (minimum 1).
+func NewDedupWindow(size int) *DedupWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &DedupWindow{size: size, seen: map[uint16]bool{}}
+}
+
+// Check reports whether seq is fresh and records it. A repeated sequence
+// number returns false.
+func (d *DedupWindow) Check(seq uint16) bool {
+	if d.seen[seq] {
+		return false
+	}
+	d.seen[seq] = true
+	d.order = append(d.order, seq)
+	if len(d.order) > d.size {
+		old := d.order[0]
+		d.order = d.order[1:]
+		delete(d.seen, old)
+	}
+	return true
+}

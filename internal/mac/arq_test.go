@@ -1,0 +1,112 @@
+package mac
+
+import (
+	"testing"
+
+	"densevlc/internal/frame"
+)
+
+func TestARQLifecycle(t *testing.T) {
+	a := NewARQ(2)
+	a.Track(1, 0, []byte("x"), 0)
+	a.Track(2, 1, []byte("y"), 0)
+	if a.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+	if !a.Ack(1) {
+		t.Error("first ack should resolve")
+	}
+	if a.Ack(1) {
+		t.Error("duplicate ack should report false")
+	}
+	if a.Delivered() != 1 {
+		t.Errorf("delivered = %d", a.Delivered())
+	}
+
+	// Seq 2 has one attempt: still retryable.
+	retry := a.TakeRetryable()
+	if len(retry) != 1 || retry[0].RX != 1 || string(retry[0].Payload) != "y" {
+		t.Fatalf("retryable = %+v", retry)
+	}
+	if a.Outstanding() != 0 {
+		t.Error("TakeRetryable must drain")
+	}
+
+	// Second attempt exhausts the budget.
+	a.Track(3, 1, retry[0].Payload, retry[0].Attempts)
+	if got := a.TakeRetryable(); len(got) != 0 {
+		t.Errorf("exhausted frame retried: %+v", got)
+	}
+	if a.Failed() != 1 {
+		t.Errorf("failed = %d", a.Failed())
+	}
+}
+
+func TestARQMinimumAttempts(t *testing.T) {
+	a := NewARQ(0) // clamps to 1
+	a.Track(1, 0, nil, 0)
+	if got := a.TakeRetryable(); len(got) != 0 {
+		t.Error("single-attempt ARQ must not retry")
+	}
+	if a.Failed() != 1 {
+		t.Error("frame should fail immediately")
+	}
+}
+
+func TestDedupWindow(t *testing.T) {
+	d := NewDedupWindow(2)
+	if !d.Check(1) || !d.Check(2) {
+		t.Fatal("fresh sequences rejected")
+	}
+	if d.Check(1) {
+		t.Error("duplicate accepted inside the window")
+	}
+	// Push 1 out of the 2-entry window.
+	if !d.Check(3) {
+		t.Fatal("fresh sequence rejected")
+	}
+	if !d.Check(1) {
+		t.Error("evicted sequence should read as fresh again")
+	}
+	// Size clamps to 1.
+	tiny := NewDedupWindow(0)
+	if !tiny.Check(9) || tiny.Check(9) {
+		t.Error("size-1 window broken")
+	}
+}
+
+func TestRXNodeDeduplicatesRetransmissions(t *testing.T) {
+	r := NewRXNode(1, 4)
+	m := frame.MAC{Protocol: ProtoData, Dst: RXAddr(1), Payload: []byte{0, 7, 'h', 'i'}}
+
+	payload, _, ok := r.HandleData(m)
+	if !ok || string(payload) != "hi" {
+		t.Fatalf("first delivery: ok=%v payload=%q", ok, payload)
+	}
+	// The retransmission is acknowledged but not delivered again.
+	payload2, ack, ok := r.HandleData(m)
+	if !ok {
+		t.Fatal("duplicate should still be handled (for the ACK)")
+	}
+	if payload2 != nil {
+		t.Errorf("duplicate delivered payload %q", payload2)
+	}
+	if ack.Protocol != ProtoAck {
+		t.Error("duplicate must still produce an ACK")
+	}
+	// A different sequence number is fresh.
+	m2 := frame.MAC{Protocol: ProtoData, Dst: RXAddr(1), Payload: []byte{0, 8, 'y', 'o'}}
+	payload3, _, ok := r.HandleData(m2)
+	if !ok || string(payload3) != "yo" {
+		t.Errorf("new frame: ok=%v payload=%q", ok, payload3)
+	}
+}
+
+func TestRXNodeEmptyPayloadStillDelivered(t *testing.T) {
+	r := NewRXNode(0, 1)
+	m := frame.MAC{Protocol: ProtoData, Dst: RXAddr(0), Payload: []byte{0, 1}}
+	payload, _, ok := r.HandleData(m)
+	if !ok || payload == nil || len(payload) != 0 {
+		t.Errorf("empty data frame: ok=%v payload=%v", ok, payload)
+	}
+}

@@ -1,0 +1,249 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/frame"
+	"densevlc/internal/led"
+)
+
+// Controller hosts DenseVLC's decision logic (Sec. 3.2): it ingests channel
+// reports, recomputes the swing allocation with the configured policy, and
+// produces the allocation commands and data frames the transmitters act on.
+//
+// The controller is a pure state machine: feed it uplink messages with
+// HandleUplink, ask for decisions with Reallocate, and build wire frames
+// with DataFrame / AllocationFrame. Time and transport live outside.
+type Controller struct {
+	N, M   int
+	Policy alloc.Policy
+	Budget float64
+	Params channel.Params
+	LED    led.Model
+
+	gains   [][]float64 // gains[tx][rx], latest reports
+	fresh   []bool      // fresh[rx]: a report arrived since last Reallocate
+	seq     uint16
+	acked   map[uint16]bool
+	current Plan
+}
+
+// Plan is the controller's current operating decision.
+type Plan struct {
+	// Swings is the commanded swing matrix.
+	Swings channel.Swings
+	// ServedBy[rx] lists the transmitters of rx's beamspot.
+	ServedBy [][]int
+	// Leader[rx] is the beamspot's leading TX (pilot emitter), or -1.
+	Leader []int
+	// Seq identifies the allocation epoch.
+	Seq uint16
+}
+
+// NewController builds a controller for n transmitters and m receivers.
+func NewController(n, m int, policy alloc.Policy, budget float64, params channel.Params, ledModel led.Model) *Controller {
+	g := make([][]float64, n)
+	for j := range g {
+		g[j] = make([]float64, m)
+	}
+	return &Controller{
+		N: n, M: m,
+		Policy: policy, Budget: budget,
+		Params: params, LED: ledModel,
+		gains: g,
+		fresh: make([]bool, m),
+		acked: make(map[uint16]bool),
+	}
+}
+
+// HandleUplink ingests one uplink MAC frame (report or ack).
+func (c *Controller) HandleUplink(m frame.MAC) error {
+	switch m.Protocol {
+	case ProtoReport:
+		rep, err := DecodeReport(m.Payload)
+		if err != nil {
+			return err
+		}
+		if rep.RX < 0 || rep.RX >= c.M {
+			return fmt.Errorf("mac: report from unknown RX %d", rep.RX)
+		}
+		if len(rep.Gains) != c.N {
+			return fmt.Errorf("mac: report carries %d gains, want %d", len(rep.Gains), c.N)
+		}
+		for j, g := range rep.Gains {
+			c.gains[j][rep.RX] = g
+		}
+		c.fresh[rep.RX] = true
+		return nil
+	case ProtoAck:
+		ack, err := DecodeAck(m.Payload)
+		if err != nil {
+			return err
+		}
+		c.acked[ack.Seq] = true
+		return nil
+	default:
+		return fmt.Errorf("mac: unexpected uplink protocol 0x%04x", m.Protocol)
+	}
+}
+
+// HaveFreshReports reports whether every receiver has reported since the
+// last reallocation.
+func (c *Controller) HaveFreshReports() bool {
+	for _, f := range c.fresh {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Acked reports whether the data frame with the given sequence number was
+// acknowledged.
+func (c *Controller) Acked(seq uint16) bool { return c.acked[seq] }
+
+// Env snapshots the controller's current channel knowledge as an
+// allocation environment.
+func (c *Controller) Env() *alloc.Env {
+	h := channel.NewMatrix(c.N, c.M)
+	for j := 0; j < c.N; j++ {
+		copy(h.H[j], c.gains[j])
+	}
+	return &alloc.Env{Params: c.Params, H: h, LED: c.LED}
+}
+
+// Reallocate runs the decision logic on the latest reports and returns the
+// new plan. It clears the freshness flags so the next round's reports can
+// be awaited.
+func (c *Controller) Reallocate() (Plan, error) {
+	env := c.Env()
+	swings, err := c.Policy.Allocate(env, c.Budget)
+	if err != nil {
+		return Plan{}, err
+	}
+
+	plan := Plan{
+		Swings:   swings,
+		ServedBy: make([][]int, c.M),
+		Leader:   make([]int, c.M),
+		Seq:      c.seq,
+	}
+	c.seq++
+	for i := 0; i < c.M; i++ {
+		plan.Leader[i] = -1
+		bestGain := 0.0
+		for j := 0; j < c.N; j++ {
+			if swings[j][i] <= 0 {
+				continue
+			}
+			plan.ServedBy[i] = append(plan.ServedBy[i], j)
+			// The leading TX is the beamspot member with the best channel:
+			// its reflected pilot reaches the rest of the (nearby) spot.
+			if g := c.gains[j][i]; g > bestGain {
+				bestGain = g
+				plan.Leader[i] = j
+			}
+		}
+	}
+	for i := range c.fresh {
+		c.fresh[i] = false
+	}
+	c.current = plan
+	return plan, nil
+}
+
+// Plan returns the current plan.
+func (c *Controller) Plan() Plan { return c.current }
+
+// AllocationFrame builds the downlink frame carrying the plan to all TXs.
+func (c *Controller) AllocationFrame(plan Plan) (frame.Downlink, error) {
+	cmds := make([]TXCommand, 0, c.N)
+	for j := 0; j < c.N; j++ {
+		cmd := TXCommand{TX: j, RX: -1}
+		for i := 0; i < c.M; i++ {
+			if plan.Swings[j][i] > 0 {
+				cmd.RX = i
+				cmd.SwingMilliAmps = uint16(math.Round(plan.Swings[j][i] * 1000))
+				cmd.Leader = plan.Leader[i] == j
+				break
+			}
+		}
+		cmds = append(cmds, cmd)
+	}
+	a := Allocation{Seq: plan.Seq, Commands: cmds}
+	return frame.Downlink{
+		Eth: defaultEth(),
+		PHY: frame.PHY{TXIDMask: allTXMask(c.N)},
+		MAC: frame.MAC{Dst: BroadcastAddr, Src: ControllerAddr, Protocol: ProtoAllocation, Payload: a.Encode()},
+	}, nil
+}
+
+// DataFrame builds a downlink data frame for receiver rx, addressed to the
+// transmitters of its beamspot. The returned sequence number identifies the
+// frame for acknowledgement tracking and deduplication.
+func (c *Controller) DataFrame(plan Plan, rx int, payload []byte) (frame.Downlink, uint16, error) {
+	seq := c.seq
+	d, err := c.DataFrameWithSeq(plan, rx, payload, seq)
+	if err != nil {
+		return frame.Downlink{}, 0, err
+	}
+	c.seq++
+	return d, seq, nil
+}
+
+// DataFrameWithSeq builds a data frame under an explicit sequence number —
+// the retransmission path: a resent frame must carry its original sequence
+// number so the receiver's dedup window recognises duplicates even when the
+// first copy was merely delayed.
+func (c *Controller) DataFrameWithSeq(plan Plan, rx int, payload []byte, seq uint16) (frame.Downlink, error) {
+	if rx < 0 || rx >= c.M {
+		return frame.Downlink{}, fmt.Errorf("mac: unknown RX %d", rx)
+	}
+	if len(plan.ServedBy[rx]) == 0 {
+		return frame.Downlink{}, fmt.Errorf("mac: RX %d has no beamspot", rx)
+	}
+	d := frame.Downlink{
+		Eth: defaultEth(),
+		PHY: frame.PHY{TXIDMask: frame.MaskOf(plan.ServedBy[rx]...)},
+		MAC: frame.MAC{Dst: RXAddr(rx), Src: ControllerAddr, Protocol: ProtoData},
+	}
+	// The prototype tracks sequence numbers inside the payload; we prepend
+	// a 2-byte sequence header, which the RX strips.
+	hdr := []byte{byte(seq >> 8), byte(seq)}
+	d.MAC.Payload = append(hdr, payload...)
+	return d, nil
+}
+
+// PilotFrame builds the measurement announcement for transmitter tx: only
+// tx relays it, so the receivers' capture of this frame measures tx's
+// channel in isolation (the time-division scheme of Sec. 3.2).
+func (c *Controller) PilotFrame(tx int) (frame.Downlink, error) {
+	if tx < 0 || tx >= c.N {
+		return frame.Downlink{}, fmt.Errorf("mac: unknown TX %d", tx)
+	}
+	p := Pilot{TX: tx, Seq: c.seq}
+	c.seq++
+	return frame.Downlink{
+		Eth: defaultEth(),
+		PHY: frame.PHY{TXIDMask: frame.MaskOf(tx)},
+		MAC: frame.MAC{Dst: BroadcastAddr, Src: TXAddr(tx), Protocol: ProtoPilot, Payload: p.Encode()},
+	}, nil
+}
+
+func defaultEth() frame.Eth {
+	return frame.Eth{
+		Dst:       [6]byte{0x01, 0x00, 0x5E, 0x00, 0x00, 0x01}, // multicast group
+		Src:       [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00}, // controller
+		EtherType: frame.EtherTypeVLC,
+	}
+}
+
+func allTXMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}

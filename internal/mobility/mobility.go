@@ -1,0 +1,157 @@
+// Package mobility models receiver motion. In the testbed the receivers
+// ride OpenBuilds ACRO gantries that move them anywhere in the 3 m × 3 m
+// floor; here the same role is played by trajectory models: fixed points,
+// waypoint paths at constant speed, and bounded random waypoint motion.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"densevlc/internal/geom"
+)
+
+// Trajectory yields a receiver's xy position at a given time (seconds).
+type Trajectory interface {
+	Position(t float64) geom.Vec
+}
+
+// Static is a receiver that never moves.
+type Static struct{ Pos geom.Vec }
+
+// Position implements Trajectory.
+func (s Static) Position(float64) geom.Vec { return s.Pos }
+
+// Waypoints moves through a sequence of points at constant speed, holding
+// the final point. With Loop set it cycles back to the start instead.
+type Waypoints struct {
+	Points []geom.Vec
+	// Speed in m/s (the ACRO gantry does ~0.1–0.5 m/s comfortably).
+	Speed float64
+	Loop  bool
+}
+
+// Position implements Trajectory.
+func (w Waypoints) Position(t float64) geom.Vec {
+	if len(w.Points) == 0 {
+		return geom.Vec{}
+	}
+	if len(w.Points) == 1 || w.Speed <= 0 || t <= 0 {
+		return w.Points[0]
+	}
+
+	// Segment lengths and total path length.
+	pts := w.Points
+	if w.Loop {
+		pts = append(append([]geom.Vec(nil), pts...), pts[0])
+	}
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		total += pts[i].Dist(pts[i-1])
+	}
+	if total == 0 {
+		return pts[0]
+	}
+
+	dist := w.Speed * t
+	if w.Loop {
+		dist = math.Mod(dist, total)
+	} else if dist >= total {
+		return pts[len(pts)-1]
+	}
+
+	for i := 1; i < len(pts); i++ {
+		seg := pts[i].Dist(pts[i-1])
+		if dist <= seg {
+			if seg == 0 {
+				return pts[i]
+			}
+			f := dist / seg
+			return pts[i-1].Add(pts[i].Sub(pts[i-1]).Scale(f))
+		}
+		dist -= seg
+	}
+	return pts[len(pts)-1]
+}
+
+// Duration returns the time to traverse the full path once (infinite speed
+// guards return 0).
+func (w Waypoints) Duration() float64 {
+	if w.Speed <= 0 || len(w.Points) < 2 {
+		return 0
+	}
+	pts := w.Points
+	if w.Loop {
+		pts = append(append([]geom.Vec(nil), pts...), pts[0])
+	}
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		total += pts[i].Dist(pts[i-1])
+	}
+	return total / w.Speed
+}
+
+// RandomWaypoint is the classic random-waypoint model bounded to a region:
+// pick a uniform destination, travel at constant speed, repeat. Positions
+// are generated lazily and deterministically from the RNG, so two
+// trajectories with the same seed agree.
+type RandomWaypoint struct {
+	// Region bounds the motion (positions keep the given Z).
+	XMin, YMin, XMax, YMax float64
+	Z                      float64
+	Speed                  float64
+
+	rng     *rand.Rand
+	curTime float64
+	cur     geom.Vec
+	dst     geom.Vec
+}
+
+// NewRandomWaypoint starts the model at a uniform position in the region.
+func NewRandomWaypoint(rng *rand.Rand, xMin, yMin, xMax, yMax, z, speed float64) *RandomWaypoint {
+	r := &RandomWaypoint{
+		XMin: xMin, YMin: yMin, XMax: xMax, YMax: yMax, Z: z, Speed: speed,
+		rng: rng,
+	}
+	r.cur = r.draw()
+	r.dst = r.draw()
+	return r
+}
+
+func (r *RandomWaypoint) draw() geom.Vec {
+	return geom.V(
+		r.XMin+r.rng.Float64()*(r.XMax-r.XMin),
+		r.YMin+r.rng.Float64()*(r.YMax-r.YMin),
+		r.Z,
+	)
+}
+
+// Position implements Trajectory. Time must be non-decreasing across calls;
+// earlier times return the current position.
+func (r *RandomWaypoint) Position(t float64) geom.Vec {
+	if r.Speed <= 0 {
+		return r.cur
+	}
+	for t > r.curTime {
+		dist := r.cur.Dist(r.dst)
+		dt := t - r.curTime
+		travel := r.Speed * dt
+		if travel < dist {
+			f := travel / dist
+			r.cur = r.cur.Add(r.dst.Sub(r.cur).Scale(f))
+			r.curTime = t
+			break
+		}
+		// Arrive and pick the next destination.
+		timeToArrive := dist / r.Speed
+		r.curTime += timeToArrive
+		r.cur = r.dst
+		r.dst = r.draw()
+		if timeToArrive == 0 && r.cur == r.dst {
+			// Degenerate draw; avoid spinning.
+			r.curTime = t
+			break
+		}
+	}
+	return r.cur
+}

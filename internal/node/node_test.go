@@ -1,0 +1,238 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"densevlc/internal/clock"
+	"densevlc/internal/geom"
+	"densevlc/internal/mobility"
+	"densevlc/internal/scenario"
+	"densevlc/internal/transport"
+)
+
+func asyncTrajectories() []mobility.Trajectory {
+	var out []mobility.Trajectory
+	for _, p := range scenario.Scenario3.RXPositions() {
+		out = append(out, mobility.Static{Pos: p})
+	}
+	return out
+}
+
+func TestAsyncRunDeliversFrames(t *testing.T) {
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     asyncTrajectories(),
+		Budget:           1.19,
+		Sync:             clock.MethodNLOSVLC,
+		Rounds:           2,
+		FramesPerRX:      3,
+		MeasurementNoise: 0.02,
+		Seed:             1,
+		Timeout:          30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("%d rounds", len(res.Rounds))
+	}
+	for _, r := range res.Rounds {
+		if !r.ReportsOK {
+			t.Errorf("round %d: reports incomplete", r.Round)
+		}
+		if r.ActiveTXs == 0 {
+			t.Errorf("round %d: no active TXs", r.Round)
+		}
+		if r.FramesSent == 0 {
+			t.Errorf("round %d: nothing sent", r.Round)
+		}
+		// NLOS-synchronised beamspots deliver the vast majority of frames.
+		if r.FramesAckd < r.FramesSent*7/10 {
+			t.Errorf("round %d: only %d/%d frames acknowledged", r.Round, r.FramesAckd, r.FramesSent)
+		}
+		if r.SystemThroughput <= 0 {
+			t.Errorf("round %d: zero analytic throughput", r.Round)
+		}
+	}
+	if res.Delivered == 0 {
+		t.Error("no payloads delivered to receivers")
+	}
+}
+
+func TestAsyncRunNoSyncCollapses(t *testing.T) {
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     asyncTrajectories(),
+		Budget:           1.19,
+		Sync:             clock.MethodNone,
+		Rounds:           1,
+		FramesPerRX:      4,
+		MeasurementNoise: 0.02,
+		Seed:             2,
+		Timeout:          30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rounds[0]
+	// Without synchronisation multi-TX beamspots mostly fail on air.
+	if r.FramesAckd > r.FramesSent/2 {
+		t.Errorf("no-sync run acknowledged %d/%d frames", r.FramesAckd, r.FramesSent)
+	}
+}
+
+func TestAsyncRunOverUDP(t *testing.T) {
+	udp, err := transport.NewUDPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     asyncTrajectories(),
+		Budget:           0.6,
+		Sync:             clock.MethodNLOSVLC,
+		Rounds:           1,
+		FramesPerRX:      2,
+		MeasurementNoise: 0.02,
+		Network:          udp,
+		Seed:             3,
+		Timeout:          30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rounds[0].ReportsOK {
+		t.Error("reports incomplete over UDP")
+	}
+	if res.Rounds[0].FramesAckd == 0 {
+		t.Error("no acknowledgements over UDP")
+	}
+}
+
+func TestAsyncRunMobility(t *testing.T) {
+	traj := []mobility.Trajectory{
+		mobility.Waypoints{
+			Points: []geom.Vec{geom.V(0.75, 1.25, 0), geom.V(2.25, 1.25, 0)},
+			Speed:  0.5,
+		},
+		mobility.Static{Pos: geom.V(2.25, 2.25, 0)},
+	}
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     traj,
+		Budget:           0.9,
+		Sync:             clock.MethodNLOSVLC,
+		Rounds:           3,
+		RoundDuration:    1,
+		FramesPerRX:      2,
+		MeasurementNoise: 0.02,
+		Seed:             4,
+		Timeout:          30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every round keeps delivering while the receiver moves.
+	for _, r := range res.Rounds {
+		if r.FramesAckd == 0 {
+			t.Errorf("round %d: beamspot lost the moving receiver entirely", r.Round)
+		}
+	}
+}
+
+func TestAsyncRunErrors(t *testing.T) {
+	if _, err := Run(Config{Setup: scenario.Default()}); err == nil {
+		t.Error("no receivers accepted")
+	}
+}
+
+func TestHubSnapshotAndPositions(t *testing.T) {
+	hub := NewHub(scenario.Default(), asyncTrajectories(), nil, clock.MethodNLOSVLC, 0, 1)
+	hub.Configure(7, 0, 0.9, true)
+	h, s := hub.Snapshot()
+	if h.N != 36 || s[7][0] != 0.9 {
+		t.Errorf("snapshot: N=%d swing=%v", h.N, s[7][0])
+	}
+	// Out-of-range configure is ignored.
+	hub.Configure(99, 0, 0.9, false)
+	pos := hub.Positions()
+	if len(pos) != 4 || pos[0] != scenario.Scenario3.RXPositions()[0] {
+		t.Errorf("positions = %v", pos)
+	}
+	// Policy/params accessors.
+	if hub.Setup().Grid.N() != 36 {
+		t.Error("setup accessor")
+	}
+}
+
+func TestHubPilotDeliversToAllReceivers(t *testing.T) {
+	hub := NewHub(scenario.Default(), asyncTrajectories(), nil, clock.MethodNLOSVLC, 0, 1)
+	hub.Pilot(7)
+	for i := 0; i < 4; i++ {
+		select {
+		case ev := <-hub.PilotEvents(i):
+			if ev.TX != 7 || ev.Gain < 0 {
+				t.Errorf("RX%d event = %+v", i, ev)
+			}
+		default:
+			t.Errorf("RX%d got no pilot event", i)
+		}
+	}
+	// RX1 sits under TX8 (index 7): its gain must dominate the others'.
+	hub2 := NewHub(scenario.Default(), asyncTrajectories(), nil, clock.MethodNLOSVLC, 0, 1)
+	hub2.Pilot(7)
+	g0 := (<-hub2.PilotEvents(0)).Gain
+	g3 := (<-hub2.PilotEvents(3)).Gain
+	if g0 <= g3 {
+		t.Errorf("gain ordering wrong: %v vs %v", g0, g3)
+	}
+}
+
+func TestRxFromAddr(t *testing.T) {
+	if rxFromAddr(0x0101) != 1 {
+		t.Error("rx addr decode")
+	}
+	if rxFromAddr(0x0300) != -1 || rxFromAddr(0) != -1 {
+		t.Error("non-rx addr should give -1")
+	}
+}
+
+func TestAsyncRunARQRecoversFromUplinkLoss(t *testing.T) {
+	// Drop 30% of uplink frames (reports and ACKs): the controller's ARQ
+	// must retransmit and the dedup window must keep deliveries unique.
+	lossy := transport.NewLossyNetwork(transport.NewMemNetwork(), 0, 0.3, 11)
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     asyncTrajectories(),
+		Budget:           1.19,
+		Sync:             clock.MethodNLOSVLC,
+		Network:          lossy,
+		Rounds:           2,
+		FramesPerRX:      3,
+		MeasurementNoise: 0.02,
+		Seed:             5,
+		Timeout:          60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRetries, totalAcked, totalSent := 0, 0, 0
+	for _, r := range res.Rounds {
+		totalRetries += r.Retransmits
+		totalAcked += r.FramesAckd
+		totalSent += r.FramesSent
+	}
+	if totalRetries == 0 {
+		t.Error("30% ACK loss should force retransmissions")
+	}
+	if totalAcked == 0 {
+		t.Error("nothing delivered under moderate loss")
+	}
+	// Dedup: unique payloads delivered cannot exceed unique frames sent
+	// (sent minus retries).
+	if res.Delivered > totalSent-totalRetries {
+		t.Errorf("delivered %d exceeds unique frames %d — dedup broken",
+			res.Delivered, totalSent-totalRetries)
+	}
+}

@@ -1,0 +1,139 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/clock"
+	"densevlc/internal/mac"
+	"densevlc/internal/mobility"
+	"densevlc/internal/scenario"
+	"densevlc/internal/transport"
+)
+
+// Config wires a full asynchronous deployment.
+type Config struct {
+	Setup        scenario.Setup
+	Trajectories []mobility.Trajectory
+	Policy       alloc.Policy
+	Budget       float64
+	Sync         clock.Method
+	Blocker      channel.Blocker
+	// Network carries the control plane; nil selects in-memory. The run
+	// closes it on exit.
+	Network transport.Network
+	// Controller loop parameters.
+	Rounds        int
+	RoundDuration float64
+	FramesPerRX   int
+	// MeasurementNoise is the channel-estimate relative std.
+	MeasurementNoise float64
+	Seed             int64
+	// Timeout bounds the whole run (zero: 60 s).
+	Timeout time.Duration
+}
+
+// Result is the outcome of an asynchronous run.
+type Result struct {
+	Rounds []RoundStats
+	// Delivered counts application payloads handed to receivers.
+	Delivered int
+}
+
+// Run spawns the controller, every transmitter and every receiver as
+// goroutines over the transport, runs the configured number of rounds, and
+// shuts everything down.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Trajectories) == 0 {
+		return nil, errors.New("node: no receivers")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	n := cfg.Setup.Grid.N()
+	m := len(cfg.Trajectories)
+
+	net := cfg.Network
+	if net == nil {
+		net = transport.NewMemNetwork()
+	}
+	defer net.Close()
+
+	hub := NewHub(cfg.Setup, cfg.Trajectories, cfg.Blocker, cfg.Sync, cfg.MeasurementNoise, cfg.Seed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n+m)
+	spawn := func(f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}()
+	}
+
+	for j := 0; j < n; j++ {
+		link, err := net.NewNode()
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("node: TX %d link: %w", j, err)
+		}
+		id := j
+		spawn(func() error { return RunTX(ctx, id, link, hub) })
+	}
+
+	delivered := make(chan []byte, 1024)
+	for i := 0; i < m; i++ {
+		link, err := net.NewNode()
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("node: RX %d link: %w", i, err)
+		}
+		id := i
+		spawn(func() error { return RunRX(ctx, id, n, link, hub, delivered) })
+	}
+
+	ctrl := mac.NewController(n, m, cfg.Policy, cfg.Budget, cfg.Setup.Params, cfg.Setup.LED)
+	rounds, runErr := RunController(ctx, net.Controller(), hub, ctrl, ControllerConfig{
+		N: n, M: m,
+		Rounds:        cfg.Rounds,
+		RoundDuration: cfg.RoundDuration,
+		FramesPerRX:   cfg.FramesPerRX,
+	})
+
+	// Stop the node goroutines and collect.
+	cancel()
+	wg.Wait()
+	close(delivered)
+
+	res := &Result{Rounds: rounds}
+	for range delivered {
+		res.Delivered++
+	}
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return res, runErr
+	}
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package ofdm
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// Pilot-based per-subcarrier equalisation: the property that makes OFDM the
+// right upgrade for dispersive optical channels (diffuse reflections smear
+// symbols in time; per-carrier the channel is just one complex gain).
+//
+// The transmitter prepends one known pilot symbol; the receiver FFTs it,
+// divides by the known constellation, and equalises every following data
+// symbol carrier-by-carrier.
+
+// pilotBits returns the deterministic bit pattern of the pilot symbol.
+func (m *Modem) pilotBits() []byte {
+	bits := make([]byte, m.BitsPerSymbol())
+	// A fixed LFSR-ish pattern: scrambled, so the pilot has low PAPR.
+	state := byte(0xA5)
+	for i := range bits {
+		state = state<<1 ^ (state>>7)&1 ^ (state>>5)&1
+		bits[i] = state & 1
+	}
+	return bits
+}
+
+// ModulateWithPilot emits one known pilot symbol followed by the data
+// symbols.
+func (m *Modem) ModulateWithPilot(bitstream []byte) ([]float64, error) {
+	pilot, err := m.Modulate(m.pilotBits())
+	if err != nil {
+		return nil, err
+	}
+	data, err := m.Modulate(bitstream)
+	if err != nil {
+		return nil, err
+	}
+	return append(pilot, data...), nil
+}
+
+// ErrWeakCarrier reports a subcarrier whose estimated gain is too small to
+// equalise (a spectral null deeper than the working range).
+var ErrWeakCarrier = errors.New("ofdm: channel null on a data carrier")
+
+// DemodulateEqualized inverts ModulateWithPilot for a waveform that crossed
+// an arbitrary linear channel whose impulse response fits inside the cyclic
+// prefix: the pilot symbol yields the per-carrier frequency response, and
+// each data symbol is equalised carrier-by-carrier. nbits bounds the
+// returned payload.
+func (m *Modem) DemodulateEqualized(waveform []float64, nbits int) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	symLen := m.N + m.CP
+	if len(waveform) < symLen {
+		return nil, fmt.Errorf("ofdm: waveform of %d samples lacks the pilot symbol", len(waveform))
+	}
+	if len(waveform)%symLen != 0 {
+		return nil, fmt.Errorf("ofdm: waveform of %d samples is not a multiple of the symbol length %d", len(waveform), symLen)
+	}
+
+	// Channel estimate from the pilot.
+	ref, err := m.QAM.Modulate(m.pilotBits())
+	if err != nil {
+		return nil, err
+	}
+	freq := make([]complex128, m.N)
+	for i := 0; i < m.N; i++ {
+		freq[i] = complex(waveform[m.CP+i], 0)
+	}
+	if err := FFT(freq); err != nil {
+		return nil, err
+	}
+	h := make([]complex128, m.DataCarriers())
+	for k := range h {
+		if ref[k] == 0 {
+			return nil, ErrWeakCarrier
+		}
+		h[k] = freq[k+1] / ref[k]
+		if cmplx.Abs(h[k]) < 1e-12 {
+			return nil, ErrWeakCarrier
+		}
+	}
+
+	// Equalise the data symbols.
+	nsym := len(waveform)/symLen - 1
+	var bitsOut []byte
+	for s := 1; s <= nsym; s++ {
+		block := waveform[s*symLen:]
+		for i := 0; i < m.N; i++ {
+			freq[i] = complex(block[m.CP+i], 0)
+		}
+		if err := FFT(freq); err != nil {
+			return nil, err
+		}
+		points := make([]complex128, m.DataCarriers())
+		for k := range points {
+			points[k] = freq[k+1] / h[k]
+		}
+		bitsOut = append(bitsOut, m.QAM.Demodulate(points)...)
+	}
+	if nbits > len(bitsOut) {
+		return nil, fmt.Errorf("ofdm: requested %d bits, decoded %d", nbits, len(bitsOut))
+	}
+	return bitsOut[:nbits], nil
+}
+
+// ApplyMultipath convolves the waveform with a discrete channel impulse
+// response (taps at the sample rate) — the dispersive optical channel a
+// diffuse room presents. The output has the input's length (tail truncated).
+func ApplyMultipath(wave []float64, taps []float64) []float64 {
+	out := make([]float64, len(wave))
+	for i := range wave {
+		var acc float64
+		for t, tap := range taps {
+			if i-t < 0 {
+				break
+			}
+			acc += tap * wave[i-t]
+		}
+		out[i] = acc
+	}
+	return out
+}

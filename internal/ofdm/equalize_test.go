@@ -1,0 +1,174 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+
+	"densevlc/internal/stats"
+)
+
+func equalizeModem(t *testing.T) (*Modem, []byte) {
+	t.Helper()
+	q, err := NewQAM(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Modem{N: 128, CP: 16, QAM: q}
+	rng := stats.NewRand(12)
+	bits := make([]byte, 4*m.BitsPerSymbol())
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return m, bits
+}
+
+func TestEqualizedRoundTripFlatChannel(t *testing.T) {
+	m, bits := equalizeModem(t)
+	wave, err := m.ModulateWithPilot(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat attenuation: the pilot estimate absorbs it without being told.
+	for i := range wave {
+		wave[i] *= 1e-6
+	}
+	got, err := m.DemodulateEqualized(wave, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d flipped on a flat channel", i)
+		}
+	}
+}
+
+func TestEqualizerDefeatsMultipath(t *testing.T) {
+	// A two-tap echo inside the cyclic prefix: the flat-gain demodulator
+	// breaks, the pilot-equalised one does not — the whole point of
+	// OFDM + CP on dispersive optical channels.
+	m, bits := equalizeModem(t)
+	wave, err := m.ModulateWithPilot(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taps := []float64{1, 0, 0, 0, 0, 0, 0.6} // echo 6 samples late, inside CP=16
+	dispersed := ApplyMultipath(wave, taps)
+
+	// Flat demodulation of the data symbols (skip the pilot) must err.
+	flat, err := m.Demodulate(dispersed[m.N+m.CP:], 1, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatErrs := 0
+	for i := range bits {
+		if flat[i] != bits[i] {
+			flatErrs++
+		}
+	}
+	if flatErrs == 0 {
+		t.Fatal("multipath should corrupt flat demodulation — channel too benign to test anything")
+	}
+
+	got, err := m.DemodulateEqualized(dispersed, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("equalised bit %d flipped (flat decoder had %d errors)", i, flatErrs)
+		}
+	}
+}
+
+func TestEqualizerWithNoise(t *testing.T) {
+	m, bits := equalizeModem(t)
+	wave, err := m.ModulateWithPilot(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispersed := ApplyMultipath(wave, []float64{1, 0, 0, 0.4})
+	rng := stats.NewRand(13)
+	for i := range dispersed {
+		dispersed[i] += 0.002 * rng.NormFloat64()
+	}
+	got, err := m.DemodulateEqualized(dispersed, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs > len(bits)/50 {
+		t.Errorf("%d/%d bit errors at mild noise through multipath", errs, len(bits))
+	}
+}
+
+func TestEchoBeyondPrefixDegrades(t *testing.T) {
+	// An echo longer than the CP leaks inter-symbol interference that no
+	// single-tap equaliser can remove: errors must appear.
+	q, _ := NewQAM(6) // dense constellation: fragile to residual ISI
+	m := &Modem{N: 128, CP: 4, QAM: q}
+	rng := stats.NewRand(14)
+	bits := make([]byte, 4*m.BitsPerSymbol())
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	wave, err := m.ModulateWithPilot(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := make([]float64, 30)
+	long[0] = 1
+	long[29] = 0.8 // far outside CP=4
+	dispersed := ApplyMultipath(wave, long)
+	got, err := m.DemodulateEqualized(dispersed, len(bits))
+	if err != nil {
+		return // outright failure is an acceptable outcome
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Error("echo beyond the prefix should cause errors")
+	}
+}
+
+func TestDemodulateEqualizedErrors(t *testing.T) {
+	m, _ := equalizeModem(t)
+	if _, err := m.DemodulateEqualized(make([]float64, 10), 8); err == nil {
+		t.Error("short waveform accepted")
+	}
+	if _, err := m.DemodulateEqualized(make([]float64, (m.N+m.CP)+1), 8); err == nil {
+		t.Error("ragged waveform accepted")
+	}
+	// All-zero waveform: channel null.
+	if _, err := m.DemodulateEqualized(make([]float64, 2*(m.N+m.CP)), 8); err == nil {
+		t.Error("dead channel accepted")
+	}
+	// Requesting more bits than carried.
+	wave, _ := m.ModulateWithPilot(make([]byte, m.BitsPerSymbol()))
+	if _, err := m.DemodulateEqualized(wave, 1e6); err == nil {
+		t.Error("over-long bit request accepted")
+	}
+}
+
+func TestApplyMultipath(t *testing.T) {
+	wave := []float64{1, 0, 0, 0}
+	out := ApplyMultipath(wave, []float64{0.5, 0.25})
+	want := []float64{0.5, 0.25, 0, 0}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if len(ApplyMultipath(nil, []float64{1})) != 0 {
+		t.Error("empty input")
+	}
+}

@@ -1,0 +1,131 @@
+package optimize
+
+import "math"
+
+// NelderMead maximises f using the derivative-free Nelder–Mead simplex
+// method, with each candidate point projected onto the feasible set before
+// evaluation. It exists to cross-validate the projected-gradient solver on
+// the DenseVLC allocation problem in tests (two independent solvers landing
+// on the same optimum is strong evidence neither is wrong) and to handle
+// tiny instances where gradients vanish at the start point.
+//
+// x0 is the initial vertex; scale sets the initial simplex edge length.
+func NelderMead(f func([]float64) float64, proj Projector, x0 []float64, scale float64, maxIter int) Result {
+	n := len(x0)
+	if maxIter <= 0 {
+		maxIter = 200 * n
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	eval := func(x []float64) float64 {
+		proj.Project(x)
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(-1)
+		}
+		return v
+	}
+
+	// Build the initial simplex.
+	verts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range verts {
+		v := append([]float64(nil), x0...)
+		if i > 0 {
+			v[i-1] += scale
+		}
+		verts[i] = v
+		vals[i] = eval(v)
+	}
+
+	order := func() {
+		// Insertion sort by descending value (we maximise).
+		for i := 1; i < len(vals); i++ {
+			v, x := vals[i], verts[i]
+			j := i - 1
+			for j >= 0 && vals[j] < v {
+				vals[j+1], verts[j+1] = vals[j], verts[j]
+				j--
+			}
+			vals[j+1], verts[j+1] = v, x
+		}
+	}
+
+	centroid := make([]float64, n)
+	refl := make([]float64, n)
+	exp := make([]float64, n)
+	contr := make([]float64, n)
+
+	var it int
+	for it = 0; it < maxIter; it++ {
+		order()
+		// Convergence: spread of values across the simplex.
+		if math.Abs(vals[0]-vals[n]) < 1e-12*(math.Abs(vals[0])+1e-12) {
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j, v := range verts[i] {
+				centroid[j] += v
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+
+		worst := verts[n]
+		for j := range refl {
+			refl[j] = centroid[j] + alpha*(centroid[j]-worst[j])
+		}
+		fr := eval(refl)
+
+		switch {
+		case fr > vals[0]:
+			// Try expanding further.
+			for j := range exp {
+				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			if fe := eval(exp); fe > fr {
+				copy(verts[n], exp)
+				vals[n] = fe
+			} else {
+				copy(verts[n], refl)
+				vals[n] = fr
+			}
+		case fr > vals[n-1]:
+			copy(verts[n], refl)
+			vals[n] = fr
+		default:
+			// Contract toward the centroid.
+			for j := range contr {
+				contr[j] = centroid[j] + rho*(worst[j]-centroid[j])
+			}
+			if fc := eval(contr); fc > vals[n] {
+				copy(verts[n], contr)
+				vals[n] = fc
+			} else {
+				// Shrink every vertex toward the best.
+				for i := 1; i <= n; i++ {
+					for j := range verts[i] {
+						verts[i][j] = verts[0][j] + sigma*(verts[i][j]-verts[0][j])
+					}
+					vals[i] = eval(verts[i])
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: verts[0], Value: vals[0], Iterations: it, Converged: it < maxIter}
+}

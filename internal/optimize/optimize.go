@@ -1,0 +1,224 @@
+// Package optimize provides the nonlinear programming machinery DenseVLC
+// needs to compute the optimal power-allocation policy of Eq. (5)–(7).
+//
+// The paper solves the allocation with Matlab's fmincon; this package is the
+// from-scratch Go substitute: a projected-gradient ascent with Armijo
+// backtracking over a feasible set expressed as a projection operator, plus
+// the constraint-set projections the DenseVLC problem needs (non-negativity,
+// capped simplex per transmitter, radial power scaling). A derivative-free
+// Nelder–Mead simplex solver is included for cross-validation in tests.
+package optimize
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Objective is a differentiable function to maximise.
+type Objective interface {
+	// Value returns f(x).
+	Value(x []float64) float64
+	// Gradient writes ∇f(x) into grad (len(grad) == len(x)).
+	Gradient(x, grad []float64)
+}
+
+// Projector maps an arbitrary point onto the feasible set, in place.
+type Projector interface {
+	Project(x []float64)
+}
+
+// ProjectorFunc adapts a function to the Projector interface.
+type ProjectorFunc func(x []float64)
+
+// Project implements Projector.
+func (f ProjectorFunc) Project(x []float64) { f(x) }
+
+// Options tune the projected-gradient solver. Zero values select defaults.
+type Options struct {
+	// MaxIterations bounds the outer iterations (default 2000).
+	MaxIterations int
+	// Tolerance stops the solver when the relative objective improvement
+	// over an iteration falls below it (default 1e-9).
+	Tolerance float64
+	// InitialStep is the first trial step length (default 1).
+	InitialStep float64
+	// ArmijoC is the sufficient-increase coefficient in (0, 1) (default 1e-4).
+	ArmijoC float64
+	// Backtrack is the step shrink factor in (0, 1) (default 0.5).
+	Backtrack float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 2000
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 1
+	}
+	if o.ArmijoC <= 0 || o.ArmijoC >= 1 {
+		o.ArmijoC = 1e-4
+	}
+	if o.Backtrack <= 0 || o.Backtrack >= 1 {
+		o.Backtrack = 0.5
+	}
+	return o
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	X          []float64
+	Value      float64
+	Iterations int
+	Converged  bool
+}
+
+// ErrBadStart is returned when the starting point has a non-finite
+// objective even after projection; the caller must supply a feasible start
+// with finite value (for DenseVLC: every receiver needs nonzero signal).
+var ErrBadStart = errors.New("optimize: objective not finite at start point")
+
+// Maximize runs projected-gradient ascent with Armijo backtracking from x0.
+// The start point is projected before use. The returned Result holds the
+// best point found; Converged reports whether the tolerance was met before
+// the iteration cap.
+func Maximize(obj Objective, proj Projector, x0 []float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	proj.Project(x)
+
+	f := obj.Value(x)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return Result{X: x, Value: f}, ErrBadStart
+	}
+
+	grad := make([]float64, n)
+	trial := make([]float64, n)
+	step := opts.InitialStep
+
+	var it int
+	converged := false
+	for it = 0; it < opts.MaxIterations; it++ {
+		obj.Gradient(x, grad)
+		gnorm2 := 0.0
+		for _, g := range grad {
+			gnorm2 += g * g
+		}
+		if gnorm2 == 0 {
+			converged = true
+			break
+		}
+
+		// Backtracking line search on the projected-gradient arc.
+		improved := false
+		s := step
+		for bt := 0; bt < 60; bt++ {
+			for i := range trial {
+				trial[i] = x[i] + s*grad[i]
+			}
+			proj.Project(trial)
+			ft := obj.Value(trial)
+			if !math.IsNaN(ft) && !math.IsInf(ft, 0) {
+				// Sufficient increase measured against the actual move,
+				// which projection may have shortened.
+				move2 := 0.0
+				for i := range trial {
+					d := trial[i] - x[i]
+					move2 += d * d
+				}
+				if move2 == 0 {
+					break // projection pinned us; shrinking s won't help
+				}
+				if ft >= f+opts.ArmijoC*move2/s {
+					copy(x, trial)
+					prev := f
+					f = ft
+					improved = true
+					// Grow the step again so flat stretches stay fast.
+					step = s * 2
+					if rel(f, prev) < opts.Tolerance {
+						converged = true
+					}
+					break
+				}
+			}
+			s *= opts.Backtrack
+		}
+		if !improved {
+			converged = true
+			break
+		}
+		if converged {
+			break
+		}
+	}
+	return Result{X: x, Value: f, Iterations: it, Converged: converged}, nil
+}
+
+func rel(now, prev float64) float64 {
+	d := math.Abs(now - prev)
+	den := math.Max(math.Abs(prev), 1e-12)
+	return d / den
+}
+
+// ProjectNonNegative clamps every coordinate at zero.
+func ProjectNonNegative(x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// ProjectCappedSimplex projects x onto {y : y ≥ 0, Σ y ≤ cap} in place
+// (Euclidean projection). If the non-negative part of x already sums to at
+// most cap, only the clamp applies; otherwise the standard simplex
+// projection with threshold τ is used: y_i = max(x_i − τ, 0) with τ chosen
+// so Σ y = cap.
+func ProjectCappedSimplex(x []float64, cap float64) {
+	if cap < 0 {
+		cap = 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		if v > 0 {
+			sum += v
+		}
+	}
+	if sum <= cap {
+		ProjectNonNegative(x)
+		return
+	}
+	// Sort a copy descending to find the water-filling threshold.
+	s := append([]float64(nil), x...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	var cum, tau float64
+	for i, v := range s {
+		cum += v
+		t := (cum - cap) / float64(i+1)
+		if i+1 == len(s) || s[i+1] <= t {
+			tau = t
+			break
+		}
+	}
+	for i, v := range x {
+		v -= tau
+		if v < 0 {
+			v = 0
+		}
+		x[i] = v
+	}
+}
+
+// RadialScale scales x toward the origin by factor α in place. It restores
+// feasibility of constraints of the form g(x) ≤ c where g(αx) = α²·g(x),
+// such as DenseVLC's total-power constraint (7).
+func RadialScale(x []float64, alpha float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

@@ -1,0 +1,96 @@
+package phy
+
+import (
+	"bytes"
+	"math/rand"
+
+	"densevlc/internal/frame"
+)
+
+// PERResult summarises a packet-error-rate run (the iperf measurement of
+// Table 5).
+type PERResult struct {
+	Frames    int
+	Errors    int
+	Corrected int // total Reed–Solomon byte corrections across good frames
+	// PER is the frame error rate in [0, 1].
+	PER float64
+	// Goodput is the application throughput in bit/s given the run's
+	// payload size and per-frame cycle time (air time + ACK turnaround).
+	Goodput float64
+}
+
+// PERConfig parameterises a PER run.
+type PERConfig struct {
+	// PayloadLen is the iperf datagram size per frame (bytes).
+	PayloadLen int
+	// Frames is the number of frames to send.
+	Frames int
+	// ACKTurnaround is the dead time per frame cycle: WiFi ACK round trip
+	// plus MAC guard periods, seconds. The prototype's BeagleBone WiFi
+	// uplink measures ≈17 ms.
+	ACKTurnaround float64
+	// OffsetFn draws per-transmitter timing for each frame, or nil for
+	// perfectly aligned transmitters with ideal clocks. It is called once
+	// per frame per transmitter.
+	OffsetFn func(rng *rand.Rand, tx int) TXTiming
+}
+
+// TXTiming is the per-frame timing state of one transmitter.
+type TXTiming struct {
+	// Offset is the start-time error in seconds.
+	Offset float64
+	// Continuous marks a free-running frame stream (no common trigger).
+	Continuous bool
+	// ClockPPM is the symbol-clock frequency error in ppm.
+	ClockPPM float64
+}
+
+// MeasurePER sends cfg.Frames random-payload frames through the link with
+// the given transmitter amplitudes and per-frame offsets, and reports the
+// frame error rate and goodput.
+func (l *Link) MeasurePER(cfg PERConfig, amplitudes []float64) (PERResult, error) {
+	if cfg.PayloadLen <= 0 {
+		cfg.PayloadLen = 128
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = 100
+	}
+
+	res := PERResult{Frames: cfg.Frames}
+	payload := make([]byte, cfg.PayloadLen)
+	txs := make([]TXSignal, len(amplitudes))
+
+	for f := 0; f < cfg.Frames; f++ {
+		l.rng.Read(payload)
+		mac := frame.MAC{Dst: 1, Src: 2, Protocol: 0x0800, Payload: append([]byte(nil), payload...)}
+
+		for j := range txs {
+			txs[j] = TXSignal{Amplitude: amplitudes[j]}
+			if cfg.OffsetFn != nil {
+				tm := cfg.OffsetFn(l.rng, j)
+				txs[j].Offset = tm.Offset
+				txs[j].Continuous = tm.Continuous
+				txs[j].ClockPPM = tm.ClockPPM
+			}
+		}
+		got, corrected, err := l.TransmitReceive(mac, txs)
+		if err != nil || !bytes.Equal(got.Payload, payload) {
+			res.Errors++
+			continue
+		}
+		res.Corrected += corrected
+	}
+
+	res.PER = float64(res.Errors) / float64(res.Frames)
+
+	// Goodput: payload bits delivered per frame cycle. One cycle is the
+	// pilot + preamble + frame air time plus the ACK turnaround.
+	symbols := float64(frame.PilotSymbols + frame.PreambleSymbols + 8*frame.AirLen(cfg.PayloadLen))
+	airTime := symbols / l.cfg.SymbolRate
+	cycle := airTime + cfg.ACKTurnaround
+	if cycle > 0 {
+		res.Goodput = float64(8*cfg.PayloadLen) * (1 - res.PER) / cycle
+	}
+	return res, nil
+}

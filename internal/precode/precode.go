@@ -1,0 +1,132 @@
+// Package precode implements a zero-forcing MU-MISO precoding baseline —
+// the approach of the precoding line of work the paper compares against
+// conceptually (Sun et al., Zhang et al.; Sec. 10): instead of assigning
+// each transmitter to one receiver, every active transmitter sends a
+// weighted combination of all receivers' streams with weights chosen to
+// null inter-user interference at every photodiode.
+//
+// The precoder works in the paper's power-surrogate domain: transmitter j
+// radiates q_{j,k} = r·(I_{j,k}/2)² per receiver stream k (the quantity
+// Eq. 12 propagates through the channel), with the stream's sign carried by
+// antipodal modulation. Choosing Q = β·H⁺ makes the received mixture
+// c·(H·Q) = c·β·I — interference-free by construction. The scale β is set
+// by the communication power budget and the per-TX swing bound:
+//
+//	P_C,tot = Σ_j r·(Σ_k |I_{j,k}|/2)² = β·Σ_j (Σ_k √|W_{j,k}|)²
+//
+// Zero-forcing spends power steering nulls, so it wins where DenseVLC is
+// interference-limited and loses where it is noise-limited — the trade-off
+// the PrecodingStudy experiment quantifies.
+package precode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/linalg"
+)
+
+// Result describes a zero-forcing solution.
+type Result struct {
+	// Weights is the N×M pseudo-inverse-based precoding matrix W.
+	Weights *linalg.Matrix
+	// Beta is the power scale applied to W.
+	Beta float64
+	// SINR is the per-receiver SINR (equal across receivers under pure ZF).
+	SINR []float64
+	// Throughput is the per-receiver Shannon throughput, bit/s.
+	Throughput []float64
+	// SumThroughput is the system throughput, bit/s.
+	SumThroughput float64
+	// CommPower is the consumed communication power, W.
+	CommPower float64
+	// SwingBound reports whether the per-TX swing limit (not the budget)
+	// capped the solution.
+	SwingBound bool
+}
+
+// Errors.
+var (
+	// ErrRankDeficient reports a channel matrix whose rows are not
+	// independent (co-located receivers): ZF cannot separate the users.
+	ErrRankDeficient = errors.New("precode: channel matrix is rank deficient")
+)
+
+// ZeroForcing computes the zero-forcing solution for the environment under
+// the given communication power budget.
+func ZeroForcing(env *alloc.Env, budget float64) (Result, error) {
+	if err := env.Validate(); err != nil {
+		return Result{}, err
+	}
+	if budget < 0 {
+		return Result{}, fmt.Errorf("precode: negative budget %.3f", budget)
+	}
+	n, m := env.N(), env.M()
+
+	// H as an M×N wide matrix (receivers × transmitters).
+	h := linalg.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, env.H.Gain(j, i))
+		}
+	}
+	w, err := linalg.PseudoInverse(h, 0)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrRankDeficient, err)
+	}
+
+	// Power scale: P_tot(β) = β·S with S = Σ_j (Σ_k √|W_jk|)², and the
+	// per-TX swing bound Σ_k |I_jk| = 2·√(β/r)·Σ_k √|W_jk| ≤ Isw,max.
+	r := env.Params.DynamicResistance
+	s := 0.0
+	maxRowRoot := 0.0
+	for j := 0; j < n; j++ {
+		rowRoot := 0.0
+		for k := 0; k < m; k++ {
+			rowRoot += math.Sqrt(math.Abs(w.At(j, k)))
+		}
+		s += rowRoot * rowRoot
+		if rowRoot > maxRowRoot {
+			maxRowRoot = rowRoot
+		}
+	}
+	if s == 0 {
+		return Result{}, ErrRankDeficient
+	}
+
+	beta := budget / s
+	swingBound := false
+	if maxRowRoot > 0 {
+		half := env.LED.MaxSwing / 2
+		betaCap := r * half * half / (maxRowRoot * maxRowRoot)
+		if beta > betaCap {
+			beta = betaCap
+			swingBound = true
+		}
+	}
+
+	// Interference-free reception. In Eq. 12's convention TX j's stream-k
+	// term at RX i is R·η·H_ji·q_jk with q_jk = r·(I_jk/2)²; with
+	// Q = β·W and H·W = I the mixture collapses to amplitude R·η·β for
+	// each receiver's own stream and zero for the others.
+	amp := env.Params.Responsivity * env.Params.WallPlugEfficiency * beta
+	noise := env.Params.NoisePower()
+	sinr := amp * amp / noise
+
+	res := Result{
+		Weights:    w,
+		Beta:       beta,
+		SINR:       make([]float64, m),
+		Throughput: make([]float64, m),
+		CommPower:  beta * s,
+		SwingBound: swingBound,
+	}
+	for i := 0; i < m; i++ {
+		res.SINR[i] = sinr
+		res.Throughput[i] = env.Params.Bandwidth * math.Log2(1+sinr)
+		res.SumThroughput += res.Throughput[i]
+	}
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBlock throws arbitrary blocks at the decoder: it must never
+// panic, and whatever it accepts must be a valid codeword — re-encoding the
+// returned data must reproduce a block within t byte differences of the
+// input (the corrections it claims to have made).
+func FuzzDecodeBlock(f *testing.F) {
+	enc, _ := EncodeBlock([]byte("seed data for the fuzzer"))
+	f.Add(enc)
+	f.Add(make([]byte, ParityBytes))
+	f.Add(make([]byte, MaxDataPerBlock+ParityBytes))
+
+	f.Fuzz(func(t *testing.T, block []byte) {
+		data, corrected, err := DecodeBlock(block)
+		if err != nil {
+			return
+		}
+		if corrected < 0 || corrected > MaxCorrectableErrors {
+			t.Fatalf("claimed %d corrections", corrected)
+		}
+		re, err := EncodeBlock(data)
+		if err != nil {
+			t.Fatalf("accepted data does not re-encode: %v", err)
+		}
+		if len(re) != len(block) {
+			t.Fatalf("re-encode length %d vs %d", len(re), len(block))
+		}
+		diff := 0
+		for i := range re {
+			if re[i] != block[i] {
+				diff++
+			}
+		}
+		if diff != corrected {
+			t.Fatalf("decoder claims %d corrections, codeword differs in %d bytes", corrected, diff)
+		}
+	})
+}
+
+// FuzzEncodeDecode checks the multi-block round trip for arbitrary payloads.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("short"))
+	f.Add(bytes.Repeat([]byte{0xAA}, 500))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		enc := Encode(data)
+		dec, corrected, err := Decode(enc, len(data))
+		if err != nil {
+			t.Fatalf("clean decode failed: %v", err)
+		}
+		if corrected != 0 {
+			t.Fatalf("clean decode corrected %d", corrected)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DenseVLC's frame format (Table 3) appends 16 parity bytes per payload
+// block of up to 200 bytes.
+const (
+	// ParityBytes is the number of parity bytes per block (2t).
+	ParityBytes = 16
+	// MaxDataPerBlock is the largest data block one parity group covers.
+	MaxDataPerBlock = 200
+	// MaxCorrectableErrors is t, the byte-error correction capability.
+	MaxCorrectableErrors = ParityBytes / 2
+)
+
+// Decode errors.
+var (
+	// ErrTooManyErrors reports an uncorrectable block.
+	ErrTooManyErrors = errors.New("rs: too many errors to correct")
+	// ErrBlockTooLong reports data longer than the shortened code allows.
+	ErrBlockTooLong = fmt.Errorf("rs: data block exceeds %d bytes", MaxDataPerBlock)
+)
+
+// generator is the degree-16 generator polynomial
+// g(x) = Π_{i=0}^{15} (x − α^i), coefficients high-order first. It is built
+// in init so the GF log/antilog tables (filled by gf256.go's init) are
+// ready; a package-level initializer expression would run before them.
+var generator []byte
+
+func init() { generator = buildGenerator(ParityBytes) }
+
+func buildGenerator(nparity int) []byte {
+	g := []byte{1}
+	for i := 0; i < nparity; i++ {
+		// Multiply g by (x − α^i) == (x + α^i) in GF(2⁸).
+		root := gfExp(i)
+		next := make([]byte, len(g)+1)
+		for j, c := range g {
+			next[j] ^= c // x * c
+			next[j+1] ^= gfMul(c, root)
+		}
+		g = next
+	}
+	return g
+}
+
+// EncodeBlock appends the 16 parity bytes for one data block of at most 200
+// bytes, returning data‖parity. The input is not modified.
+func EncodeBlock(data []byte) ([]byte, error) {
+	if len(data) > MaxDataPerBlock {
+		return nil, ErrBlockTooLong
+	}
+	// Systematic encoding: remainder of data·x¹⁶ divided by g(x).
+	rem := make([]byte, ParityBytes)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[ParityBytes-1] = 0
+		if factor != 0 {
+			lf := logTable[factor]
+			for j := 1; j < len(generator); j++ {
+				if generator[j] != 0 {
+					rem[j-1] ^= expTable[lf+logTable[generator[j]]]
+				}
+			}
+		}
+	}
+	out := make([]byte, 0, len(data)+ParityBytes)
+	out = append(out, data...)
+	return append(out, rem...), nil
+}
+
+// DecodeBlock corrects up to 8 byte errors in a block produced by
+// EncodeBlock (data‖16 parity bytes) and returns the data portion along
+// with the number of byte errors corrected. The input is not modified.
+func DecodeBlock(block []byte) (data []byte, corrected int, err error) {
+	if len(block) < ParityBytes {
+		return nil, 0, fmt.Errorf("rs: block of %d bytes shorter than parity", len(block))
+	}
+	if len(block) > MaxDataPerBlock+ParityBytes {
+		return nil, 0, ErrBlockTooLong
+	}
+	msg := append([]byte(nil), block...)
+
+	// Syndromes S_i = r(α^i), i = 0..15.
+	syndromes := make([]byte, ParityBytes)
+	clean := true
+	for i := range syndromes {
+		syndromes[i] = polyEval(msg, gfExp(i))
+		if syndromes[i] != 0 {
+			clean = false
+		}
+	}
+	if clean {
+		return msg[:len(msg)-ParityBytes], 0, nil
+	}
+
+	// Berlekamp–Massey: find the error-locator polynomial Λ (low-order
+	// first, Λ[0] = 1).
+	lambda := berlekampMassey(syndromes)
+	numErrors := len(lambda) - 1
+	if numErrors > MaxCorrectableErrors {
+		return nil, 0, ErrTooManyErrors
+	}
+
+	// Chien search over the shortened code's positions.
+	positions := chienSearch(lambda, len(msg))
+	if len(positions) != numErrors {
+		// Locator degree disagrees with its root count: uncorrectable.
+		return nil, 0, ErrTooManyErrors
+	}
+
+	// Forney: error magnitudes from the evaluator polynomial
+	// Ω(x) = S(x)·Λ(x) mod x^(2t).
+	omega := make([]byte, ParityBytes)
+	for i := 0; i < ParityBytes; i++ {
+		var acc byte
+		for j := 0; j <= i && j < len(lambda); j++ {
+			acc ^= gfMul(lambda[j], syndromes[i-j])
+		}
+		omega[i] = acc
+	}
+	// Λ'(x): formal derivative (odd-power terms shifted down).
+	lambdaPrime := make([]byte, 0, len(lambda)/2+1)
+	for i := 1; i < len(lambda); i += 2 {
+		lambdaPrime = append(lambdaPrime, lambda[i])
+	}
+
+	for _, pos := range positions {
+		// Error location value X = α^(n-1-pos); its inverse is the root.
+		x := gfExp(len(msg) - 1 - pos)
+		xInv := gfInv(x)
+		num := polyEvalLow(omega, xInv)
+		// Λ'(X⁻¹) evaluated over even powers: Λ' has only the shifted odd
+		// coefficients, evaluated at (X⁻¹)².
+		den := polyEvalLow(lambdaPrime, gfMul(xInv, xInv))
+		if den == 0 {
+			return nil, 0, ErrTooManyErrors
+		}
+		// Forney with first consecutive root b = 0 (syndromes S_i = r(α^i),
+		// i ≥ 0): e = X^(1-b) · Ω(X⁻¹)/Λ'(X⁻¹) = X · Ω(X⁻¹)/Λ'(X⁻¹).
+		magnitude := gfMul(x, gfDiv(num, den))
+		msg[pos] ^= magnitude
+	}
+
+	// Verify: all syndromes of the corrected word must vanish.
+	for i := 0; i < ParityBytes; i++ {
+		if polyEval(msg, gfExp(i)) != 0 {
+			return nil, 0, ErrTooManyErrors
+		}
+	}
+	return msg[:len(msg)-ParityBytes], numErrors, nil
+}
+
+// berlekampMassey returns the error-locator polynomial (low-order first)
+// for the given syndromes.
+func berlekampMassey(syndromes []byte) []byte {
+	lambda := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	var b byte = 1
+
+	for n := 0; n < len(syndromes); n++ {
+		// Discrepancy.
+		var delta byte = syndromes[n]
+		for i := 1; i <= l && i < len(lambda); i++ {
+			delta ^= gfMul(lambda[i], syndromes[n-i])
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			// Shift register too short: lengthen it.
+			tmp := append([]byte(nil), lambda...)
+			coef := gfDiv(delta, b)
+			lambda = polyAddShifted(lambda, prev, coef, m)
+			prev = tmp
+			l = n + 1 - l
+			b = delta
+			m = 1
+		} else {
+			coef := gfDiv(delta, b)
+			lambda = polyAddShifted(lambda, prev, coef, m)
+			m++
+		}
+	}
+	// Trim trailing zeros so degree == len-1.
+	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
+		lambda = lambda[:len(lambda)-1]
+	}
+	return lambda
+}
+
+// polyAddShifted returns a(x) + coef·x^shift·b(x), low-order first.
+func polyAddShifted(a, b []byte, coef byte, shift int) []byte {
+	size := len(a)
+	if len(b)+shift > size {
+		size = len(b) + shift
+	}
+	out := make([]byte, size)
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= gfMul(c, coef)
+	}
+	return out
+}
+
+// chienSearch returns the message positions (0-based from the block start)
+// whose locations are roots of the error locator.
+func chienSearch(lambda []byte, msgLen int) []int {
+	var out []int
+	for pos := 0; pos < msgLen; pos++ {
+		xInv := gfExp(-(msgLen - 1 - pos))
+		if polyEvalLow(lambda, xInv) == 0 {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// Encode splits data into blocks of at most MaxDataPerBlock bytes and
+// appends 16 parity bytes per block, implementing Table 3's
+// "⌈x/200⌉ × 16 B" Reed–Solomon field. The block structure is implicit in
+// the length, so Decode can invert it knowing only the payload length.
+func Encode(data []byte) []byte {
+	nblocks := (len(data) + MaxDataPerBlock - 1) / MaxDataPerBlock
+	if nblocks == 0 {
+		nblocks = 1 // a zero-length payload still carries one parity group
+	}
+	out := make([]byte, 0, len(data)+nblocks*ParityBytes)
+	for b := 0; b < nblocks; b++ {
+		lo := b * MaxDataPerBlock
+		hi := lo + MaxDataPerBlock
+		if hi > len(data) {
+			hi = len(data)
+		}
+		enc, err := EncodeBlock(data[lo:hi])
+		if err != nil {
+			// Unreachable: blocks are cut to MaxDataPerBlock.
+			panic(err)
+		}
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// Decode reverses Encode given the original data length, correcting up to
+// 8 byte errors per 216-byte block. It returns the recovered payload and
+// the total number of corrected byte errors.
+func Decode(encoded []byte, dataLen int) ([]byte, int, error) {
+	if dataLen < 0 {
+		return nil, 0, fmt.Errorf("rs: negative data length %d", dataLen)
+	}
+	nblocks := (dataLen + MaxDataPerBlock - 1) / MaxDataPerBlock
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	if want := dataLen + nblocks*ParityBytes; len(encoded) != want {
+		return nil, 0, fmt.Errorf("rs: encoded length %d does not match data length %d (want %d)", len(encoded), dataLen, want)
+	}
+	out := make([]byte, 0, dataLen)
+	total := 0
+	off := 0
+	for b := 0; b < nblocks; b++ {
+		dlen := MaxDataPerBlock
+		if rem := dataLen - b*MaxDataPerBlock; rem < dlen {
+			dlen = rem
+		}
+		blockLen := dlen + ParityBytes
+		data, corrected, err := DecodeBlock(encoded[off : off+blockLen])
+		if err != nil {
+			return nil, 0, fmt.Errorf("rs: block %d: %w", b, err)
+		}
+		out = append(out, data...)
+		total += corrected
+		off += blockLen
+	}
+	return out, total, nil
+}
+
+// Overhead returns the number of parity bytes Encode adds for a payload of
+// the given length: ⌈len/200⌉ · 16 (minimum one block).
+func Overhead(dataLen int) int {
+	nblocks := (dataLen + MaxDataPerBlock - 1) / MaxDataPerBlock
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	return nblocks * ParityBytes
+}

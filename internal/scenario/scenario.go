@@ -1,0 +1,190 @@
+// Package scenario encodes the paper's canonical experimental setups: the
+// 3 m × 3 m room with the 6×6 transmitter grid and Table 1 parameters, the
+// three receiver placements of Table 6, the Fig. 7 instance, and the Fig. 6
+// random-instance workload generator.
+//
+// Everything downstream — tests, experiments, examples, the live simulator —
+// builds its environment through this package so the paper's setup exists in
+// exactly one place.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/geom"
+	"densevlc/internal/led"
+	"densevlc/internal/optics"
+)
+
+// Receiver optics of Table 1 (Hamamatsu S5971 photodiode).
+const (
+	// PhotodiodeArea is A_pd in m².
+	PhotodiodeArea = 1.1e-6
+	// ReceiverFOV is Ψc in radians (90°).
+	ReceiverFOV = 1.5707963267948966
+)
+
+// Setup is the physical deployment: room, transmitter grid and device
+// models. Construct with Default or DefaultExperimental.
+type Setup struct {
+	Room geom.Room
+	Grid geom.Grid
+	LED  led.Model
+	// Params are the link-budget constants of Eq. (12).
+	Params channel.Params
+	// RXPlaneZ is the height of the receiver plane: 0.8 m (table) in the
+	// simulation setup of Sec. 4, 0 m (floor) in the testbed of Sec. 8.
+	RXPlaneZ float64
+}
+
+// Default returns the simulation setup of Sec. 4: 36 TXs in a 6×6 grid with
+// 0.5 m spacing at 2.8 m height, receivers on a 0.8 m table, Table 1
+// parameters.
+func Default() Setup {
+	m := led.CreeXTE()
+	return Setup{
+		Room:     geom.Room{Width: 3, Depth: 3, Height: 2.8},
+		Grid:     geom.CenteredGrid(geom.Room{Width: 3, Depth: 3, Height: 2.8}, 6, 6, 0.5, 2.8),
+		LED:      m,
+		Params:   paperParams(m),
+		RXPlaneZ: 0.8,
+	}
+}
+
+// DefaultExperimental returns the testbed setup of Sec. 8: the same grid at
+// 2 m height with receivers on the floor (same 2 m TX–RX plane separation
+// as the simulations).
+func DefaultExperimental() Setup {
+	m := led.CreeXTE()
+	room := geom.Room{Width: 3, Depth: 3, Height: 2}
+	return Setup{
+		Room:     room,
+		Grid:     geom.CenteredGrid(room, 6, 6, 0.5, 2),
+		LED:      m,
+		Params:   paperParams(m),
+		RXPlaneZ: 0,
+	}
+}
+
+func paperParams(m led.Model) channel.Params {
+	return channel.Params{
+		NoiseDensity:       7.02e-23, // N0, A²/Hz
+		Bandwidth:          1e6,      // B, Hz
+		Responsivity:       0.40,     // R, A/W
+		WallPlugEfficiency: m.WallPlugEfficiency,
+		DynamicResistance:  m.DynamicResistance(),
+	}
+}
+
+// Emitters returns the transmitter emitters for the grid.
+func (s Setup) Emitters() []optics.Emitter {
+	out := make([]optics.Emitter, s.Grid.N())
+	for i, p := range s.Grid.Positions() {
+		out[i] = optics.NewDownwardEmitter(p, s.LED.HalfPowerSemiAngle)
+	}
+	return out
+}
+
+// Detectors returns upward-facing receivers at the given xy positions on
+// the receiver plane.
+func (s Setup) Detectors(xy []geom.Vec) []optics.Detector {
+	out := make([]optics.Detector, len(xy))
+	for i, p := range xy {
+		out[i] = optics.NewUpwardDetector(geom.V(p.X, p.Y, s.RXPlaneZ), PhotodiodeArea, ReceiverFOV)
+	}
+	return out
+}
+
+// Env builds the allocation environment for receivers at the given xy
+// positions, optionally applying a blocker when computing gains.
+func (s Setup) Env(rx []geom.Vec, blocker channel.Blocker) *alloc.Env {
+	h := channel.BuildMatrix(s.Emitters(), s.Detectors(rx), blocker)
+	return &alloc.Env{Params: s.Params, H: h, LED: s.LED}
+}
+
+// TXPos returns the position of transmitter i (0-based; the paper's TX1 is
+// index 0).
+func (s Setup) TXPos(i int) geom.Vec { return s.Grid.Pos(i) }
+
+// Scenario identifies one of the Table 6 receiver placements.
+type Scenario int
+
+// The three experimental scenarios of Sec. 8.2.
+const (
+	// Scenario1 is interference-free with no dominating TX (2 m inter-RX
+	// spacing, receivers at cell corners).
+	Scenario1 Scenario = 1
+	// Scenario2 has interference and no dominating TX (the Fig. 7
+	// instance).
+	Scenario2 Scenario = 2
+	// Scenario3 has interference and a dominating TX (1 m spacing, each RX
+	// exactly under a TX).
+	Scenario3 Scenario = 3
+)
+
+// RXPositions returns the Table 6 receiver xy positions for the scenario.
+func (sc Scenario) RXPositions() []geom.Vec {
+	switch sc {
+	case Scenario1:
+		return []geom.Vec{
+			geom.V(0.50, 0.50, 0), geom.V(2.50, 0.50, 0),
+			geom.V(0.50, 2.50, 0), geom.V(2.50, 2.50, 0),
+		}
+	case Scenario2:
+		return []geom.Vec{
+			geom.V(0.92, 0.92, 0), geom.V(1.65, 0.65, 0),
+			geom.V(0.72, 1.93, 0), geom.V(1.99, 1.69, 0),
+		}
+	case Scenario3:
+		return []geom.Vec{
+			geom.V(0.75, 0.75, 0), geom.V(1.75, 0.75, 0),
+			geom.V(0.75, 1.75, 0), geom.V(1.75, 1.75, 0),
+		}
+	default:
+		panic(fmt.Sprintf("scenario: unknown scenario %d", int(sc)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (sc Scenario) String() string { return fmt.Sprintf("scenario %d", int(sc)) }
+
+// Fig7Instance returns the receiver positions of the illustrated instance of
+// Fig. 7, which the paper reuses as experimental Scenario 2.
+func Fig7Instance() []geom.Vec { return Scenario2.RXPositions() }
+
+// AnchorTXs are the transmitters the Fig. 6 receivers cluster around
+// (0-based indices): TX8, TX10, TX20 and TX23 of the paper, matching the
+// assignment orders reported in Sec. 4.2 (RX1's first TX is TX8, RX2's is
+// TX10).
+var AnchorTXs = []int{7, 9, 19, 22}
+
+// InstanceJitter is the radius (metres) of the uniform square jitter around
+// each anchor used when drawing Fig. 6 instances.
+const InstanceJitter = 0.30
+
+// RandomInstance draws one Fig. 6 instance: each receiver placed uniformly
+// in a square of half-width InstanceJitter around its anchor TX's ground
+// projection, clamped to the room.
+func (s Setup) RandomInstance(rng *rand.Rand) []geom.Vec {
+	out := make([]geom.Vec, len(AnchorTXs))
+	for i, tx := range AnchorTXs {
+		p := s.Grid.Pos(tx)
+		x := p.X + (rng.Float64()*2-1)*InstanceJitter
+		y := p.Y + (rng.Float64()*2-1)*InstanceJitter
+		q := s.Room.Clamp(geom.V(x, y, s.RXPlaneZ))
+		out[i] = geom.V(q.X, q.Y, 0)
+	}
+	return out
+}
+
+// RandomInstances draws n independent Fig. 6 instances.
+func (s Setup) RandomInstances(rng *rand.Rand, n int) [][]geom.Vec {
+	out := make([][]geom.Vec, n)
+	for i := range out {
+		out[i] = s.RandomInstance(rng)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/geom"
+	"densevlc/internal/stats"
+)
+
+func TestDefaultSetupMatchesTable1(t *testing.T) {
+	s := Default()
+	if s.Grid.N() != 36 {
+		t.Errorf("N = %d", s.Grid.N())
+	}
+	if s.Params.NoiseDensity != 7.02e-23 || s.Params.Bandwidth != 1e6 ||
+		s.Params.Responsivity != 0.40 || s.Params.WallPlugEfficiency != 0.40 {
+		t.Errorf("params = %+v", s.Params)
+	}
+	if s.RXPlaneZ != 0.8 {
+		t.Errorf("RX plane = %v", s.RXPlaneZ)
+	}
+	if err := s.Params.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultExperimentalHeight(t *testing.T) {
+	s := DefaultExperimental()
+	// Sec. 8: TXs at 2 m, receivers on the floor — same 2 m separation as
+	// the simulation's ceiling-to-table geometry.
+	if s.Grid.Pos(0).Z != 2 || s.RXPlaneZ != 0 {
+		t.Errorf("geometry: txZ=%v rxZ=%v", s.Grid.Pos(0).Z, s.RXPlaneZ)
+	}
+}
+
+func TestEnvConstruction(t *testing.T) {
+	s := Default()
+	env := s.Env(Scenario2.RXPositions(), nil)
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if env.N() != 36 || env.M() != 4 {
+		t.Errorf("dims %dx%d", env.N(), env.M())
+	}
+	// Every receiver must see at least its overhead TXs.
+	for i := 0; i < env.M(); i++ {
+		if env.H.BestTX(i) < 0 {
+			t.Errorf("RX%d sees nothing", i+1)
+		}
+	}
+}
+
+func TestEnvWithBlocker(t *testing.T) {
+	s := Default()
+	rx := Scenario3.RXPositions()
+	open := s.Env(rx, nil)
+	blocked := s.Env(rx, channel.DiskBlocker{Center: geom.V(0.75, 0.75, 1.5), Radius: 0.3})
+	// The blocker sits over RX1: its strongest link must be weakened or cut.
+	if blocked.H.Gain(open.H.BestTX(0), 0) >= open.H.Gain(open.H.BestTX(0), 0) {
+		t.Error("blocker had no effect on RX1's best link")
+	}
+}
+
+func TestScenarioPositions(t *testing.T) {
+	for _, sc := range []Scenario{Scenario1, Scenario2, Scenario3} {
+		ps := sc.RXPositions()
+		if len(ps) != 4 {
+			t.Fatalf("%v: %d receivers", sc, len(ps))
+		}
+		room := Default().Room
+		for i, p := range ps {
+			if !room.Contains(geom.V(p.X, p.Y, 0)) {
+				t.Errorf("%v RX%d outside room: %v", sc, i+1, p)
+			}
+		}
+	}
+	// Table 6 spot checks.
+	if p := Scenario1.RXPositions()[3]; p.X != 2.5 || p.Y != 2.5 {
+		t.Errorf("scenario 1 RX4 = %v", p)
+	}
+	if p := Scenario2.RXPositions()[0]; p.X != 0.92 || p.Y != 0.92 {
+		t.Errorf("scenario 2 RX1 = %v", p)
+	}
+	if p := Scenario3.RXPositions()[1]; p.X != 1.75 || p.Y != 0.75 {
+		t.Errorf("scenario 3 RX2 = %v", p)
+	}
+}
+
+func TestScenario3UnderTXs(t *testing.T) {
+	// Scenario 3: every RX exactly under a TX (the dominating-TX case).
+	s := Default()
+	for i, p := range Scenario3.RXPositions() {
+		nearest := s.Grid.Nearest(geom.V(p.X, p.Y, 0))
+		tx := s.Grid.Pos(nearest)
+		if math.Hypot(tx.X-p.X, tx.Y-p.Y) > 1e-12 {
+			t.Errorf("RX%d not exactly under a TX: %v vs %v", i+1, p, tx)
+		}
+	}
+}
+
+func TestUnknownScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scenario should panic")
+		}
+	}()
+	Scenario(9).RXPositions()
+}
+
+func TestRandomInstances(t *testing.T) {
+	s := Default()
+	rng := stats.NewRand(1)
+	insts := s.RandomInstances(rng, 100)
+	if len(insts) != 100 {
+		t.Fatalf("%d instances", len(insts))
+	}
+	for _, inst := range insts {
+		if len(inst) != len(AnchorTXs) {
+			t.Fatalf("instance has %d receivers", len(inst))
+		}
+		for i, p := range inst {
+			anchor := s.Grid.Pos(AnchorTXs[i])
+			if math.Abs(p.X-anchor.X) > InstanceJitter+1e-9 ||
+				math.Abs(p.Y-anchor.Y) > InstanceJitter+1e-9 {
+				t.Errorf("receiver %v strays from anchor %v", p, anchor)
+			}
+			if p.Z != 0 {
+				t.Errorf("instance positions are xy-only, got z=%v", p.Z)
+			}
+		}
+	}
+	// Determinism.
+	again := Default().RandomInstances(stats.NewRand(1), 100)
+	for i := range insts {
+		for j := range insts[i] {
+			if insts[i][j] != again[i][j] {
+				t.Fatal("instances not reproducible from the seed")
+			}
+		}
+	}
+}
+
+func TestFig7InstanceIsScenario2(t *testing.T) {
+	a, b := Fig7Instance(), Scenario2.RXPositions()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("Fig. 7 instance should equal scenario 2")
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Scenario2.String() != "scenario 2" {
+		t.Error(Scenario2.String())
+	}
+}

@@ -1,0 +1,428 @@
+// Package sim runs the full DenseVLC system in rounds, wiring the real
+// components together end to end: the controller's MAC (pilot scheduling,
+// decision logic, beamspot dispatch) talks to transmitter and receiver
+// state machines over a transport, receivers measure channels that come
+// from the optical model of the current receiver positions, and the data
+// phase scores the resulting beamspots — analytically through Eq. (12) or
+// mechanistically through the waveform PHY.
+//
+// One Run covers mobility, re-allocation and synchronisation jointly: the
+// "RXs move, the system adapts" loop the paper motivates.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/clock"
+	"densevlc/internal/frame"
+	"densevlc/internal/geom"
+	"densevlc/internal/mac"
+	"densevlc/internal/mobility"
+	"densevlc/internal/phy"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+	"densevlc/internal/transport"
+)
+
+// Config parameterises a system run.
+type Config struct {
+	// Setup is the physical deployment.
+	Setup scenario.Setup
+	// Trajectories drive the receivers (their count sets M).
+	Trajectories []mobility.Trajectory
+	// Policy and Budget configure the controller's decision logic.
+	Policy alloc.Policy
+	Budget float64
+	// Sync selects how beamspot transmitters are synchronised in the
+	// waveform data phase.
+	Sync clock.Method
+	// Rounds is the number of measure→decide→transmit rounds.
+	Rounds int
+	// RoundDuration is the wall-clock length of one round in seconds
+	// (sets how far receivers move between decisions).
+	RoundDuration float64
+	// MeasurementNoise is the relative standard deviation of the
+	// receivers' channel estimates (M2M4 estimation error; ~2% typical).
+	MeasurementNoise float64
+	// WaveformPHY enables the sample-level data phase: per-round frame
+	// error rates from actual superposition and decoding. Expensive;
+	// disabled runs score rounds analytically via Eq. (12).
+	WaveformPHY bool
+	// FramesPerRound is the number of data frames per receiver per round
+	// in the waveform data phase.
+	FramesPerRound int
+	// PayloadLen is the data frame payload in bytes.
+	PayloadLen int
+	// Blocker optionally occludes links.
+	Blocker channel.Blocker
+	// Network carries the control plane. Nil selects a fresh in-memory
+	// network; pass a transport.UDPNetwork to exercise real sockets
+	// (cmd/densevlc does). The simulator closes it when the run ends.
+	Network transport.Network
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+func (c *Config) withDefaults() error {
+	if len(c.Trajectories) == 0 {
+		return errors.New("sim: no receivers")
+	}
+	if c.Policy == nil {
+		c.Policy = alloc.Heuristic{Kappa: 1.3}
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.RoundDuration <= 0 {
+		c.RoundDuration = 1.0
+	}
+	if c.MeasurementNoise < 0 {
+		return errors.New("sim: negative measurement noise")
+	}
+	if c.FramesPerRound <= 0 {
+		c.FramesPerRound = 20
+	}
+	if c.PayloadLen <= 0 {
+		c.PayloadLen = 64
+	}
+	if c.Budget < 0 {
+		return errors.New("sim: negative budget")
+	}
+	return nil
+}
+
+// RoundMetrics records one round's outcome.
+type RoundMetrics struct {
+	Round       int
+	Time        float64
+	RXPositions []geom.Vec
+	// Eval scores the commanded allocation against the true channel.
+	Eval alloc.Evaluation
+	// PER per receiver: waveform-measured when WaveformPHY is on, the
+	// analytic channel.FramePER model otherwise.
+	PER []float64
+	// Goodput per receiver in bit/s (waveform runs only).
+	Goodput []float64
+	// ActiveTXs is the number of communicating transmitters.
+	ActiveTXs int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Rounds []RoundMetrics
+	// MeanSystemThroughput averages the analytic system throughput over
+	// rounds, bit/s.
+	MeanSystemThroughput float64
+	// MeanCommPower averages the consumed communication power, W.
+	MeanCommPower float64
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+
+	n := cfg.Setup.Grid.N()
+	m := len(cfg.Trajectories)
+	if n > 64 {
+		return nil, fmt.Errorf("sim: %d TXs exceed the 64-bit TX-ID mask", n)
+	}
+
+	// Real control-plane components over the configured transport.
+	net := cfg.Network
+	if net == nil {
+		net = transport.NewMemNetwork()
+	}
+	defer net.Close()
+	ctrlLink := net.Controller()
+
+	ctrl := mac.NewController(n, m, cfg.Policy, cfg.Budget, cfg.Setup.Params, cfg.Setup.LED)
+	txNodes := make([]*mac.TXNode, n)
+	txLinks := make([]transport.NodeLink, n)
+	for j := 0; j < n; j++ {
+		txNodes[j] = mac.NewTXNode(j)
+		link, err := net.NewNode()
+		if err != nil {
+			return nil, fmt.Errorf("sim: TX %d link: %w", j, err)
+		}
+		txLinks[j] = link
+	}
+	rxNodes := make([]*mac.RXNode, m)
+	rxLinks := make([]transport.NodeLink, m)
+	for i := 0; i < m; i++ {
+		rxNodes[i] = mac.NewRXNode(i, n)
+		link, err := net.NewNode()
+		if err != nil {
+			return nil, fmt.Errorf("sim: RX %d link: %w", i, err)
+		}
+		rxLinks[i] = link
+	}
+
+	res := &Result{}
+	emitters := cfg.Setup.Emitters()
+
+	for round := 0; round < cfg.Rounds; round++ {
+		t := float64(round) * cfg.RoundDuration
+
+		// Receiver positions for this round.
+		pos := make([]geom.Vec, m)
+		for i, traj := range cfg.Trajectories {
+			p := traj.Position(t)
+			pos[i] = geom.V(p.X, p.Y, 0)
+		}
+		dets := cfg.Setup.Detectors(pos)
+		trueH := channel.BuildMatrix(emitters, dets, cfg.Blocker)
+
+		// --- Measurement phase: pilot slots in time division. ---
+		for j := 0; j < n; j++ {
+			pf, err := ctrl.PilotFrame(j)
+			if err != nil {
+				return nil, err
+			}
+			wire, err := pf.Serialize()
+			if err != nil {
+				return nil, err
+			}
+			if err := ctrlLink.Multicast(wire); err != nil {
+				return nil, err
+			}
+			// Every TX processes the frame; only TX j enters its slot.
+			slotActive := false
+			for k := 0; k < n; k++ {
+				raw := <-txLinks[k].Downlink()
+				d, _, err := frame.DecodeDownlink(raw)
+				if err != nil {
+					return nil, fmt.Errorf("sim: TX %d decode: %w", k, err)
+				}
+				action, err := txNodes[k].HandleDownlink(d)
+				if err != nil {
+					return nil, err
+				}
+				if action == mac.TXPilotSlot && k == j {
+					slotActive = true
+				}
+			}
+			// Receivers also see the multicast on their links; drain it.
+			for i := 0; i < m; i++ {
+				<-rxLinks[i].Downlink()
+			}
+			if !slotActive {
+				return nil, fmt.Errorf("sim: TX %d never entered its pilot slot", j)
+			}
+			// Physical measurement: each RX estimates TX j's gain from the
+			// pilot with M2M4-grade noise.
+			for i := 0; i < m; i++ {
+				g := trueH.Gain(j, i)
+				if cfg.MeasurementNoise > 0 {
+					g *= 1 + cfg.MeasurementNoise*rng.NormFloat64()
+				}
+				if g < 0 {
+					g = 0
+				}
+				if err := rxNodes[i].RecordMeasurement(j, g); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Receivers report when their round completes.
+		for i := 0; i < m; i++ {
+			if !rxNodes[i].RoundComplete() {
+				return nil, fmt.Errorf("sim: RX %d round incomplete", i)
+			}
+			rep := rxNodes[i].BuildReport()
+			raw, err := frame.SerializeMAC(rep)
+			if err != nil {
+				return nil, err
+			}
+			if err := rxLinks[i].SendUplink(raw); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < m; i++ {
+			raw := <-ctrlLink.Uplink()
+			repFrame, _, _, err := frame.DecodeMAC(raw)
+			if err != nil {
+				return nil, fmt.Errorf("sim: uplink decode: %w", err)
+			}
+			if err := ctrl.HandleUplink(repFrame); err != nil {
+				return nil, err
+			}
+		}
+		if !ctrl.HaveFreshReports() {
+			return nil, errors.New("sim: controller missing reports")
+		}
+
+		// --- Decision phase. ---
+		plan, err := ctrl.Reallocate()
+		if err != nil {
+			return nil, err
+		}
+		af, err := ctrl.AllocationFrame(plan)
+		if err != nil {
+			return nil, err
+		}
+		wire, err := af.Serialize()
+		if err != nil {
+			return nil, err
+		}
+		if err := ctrlLink.Multicast(wire); err != nil {
+			return nil, err
+		}
+		for k := 0; k < n; k++ {
+			raw := <-txLinks[k].Downlink()
+			d, _, err := frame.DecodeDownlink(raw)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := txNodes[k].HandleDownlink(d); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < m; i++ {
+			<-rxLinks[i].Downlink()
+		}
+
+		// Commanded swings as the TXs understood them.
+		cmdSwings := channel.NewSwings(n, m)
+		active := 0
+		for j, node := range txNodes {
+			if node.Communicating() {
+				cmdSwings[j][node.Cmd.RX] = node.Swing()
+				active++
+			}
+		}
+
+		// --- Data phase. ---
+		trueEnv := &alloc.Env{Params: cfg.Setup.Params, H: trueH, LED: cfg.Setup.LED}
+		rm := RoundMetrics{
+			Round:       round,
+			Time:        t,
+			RXPositions: pos,
+			Eval:        alloc.Evaluate(trueEnv, cmdSwings),
+			ActiveTXs:   active,
+		}
+		if cfg.WaveformPHY {
+			per, goodput, err := dataPhase(cfg, rng, ctrl, plan, txNodes, trueH)
+			if err != nil {
+				return nil, err
+			}
+			rm.PER, rm.Goodput = per, goodput
+		} else {
+			// Fast path: the closed-form PER model at the data phase's
+			// bandwidth-time product (1 MHz noise band, 5 µs chips), and
+			// the matching goodput at the Table 5 frame cycle.
+			const bt = 5
+			rm.PER = make([]float64, m)
+			rm.Goodput = make([]float64, m)
+			symbols := float64(frame.PilotSymbols + frame.PreambleSymbols + 8*frame.AirLen(cfg.PayloadLen))
+			cycle := symbols/100e3 + 17e-3
+			for i, sinr := range rm.Eval.SINR {
+				rm.PER[i] = channel.FramePER(sinr, cfg.PayloadLen, bt)
+				rm.Goodput[i] = float64(8*cfg.PayloadLen) * (1 - rm.PER[i]) / cycle
+			}
+		}
+		res.Rounds = append(res.Rounds, rm)
+		res.MeanSystemThroughput += rm.Eval.SumThroughput
+		res.MeanCommPower += rm.Eval.CommPower
+	}
+
+	res.MeanSystemThroughput /= float64(len(res.Rounds))
+	res.MeanCommPower /= float64(len(res.Rounds))
+	return res, nil
+}
+
+// dataPhase runs the waveform-level frame exchange for each beamspot.
+func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
+	txNodes []*mac.TXNode, trueH *channel.Matrix) (per, goodput []float64, err error) {
+
+	p := cfg.Setup.Params
+	scale := p.Responsivity * p.WallPlugEfficiency * p.DynamicResistance
+	noiseStd := math.Sqrt(p.NoisePower())
+
+	m := trueH.M
+	per = make([]float64, m)
+	goodput = make([]float64, m)
+
+	for rx := 0; rx < m; rx++ {
+		if len(plan.ServedBy[rx]) == 0 {
+			per[rx] = 1
+			continue
+		}
+		link, err := phy.NewLink(phy.Config{
+			SymbolRate: 100e3,
+			SampleRate: 1e6,
+			NoiseStd:   noiseStd,
+		}, stats.SplitRand(rng))
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Amplitudes: the beamspot's members at their commanded swings,
+		// plus every other beamspot as continuous interference.
+		var amps []float64
+		var members []int
+		for _, tx := range plan.ServedBy[rx] {
+			a := scale * trueH.Gain(tx, rx) * sq(txNodes[tx].Swing()/2)
+			amps = append(amps, a)
+			members = append(members, tx)
+		}
+		var interferers []float64
+		for j, node := range txNodes {
+			if !node.Communicating() || node.Cmd.RX == rx {
+				continue
+			}
+			a := scale * trueH.Gain(j, rx) * sq(node.Swing()/2)
+			if a > 0 {
+				interferers = append(interferers, a)
+			}
+		}
+
+		leader := plan.Leader[rx]
+		all := append([]float64(nil), amps...)
+		all = append(all, interferers...)
+		cfgPER := phy.PERConfig{
+			PayloadLen:    cfg.PayloadLen,
+			Frames:        cfg.FramesPerRound,
+			ACKTurnaround: 17e-3,
+			OffsetFn: func(r *rand.Rand, idx int) phy.TXTiming {
+				ppm := 40*r.Float64() - 20 // per-board crystal tolerance
+				if idx >= len(amps) {
+					// Other beamspots free-run relative to this one.
+					return phy.TXTiming{Offset: r.Float64() * 10e-3, Continuous: true, ClockPPM: ppm}
+				}
+				tx := members[idx]
+				if tx == leader {
+					return phy.TXTiming{ClockPPM: ppm}
+				}
+				switch cfg.Sync {
+				case clock.MethodNLOSVLC:
+					// Sampling-phase quantisation at 1 Msps plus noise
+					// wobble (the vlcsync-measured ≈0.6 µs scale).
+					return phy.TXTiming{Offset: r.Float64() * 1.2e-6, ClockPPM: ppm}
+				case clock.MethodNTPPTP:
+					return phy.TXTiming{Offset: math.Abs(clock.TriggerError(r, clock.MethodNTPPTP, 100e3)), ClockPPM: ppm}
+				default:
+					// Unsynchronised boards free-run entirely.
+					return phy.TXTiming{Offset: 20e-3 * r.Float64(), Continuous: true, ClockPPM: ppm}
+				}
+			},
+		}
+		resPER, err := link.MeasurePER(cfgPER, all)
+		if err != nil {
+			return nil, nil, err
+		}
+		per[rx] = resPER.PER
+		goodput[rx] = resPER.Goodput
+	}
+	return per, goodput, nil
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/clock"
+	"densevlc/internal/geom"
+	"densevlc/internal/mobility"
+	"densevlc/internal/scenario"
+	"densevlc/internal/transport"
+)
+
+func staticTrajectories() []mobility.Trajectory {
+	var out []mobility.Trajectory
+	for _, p := range scenario.Scenario2.RXPositions() {
+		out = append(out, mobility.Static{Pos: p})
+	}
+	return out
+}
+
+func TestRunStaticScenario(t *testing.T) {
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     staticTrajectories(),
+		Policy:           alloc.Heuristic{Kappa: 1.3},
+		Budget:           0.6,
+		Rounds:           3,
+		MeasurementNoise: 0.02,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("%d rounds", len(res.Rounds))
+	}
+	for _, r := range res.Rounds {
+		if r.ActiveTXs == 0 {
+			t.Errorf("round %d: no active TXs", r.Round)
+		}
+		if r.Eval.CommPower > 0.6+1e-6 {
+			t.Errorf("round %d: power %v over budget", r.Round, r.Eval.CommPower)
+		}
+		for i, tp := range r.Eval.Throughput {
+			if tp <= 0 {
+				t.Errorf("round %d: RX%d starved", r.Round, i+1)
+			}
+		}
+	}
+	if res.MeanSystemThroughput < 1e6 {
+		t.Errorf("mean system throughput = %v, implausibly low", res.MeanSystemThroughput)
+	}
+	if res.MeanCommPower <= 0 || res.MeanCommPower > 0.6 {
+		t.Errorf("mean power = %v", res.MeanCommPower)
+	}
+	// The fast path populates the analytic PER and goodput per receiver.
+	for _, r := range res.Rounds {
+		if len(r.PER) != 4 || len(r.Goodput) != 4 {
+			t.Fatalf("fast-path PER/goodput missing: %v / %v", r.PER, r.Goodput)
+		}
+		for i, per := range r.PER {
+			if per < 0 || per > 1 {
+				t.Errorf("RX%d analytic PER = %v", i+1, per)
+			}
+			if per < 0.99 && r.Goodput[i] <= 0 {
+				t.Errorf("RX%d goodput missing at PER %v", i+1, per)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Setup:            scenario.Default(),
+		Trajectories:     staticTrajectories(),
+		Budget:           0.3,
+		Rounds:           2,
+		MeasurementNoise: 0.02,
+		Seed:             42,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanSystemThroughput != b.MeanSystemThroughput {
+		t.Error("same seed should reproduce the run")
+	}
+}
+
+func TestRunAdaptsToMobility(t *testing.T) {
+	// A receiver crossing the room forces the controller to hand its
+	// beamspot over: the serving TX set in the last round must differ
+	// from the first round's.
+	traj := []mobility.Trajectory{
+		mobility.Waypoints{
+			Points: []geom.Vec{geom.V(0.75, 0.75, 0), geom.V(2.25, 2.25, 0)},
+			Speed:  0.5,
+		},
+		mobility.Static{Pos: geom.V(2.25, 0.75, 0)},
+	}
+	res, err := Run(Config{
+		Setup:        scenario.Default(),
+		Trajectories: traj,
+		Budget:       0.3,
+		Rounds:       6,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Rounds[0]
+	last := res.Rounds[len(res.Rounds)-1]
+	if first.RXPositions[0] == last.RXPositions[0] {
+		t.Fatal("receiver did not move")
+	}
+	// Throughput must survive the move (the system re-aims the beamspot).
+	if last.Eval.Throughput[0] <= 0 {
+		t.Error("moving receiver starved after handover")
+	}
+}
+
+func TestRunWaveformPHY(t *testing.T) {
+	res, err := Run(Config{
+		Setup:            scenario.Default(),
+		Trajectories:     staticTrajectories(),
+		Budget:           0.6,
+		Rounds:           1,
+		Sync:             clock.MethodNLOSVLC,
+		WaveformPHY:      true,
+		FramesPerRound:   5,
+		PayloadLen:       32,
+		MeasurementNoise: 0.02,
+		Seed:             4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rounds[0]
+	if r.PER == nil || len(r.PER) != 4 {
+		t.Fatalf("PER = %v", r.PER)
+	}
+	for i, per := range r.PER {
+		if per < 0 || per > 1 {
+			t.Errorf("RX%d PER = %v", i+1, per)
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Setup: scenario.Default()}); err == nil {
+		t.Error("no receivers accepted")
+	}
+	if _, err := Run(Config{Setup: scenario.Default(), Trajectories: staticTrajectories(), Budget: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := Run(Config{Setup: scenario.Default(), Trajectories: staticTrajectories(), MeasurementNoise: -0.1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestRunWithBlocker(t *testing.T) {
+	// Sec. 9's blockage discussion: occluding one receiver's dominant TX
+	// degrades that receiver but the controller still serves everyone it
+	// can through unblocked links.
+	pos := scenario.Scenario3.RXPositions()
+	var traj []mobility.Trajectory
+	for _, p := range pos {
+		traj = append(traj, mobility.Static{Pos: p})
+	}
+	open, err := Run(Config{
+		Setup: scenario.Default(), Trajectories: traj,
+		Budget: 0.6, Rounds: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := Run(Config{
+		Setup: scenario.Default(), Trajectories: traj,
+		Budget: 0.6, Rounds: 1, Seed: 5,
+		Blocker: channel.DiskBlocker{Center: geom.V(0.75, 0.75, 1.5), Radius: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Rounds[0].Eval.Throughput[0] >= open.Rounds[0].Eval.Throughput[0] {
+		t.Error("blocking RX1's overhead TX should reduce its throughput")
+	}
+}
+
+func TestRunOverUDPNetwork(t *testing.T) {
+	udp, err := transport.NewUDPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Setup:        scenario.Default(),
+		Trajectories: staticTrajectories(),
+		Budget:       0.3,
+		Rounds:       1,
+		Network:      udp,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].ActiveTXs == 0 {
+		t.Error("no active TXs over UDP transport")
+	}
+}

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// LossyNetwork wraps a Network and drops a configurable fraction of frames
+// in each direction — the fault-injection vehicle for testing the MAC's
+// retransmission logic. The prototype's WiFi uplink in particular loses
+// ACKs under load; the ARQ must absorb that.
+type LossyNetwork struct {
+	inner Network
+	mu    sync.Mutex
+	rng   *rand.Rand
+	// DownlinkLoss and UplinkLoss are drop probabilities in [0, 1].
+	downlinkLoss, uplinkLoss float64
+}
+
+// NewLossyNetwork wraps inner with the given drop probabilities (clamped to
+// [0, 1]) driven by the seeded RNG.
+func NewLossyNetwork(inner Network, downlinkLoss, uplinkLoss float64, seed int64) *LossyNetwork {
+	return &LossyNetwork{
+		inner:        inner,
+		rng:          rand.New(rand.NewSource(seed)),
+		downlinkLoss: clamp01(downlinkLoss),
+		uplinkLoss:   clamp01(uplinkLoss),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func (l *LossyNetwork) drop(p float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64() < p
+}
+
+// Controller implements Network. Downlink loss applies per node (each
+// node's copy of a multicast is dropped independently, as with real
+// per-link corruption), so the controller link passes frames through.
+func (l *LossyNetwork) Controller() ControllerLink {
+	return l.inner.Controller()
+}
+
+// NewNode implements Network.
+func (l *LossyNetwork) NewNode() (NodeLink, error) {
+	n, err := l.inner.NewNode()
+	if err != nil {
+		return nil, err
+	}
+	node := &lossyNode{inner: n, net: l, down: make(chan []byte, queueSize)}
+	go node.filter()
+	return node, nil
+}
+
+// Close implements Network.
+func (l *LossyNetwork) Close() error { return l.inner.Close() }
+
+type lossyNode struct {
+	inner NodeLink
+	net   *LossyNetwork
+	down  chan []byte
+}
+
+// filter pipes the inner downlink through the drop gate; it exits (and
+// closes the filtered channel) when the inner channel closes.
+func (n *lossyNode) filter() {
+	defer close(n.down)
+	for msg := range n.inner.Downlink() {
+		if n.net.drop(n.net.downlinkLoss) {
+			continue
+		}
+		select {
+		case n.down <- msg:
+		default:
+		}
+	}
+}
+
+func (n *lossyNode) Downlink() <-chan []byte { return n.down }
+
+func (n *lossyNode) SendUplink(data []byte) error {
+	if n.net.drop(n.net.uplinkLoss) {
+		return nil
+	}
+	return n.inner.SendUplink(data)
+}
+
+func (n *lossyNode) Close() error { return n.inner.Close() }

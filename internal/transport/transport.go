@@ -1,0 +1,152 @@
+// Package transport carries DenseVLC's control-plane frames between the
+// controller and the nodes: the downlink multicast the controller sends to
+// every transmitter (Ethernet in the prototype) and the uplink reports and
+// acknowledgements the receivers send back (WiFi in the prototype).
+//
+// Two interchangeable implementations exist: an in-memory network for tests
+// and simulations, and a UDP network over the loopback interface that
+// exercises the real socket path (cmd/densevlc). Both fan the downlink out
+// to every registered node; the node's MAC (frame.PHY.TXIDMask) decides
+// relevance, exactly as with real multicast.
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed network.
+var ErrClosed = errors.New("transport: closed")
+
+// ControllerLink is the controller's side of the network.
+type ControllerLink interface {
+	// Multicast delivers a downlink frame to every node.
+	Multicast(data []byte) error
+	// Uplink yields frames sent by nodes. The channel closes when the
+	// network closes.
+	Uplink() <-chan []byte
+	io.Closer
+}
+
+// NodeLink is a transmitter's or receiver's side of the network.
+type NodeLink interface {
+	// Downlink yields controller frames. The channel closes when the
+	// network closes.
+	Downlink() <-chan []byte
+	// SendUplink delivers a frame to the controller.
+	SendUplink(data []byte) error
+	io.Closer
+}
+
+// Network is a factory for one controller link and any number of node
+// links. Both the in-memory and the UDP implementations satisfy it, so the
+// simulator can run over either.
+type Network interface {
+	Controller() ControllerLink
+	NewNode() (NodeLink, error)
+	io.Closer
+}
+
+// queueSize bounds per-link buffering; a full queue drops the frame, the
+// same failure mode as a saturated datagram socket.
+const queueSize = 256
+
+// MemNetwork is the in-memory implementation.
+type MemNetwork struct {
+	mu     sync.Mutex
+	uplink chan []byte
+	nodes  []*memNode
+	closed bool
+}
+
+// NewMemNetwork builds an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{uplink: make(chan []byte, queueSize)}
+}
+
+// Controller returns the controller link.
+func (n *MemNetwork) Controller() ControllerLink { return (*memController)(n) }
+
+// NewNode implements Network.
+func (n *MemNetwork) NewNode() (NodeLink, error) {
+	n.mu.Lock()
+	closedNow := n.closed
+	n.mu.Unlock()
+	if closedNow {
+		return nil, ErrClosed
+	}
+	return n.Node(), nil
+}
+
+// Node registers and returns a new node link.
+func (n *MemNetwork) Node() NodeLink {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := &memNode{net: n, down: make(chan []byte, queueSize)}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Close shuts the network down, closing all channels.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	close(n.uplink)
+	for _, node := range n.nodes {
+		close(node.down)
+	}
+	return nil
+}
+
+type memController MemNetwork
+
+func (c *memController) Multicast(data []byte) error {
+	n := (*MemNetwork)(c)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	for _, node := range n.nodes {
+		msg := append([]byte(nil), data...)
+		select {
+		case node.down <- msg:
+		default:
+			// Drop on overflow, like a saturated socket buffer.
+		}
+	}
+	return nil
+}
+
+func (c *memController) Uplink() <-chan []byte { return c.uplink }
+
+func (c *memController) Close() error { return (*MemNetwork)(c).Close() }
+
+type memNode struct {
+	net  *MemNetwork
+	down chan []byte
+}
+
+func (m *memNode) Downlink() <-chan []byte { return m.down }
+
+func (m *memNode) SendUplink(data []byte) error {
+	m.net.mu.Lock()
+	defer m.net.mu.Unlock()
+	if m.net.closed {
+		return ErrClosed
+	}
+	msg := append([]byte(nil), data...)
+	select {
+	case m.net.uplink <- msg:
+		return nil
+	default:
+		return nil // dropped, like UDP
+	}
+}
+
+func (m *memNode) Close() error { return nil }

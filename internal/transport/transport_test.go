@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"densevlc/internal/frame"
+)
+
+// networks under test, built fresh per case.
+type netFixture struct {
+	name string
+	ctrl ControllerLink
+	a, b NodeLink
+	done func()
+}
+
+func fixtures(t *testing.T) []netFixture {
+	t.Helper()
+	mem := NewMemNetwork()
+	udp, err := NewUDPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpA, err := udp.Node()
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpB, err := udp.Node()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []netFixture{
+		{"mem", mem.Controller(), mem.Node(), mem.Node(), func() { mem.Close() }},
+		{"udp", udp.Controller(), udpA, udpB, func() { udp.Close() }},
+	}
+}
+
+func recvWithin(t *testing.T, ch <-chan []byte, d time.Duration) []byte {
+	t.Helper()
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return msg
+	case <-time.After(d):
+		t.Fatal("timed out waiting for frame")
+		return nil
+	}
+}
+
+func TestMulticastReachesAllNodes(t *testing.T) {
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			defer fx.done()
+			payload := []byte("beamspot update")
+			if err := fx.ctrl.Multicast(payload); err != nil {
+				t.Fatal(err)
+			}
+			for _, node := range []NodeLink{fx.a, fx.b} {
+				got := recvWithin(t, node.Downlink(), time.Second)
+				if !bytes.Equal(got, payload) {
+					t.Errorf("got %q", got)
+				}
+			}
+		})
+	}
+}
+
+func TestUplinkReachesController(t *testing.T) {
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			defer fx.done()
+			if err := fx.a.SendUplink([]byte("report-a")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fx.b.SendUplink([]byte("report-b")); err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]bool{}
+			for i := 0; i < 2; i++ {
+				got[string(recvWithin(t, fx.ctrl.Uplink(), time.Second))] = true
+			}
+			if !got["report-a"] || !got["report-b"] {
+				t.Errorf("uplinks = %v", got)
+			}
+		})
+	}
+}
+
+func TestRealFrameOverBothTransports(t *testing.T) {
+	// End-to-end: a real Table 3 downlink survives each transport.
+	d := frame.Downlink{
+		Eth: frame.Eth{EtherType: frame.EtherTypeVLC},
+		PHY: frame.PHY{TXIDMask: frame.MaskOf(7, 9)},
+		MAC: frame.MAC{Dst: 0x0101, Src: 0, Protocol: 1, Payload: []byte("data over the bus")},
+	}
+	wire, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			defer fx.done()
+			if err := fx.ctrl.Multicast(wire); err != nil {
+				t.Fatal(err)
+			}
+			got := recvWithin(t, fx.a.Downlink(), time.Second)
+			decoded, _, err := frame.DecodeDownlink(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(decoded.MAC.Payload, d.MAC.Payload) {
+				t.Error("payload mismatch after transport")
+			}
+		})
+	}
+}
+
+func TestIsolationBetweenDirections(t *testing.T) {
+	// Uplink traffic must not appear on downlinks and vice versa.
+	mem := NewMemNetwork()
+	defer mem.Close()
+	ctrl := mem.Controller()
+	node := mem.Node()
+	if err := node.SendUplink([]byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-node.Downlink():
+		t.Errorf("uplink leaked to downlink: %q", msg)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := ctrl.Multicast([]byte("down")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithin(t, ctrl.Uplink(), time.Second)
+	if string(got) != "up" {
+		t.Errorf("uplink = %q", got)
+	}
+}
+
+func TestClosedNetworkErrors(t *testing.T) {
+	mem := NewMemNetwork()
+	ctrl := mem.Controller()
+	node := mem.Node()
+	mem.Close()
+	if err := ctrl.Multicast([]byte("x")); err != ErrClosed {
+		t.Errorf("multicast after close: %v", err)
+	}
+	if err := node.SendUplink([]byte("x")); err != ErrClosed {
+		t.Errorf("uplink after close: %v", err)
+	}
+	// Channels are closed.
+	if _, ok := <-node.Downlink(); ok {
+		t.Error("downlink channel still open")
+	}
+	// Double close is fine.
+	if err := mem.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUDPCloseUnblocksLoops(t *testing.T) {
+	udp, err := NewUDPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := udp.Node()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		<-node.Downlink() // closes on shutdown
+		close(done)
+	}()
+	if err := udp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("node loop did not exit on close")
+	}
+	// New nodes rejected after close.
+	if _, err := udp.Node(); err != ErrClosed {
+		t.Errorf("node after close: %v", err)
+	}
+	if err := udp.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}
+
+func TestOversizedDatagramRejected(t *testing.T) {
+	udp, err := NewUDPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	node, err := udp.Node()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, maxDatagram+1)
+	if err := udp.Controller().Multicast(big); err == nil {
+		t.Error("oversized multicast accepted")
+	}
+	if err := node.SendUplink(big); err == nil {
+		t.Error("oversized uplink accepted")
+	}
+}
+
+func TestMemOverflowDropsInsteadOfBlocking(t *testing.T) {
+	mem := NewMemNetwork()
+	defer mem.Close()
+	ctrl := mem.Controller()
+	mem.Node() // never drained
+	for i := 0; i < queueSize+50; i++ {
+		if err := ctrl.Multicast([]byte{byte(i)}); err != nil {
+			t.Fatalf("multicast %d: %v", i, err)
+		}
+	}
+	// Reaching here without deadlock is the assertion.
+}
+
+func TestLossyNetworkDropRates(t *testing.T) {
+	mem := NewMemNetwork()
+	lossy := NewLossyNetwork(mem, 0.5, 0.5, 7)
+	defer lossy.Close()
+	ctrl := lossy.Controller()
+	node, err := lossy.NewNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := ctrl.Multicast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.SendUplink([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the filter goroutine a moment to drain.
+	time.Sleep(50 * time.Millisecond)
+	down := 0
+	for {
+		select {
+		case <-node.Downlink():
+			down++
+			continue
+		default:
+		}
+		break
+	}
+	up := 0
+	for {
+		select {
+		case <-ctrl.Uplink():
+			up++
+			continue
+		default:
+		}
+		break
+	}
+	check := func(name string, got int) {
+		t.Helper()
+		if got < n/4 || got > 3*n/4 {
+			t.Errorf("%s: %d/%d delivered at 50%% loss", name, got, n)
+		}
+	}
+	check("downlink", down)
+	check("uplink", up)
+}
+
+func TestLossyNetworkZeroLossTransparent(t *testing.T) {
+	mem := NewMemNetwork()
+	lossy := NewLossyNetwork(mem, 0, 0, 1)
+	defer lossy.Close()
+	node, err := lossy.NewNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lossy.Controller().Multicast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithin(t, node.Downlink(), time.Second)
+	if string(got) != "hello" {
+		t.Errorf("got %q", got)
+	}
+	// Clamping.
+	clamped := NewLossyNetwork(NewMemNetwork(), -1, 2, 1)
+	if clamped.downlinkLoss != 0 || clamped.uplinkLoss != 1 {
+		t.Error("loss probabilities not clamped")
+	}
+	clamped.Close()
+}
+
+func TestLossyNetworkCloseUnblocksFilter(t *testing.T) {
+	mem := NewMemNetwork()
+	lossy := NewLossyNetwork(mem, 0.1, 0, 2)
+	node, err := lossy.NewNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lossy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-node.Downlink():
+		if ok {
+			t.Error("expected closed channel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("filtered downlink did not close")
+	}
+}
