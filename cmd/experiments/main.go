@@ -15,9 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"densevlc/internal/experiments"
+	"densevlc/internal/stats"
 )
 
 func main() {
@@ -58,7 +58,7 @@ func main() {
 			failed = true
 			continue
 		}
-		start := time.Now()
+		sw := stats.StartStopwatch()
 		table := g.Run(opts)
 		if err := table.Write(os.Stdout, format); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
@@ -66,7 +66,7 @@ func main() {
 			continue
 		}
 		if format == experiments.FormatText {
-			fmt.Printf("\n(%s in %.2fs)\n\n", name, time.Since(start).Seconds())
+			fmt.Printf("\n(%s in %.2fs)\n\n", name, sw.Seconds())
 		}
 	}
 	if failed {

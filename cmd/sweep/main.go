@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/scenario"
@@ -29,11 +28,12 @@ func main() {
 	flag.Parse()
 	_ = seed
 
-	if *sc < 1 || *sc > 3 {
-		log.Fatalf("unknown scenario %d", *sc)
+	scn, err := scenario.ParseScenario(*sc)
+	if err != nil {
+		log.Fatal(err)
 	}
 	set := scenario.Default()
-	env := set.Env(scenario.Scenario(*sc).RXPositions(), nil)
+	env := set.Env(scn.RXPositions(), nil)
 
 	policies := []alloc.Policy{
 		alloc.Heuristic{Kappa: 1.0, AllowPartial: true},
@@ -48,12 +48,11 @@ func main() {
 
 	budgets := alloc.BudgetGrid(*max, *points)
 
-	w := os.Stdout
-	fmt.Fprint(w, "budget_w")
+	fmt.Print("budget_w")
 	for _, p := range policies {
-		fmt.Fprintf(w, ",%s_mbps", p.Name())
+		fmt.Printf(",%s_mbps", p.Name())
 	}
-	fmt.Fprintln(w)
+	fmt.Println()
 
 	results := make([][]alloc.SweepPoint, len(policies))
 	for i, p := range policies {
@@ -64,11 +63,11 @@ func main() {
 		results[i] = pts
 	}
 	for bi, b := range budgets {
-		fmt.Fprintf(w, "%.3f", b)
+		fmt.Printf("%.3f", b)
 		for pi := range policies {
-			fmt.Fprintf(w, ",%.4f", results[pi][bi].Eval.SumThroughput/1e6)
+			fmt.Printf(",%.4f", results[pi][bi].Eval.SumThroughput/1e6)
 		}
-		fmt.Fprintln(w)
+		fmt.Println()
 	}
 
 	// Baseline operating points as comment lines.
@@ -76,10 +75,10 @@ func main() {
 	dmiso := alloc.DMISO{}
 	if s, err := siso.Allocate(env, siso.OperatingPower(env)+1e-9); err == nil {
 		ev := alloc.Evaluate(env, s)
-		fmt.Fprintf(w, "# SISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
+		fmt.Printf("# SISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
 	}
 	if s, err := dmiso.Allocate(env, dmiso.OperatingPower(env)+1e-9); err == nil {
 		ev := alloc.Evaluate(env, s)
-		fmt.Fprintf(w, "# D-MISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
+		fmt.Printf("# D-MISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
 	}
 }

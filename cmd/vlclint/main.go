@@ -1,0 +1,62 @@
+// Command vlclint runs DenseVLC's domain-aware static-analysis suite over
+// the module: determinism (no global randomness or wall-clock reads in
+// simulation packages), maporder (no order-sensitive accumulation across map
+// iteration), floatcmp (no exact floating-point equality), errdrop (no
+// silently discarded errors), and apipanic (no panics in internal API code).
+//
+// Usage:
+//
+//	go run ./cmd/vlclint ./...
+//	go run ./cmd/vlclint -list
+//
+// Findings print as "file:line: [rule] message" and the process exits 1 when
+// any are present, so the tool gates CI (scripts/ci.sh). Suppress a single
+// finding with a //lint:ignore <rule> <reason> comment on the offending line
+// or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"densevlc/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlclint:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "vlclint: no packages matched %v\n", patterns)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vlclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -32,7 +32,7 @@ func main() {
 
 	rng := stats.NewRand(1)
 	payload := make([]byte, 150)
-	rng.Read(payload)
+	_, _ = rng.Read(payload) // (*rand.Rand).Read is documented to never fail
 
 	for i, sinr := range ev.SINR {
 		// Pick the densest constellation whose back-to-back BER survives

@@ -53,7 +53,7 @@ func main() {
 		ok := 0
 		const trials = 20
 		for i := 0; i < trials; i++ {
-			rng.Read(payload)
+			_, _ = rng.Read(payload) // (*rand.Rand).Read is documented to never fail
 			mac := frame.MAC{Dst: 1, Src: 0, Payload: append([]byte(nil), payload...)}
 			got, _, err := link.TransmitReceive(mac, []phy.TXSignal{
 				{Amplitude: amp, ClockPPM: 10},

@@ -181,6 +181,7 @@ func (s Swings) CommPower(r float64) float64 {
 // The bias current carries no data and does not appear.
 func SINR(p Params, h *Matrix, s Swings) []float64 {
 	if len(s) != h.N {
+		//lint:ignore apipanic dimension mismatch is a caller bug; allocations are sized from the same Env as H
 		panic(fmt.Sprintf("channel: swing matrix has %d TX rows, gain matrix %d", len(s), h.N))
 	}
 	out := make([]float64, h.M)

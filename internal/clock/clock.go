@@ -120,6 +120,7 @@ func TriggerError(rng *rand.Rand, m Method, symbolRate float64) float64 {
 	case MethodNTPPTP:
 		return PTPResidualStd*rng.NormFloat64() + rng.Float64()*symbolPeriod*PTPLoopFraction
 	default:
+		//lint:ignore apipanic documented API contract: MethodNLOSVLC is modelled by package vlcsync, not here
 		panic(fmt.Sprintf("clock: TriggerError does not model %v", m))
 	}
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"math"
-	"time"
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/scenario"
@@ -257,11 +256,11 @@ func Speedup(opts Options) Table {
 	timeIt := func(p alloc.Policy) float64 {
 		best := math.Inf(1)
 		for r := 0; r < reps; r++ {
-			start := time.Now()
+			sw := stats.StartStopwatch()
 			if _, err := p.Allocate(env, 1.19); err != nil {
 				return math.NaN()
 			}
-			if d := time.Since(start).Seconds(); d < best {
+			if d := sw.Seconds(); d < best {
 				best = d
 			}
 		}
@@ -270,14 +269,14 @@ func Speedup(opts Options) Table {
 
 	// Warm the heuristic measurement: it is microseconds, so repeat it.
 	hPolicy := alloc.Heuristic{Kappa: 1.3}
-	start := time.Now()
+	sw := stats.StartStopwatch()
 	iters := 200
 	for i := 0; i < iters; i++ {
 		if _, err := hPolicy.Allocate(env, 1.19); err != nil {
 			break
 		}
 	}
-	hTime := time.Since(start).Seconds() / float64(iters)
+	hTime := sw.Seconds() / float64(iters)
 	oTime := timeIt(optimalPolicy())
 
 	t := Table{

@@ -58,6 +58,7 @@ func (g Grid) N() int { return g.Rows * g.Cols }
 // index 0 at the origin corner, indices increase along x first.
 func (g Grid) Pos(i int) Vec {
 	if i < 0 || i >= g.N() {
+		//lint:ignore apipanic bounds invariant, same contract as slice indexing
 		panic(fmt.Sprintf("geom: grid index %d out of range [0,%d)", i, g.N()))
 	}
 	row := i / g.Cols

@@ -20,6 +20,7 @@ type Matrix struct {
 // New allocates a zero matrix.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//lint:ignore apipanic negative dimensions are a programmer bug, same contract as make with a negative length
 		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}

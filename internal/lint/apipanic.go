@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerAPIPanic flags panic(...) in the module's internal/ library
+// packages. A serving stack must degrade by returning errors, not by
+// crashing the process; the only sanctioned panics are programmer-invariant
+// checks (the moral equivalent of a slice bounds failure), and those must be
+// annotated with //lint:ignore apipanic <reason> so every site is an audited
+// decision.
+var analyzerAPIPanic = &Analyzer{
+	Name: "apipanic",
+	Doc:  "flag panic in internal/ library code",
+	Run:  runAPIPanic,
+}
+
+func runAPIPanic(pkg *Package) []Finding {
+	if !isInternalPkg(pkg.Path) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Only the predeclared builtin counts; a shadowing declaration
+			// resolves to an ordinary object instead.
+			if _, builtin := pkg.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			pos := pkg.Fset.Position(call.Pos())
+			if isTestFile(pos) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:     pos,
+				Rule:    "apipanic",
+				Message: "panic in internal API code; return an error, or mark a programmer invariant with //lint:ignore apipanic <reason>",
+			})
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerDeterminism forbids global randomness and wall-clock reads inside
+// the deterministic simulation packages. Every stochastic component must take
+// an injected *rand.Rand (stats.NewRand / stats.SplitRand are the sanctioned
+// constructors) and every timing measurement must go through stats.Stopwatch
+// or an injected clock, so that re-running an experiment with the same seed
+// reproduces EXPERIMENTS.md bit for bit.
+var analyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global math/rand functions and wall-clock calls in simulation packages",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand functions that merely build generators
+// and never touch the global source; they stay legal everywhere.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// wallClockFns are the time package functions that read or depend on the
+// wall clock (or the process timeline) and therefore break reproducibility.
+var wallClockFns = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDeterminism(pkg *Package) []Finding {
+	if !isDeterministicPkg(pkg.Path) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Float64) are injected state
+			}
+			pos := pkg.Fset.Position(call.Pos())
+			if isTestFile(pos) {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					findings = append(findings, Finding{
+						Pos:  pos,
+						Rule: "determinism",
+						Message: fmt.Sprintf("call to %s.%s draws from the global random source; take an injected *rand.Rand (stats.NewRand) instead",
+							fn.Pkg().Path(), fn.Name()),
+					})
+				}
+			case "time":
+				if wallClockFns[fn.Name()] {
+					findings = append(findings, Finding{
+						Pos:  pos,
+						Rule: "determinism",
+						Message: fmt.Sprintf("call to time.%s makes simulation output wall-clock dependent; use stats.Stopwatch or an injected clock",
+							fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerErrDrop flags statements that call a function returning an error
+// and discard every result: bare call statements, deferred calls, and
+// go statements. An explicit `_ = f()` assignment is an audited discard and
+// stays legal.
+//
+// Conventional sinks are exempt: fmt.Print/Printf/Println and fmt.Fprint*
+// aimed directly at os.Stdout or os.Stderr (a failed diagnostic write has no
+// recovery path), and writes to *strings.Builder / *bytes.Buffer (including
+// through fmt.Fprint*), whose Write methods are documented to never return
+// an error. Writes to files, sockets, and generic io.Writers stay flagged.
+var analyzerErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag call statements that silently discard a returned error",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var kind string
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+				kind = "call"
+			case *ast.DeferStmt:
+				call = stmt.Call
+				kind = "deferred call"
+			case *ast.GoStmt:
+				call = stmt.Call
+				kind = "go call"
+			default:
+				return true
+			}
+			if call == nil || !returnsError(pkg, call) || errDropExempt(pkg, call) {
+				return true
+			}
+			pos := pkg.Fset.Position(call.Pos())
+			if isTestFile(pos) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:  pos,
+				Rule: "errdrop",
+				Message: fmt.Sprintf("%s to %s discards its error; handle it or assign to _ explicitly",
+					kind, calleeName(pkg, call)),
+			})
+			return true
+		})
+	}
+	return findings
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false // conversion or builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// errDropExempt lists the idiomatic never-fail calls that errdrop skips.
+func errDropExempt(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true // stdout convention
+		case "Fprint", "Fprintf", "Fprintln":
+			// Only exempt when the sink is an in-memory buffer or a
+			// standard diagnostic stream.
+			if len(call.Args) == 0 {
+				return false
+			}
+			return isBufferType(pkg.Info.TypeOf(call.Args[0])) || isStdStream(pkg, call.Args[0])
+		}
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isBufferType(sig.Recv().Type())
+	}
+	return false
+}
+
+// isBufferType reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func isBufferType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// isStdStream reports whether the expression is exactly os.Stdout or
+// os.Stderr.
+func isStdStream(pkg *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// calleeName renders a readable name for diagnostics.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(pkg, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return fmt.Sprintf("(%s).%s", sig.Recv().Type(), fn.Name())
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "function value"
+}

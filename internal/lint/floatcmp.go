@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// analyzerFloatCmp flags == and != comparisons where both operands are
+// floating-point (or complex). Exact equality on computed floats is the
+// classic numeric-safety bug: two mathematically equal expressions rarely
+// compare equal after rounding. Compare with a tolerance
+// (math.Abs(a-b) <= eps) or restructure around integer state.
+//
+// Three idioms stay legal: _test.go files (assertions on exact fixtures are
+// fine), the self-comparison NaN test `x != x`, and comparison against a
+// constant zero. Zero is exactly representable and `x == 0` is the
+// well-defined IEEE 754 guard for division-by-zero and unset-option
+// defaults; comparing two computed values, or a value against a
+// non-representable literal like 0.1, stays flagged.
+var analyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= between floating-point operands outside tests",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatish(pkg.Info.TypeOf(bin.X)) || !isFloatish(pkg.Info.TypeOf(bin.Y)) {
+				return true
+			}
+			pos := pkg.Fset.Position(bin.Pos())
+			if isTestFile(pos) || isSelfCompare(bin) {
+				return true
+			}
+			if isConstantZero(pkg, bin.X) || isConstantZero(pkg, bin.Y) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:  pos,
+				Rule: "floatcmp",
+				Message: fmt.Sprintf("floating-point %s comparison is exact; use a tolerance (math.Abs(a-b) <= eps) or integer state",
+					bin.Op),
+			})
+			return true
+		})
+	}
+	return findings
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isSelfCompare recognizes `x != x` / `x == x` on a plain identifier — the
+// portable NaN test.
+func isSelfCompare(bin *ast.BinaryExpr) bool {
+	x, ok1 := ast.Unparen(bin.X).(*ast.Ident)
+	y, ok2 := ast.Unparen(bin.Y).(*ast.Ident)
+	return ok1 && ok2 && x.Name == y.Name
+}
+
+// isConstantZero reports whether e is a compile-time constant equal to zero
+// (literal 0, 0.0, -0.0, or a named zero constant).
+func isConstantZero(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 &&
+			constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}

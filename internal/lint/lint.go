@@ -1,0 +1,236 @@
+// Package lint implements vlclint, DenseVLC's domain-aware static-analysis
+// suite. It enforces the invariants the reproduction depends on — bit-for-bit
+// deterministic simulation, numeric safety in the Eq. (1)–(10) hot paths, and
+// error hygiene in the serving stack — using only the standard library
+// (go/parser, go/ast, go/types), so the repo stays offline-buildable with a
+// dependency-free go.mod.
+//
+// Five analyzers run over every package:
+//
+//   - determinism: forbids global math/rand functions and wall-clock calls
+//     (time.Now, time.Since, ...) inside the simulation packages; stochastic
+//     code must take an injected *rand.Rand and timing must go through
+//     stats.Stopwatch or clock.Clock.
+//   - maporder: flags `range` over a map that appends to an outer slice
+//     (without a subsequent sort) or accumulates floats, both of which make
+//     results depend on Go's randomized map iteration order.
+//   - floatcmp: flags == and != where both operands are floating-point
+//     (or complex), outside test files.
+//   - errdrop: flags statements that call a function returning an error and
+//     silently discard it.
+//   - apipanic: flags panic(...) in internal/ library code; recoverable
+//     failures must be returned as errors, and genuine programmer-invariant
+//     checks must carry a //lint:ignore apipanic <reason> directive.
+//
+// Any finding can be suppressed with a comment on the same line or the line
+// directly above:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// modulePath is the import path of the module vlclint guards. The
+// domain-aware package classification (deterministic simulation packages,
+// internal/ API surface) is keyed off it.
+const modulePath = "densevlc"
+
+// Finding is a single rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Package bundles everything an analyzer needs about one type-checked
+// package.
+type Package struct {
+	Path  string // import path, e.g. densevlc/internal/phy
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// Analyzers returns the full vlclint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerDeterminism,
+		analyzerMapOrder,
+		analyzerFloatCmp,
+		analyzerErrDrop,
+		analyzerAPIPanic,
+	}
+}
+
+// Run applies the analyzers to every package, drops findings covered by
+// //lint:ignore directives, reports malformed directives, and returns the
+// remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		all = append(all, sup.malformed...)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if !sup.covers(f) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "lint:ignore"
+
+// suppressions indexes //lint:ignore directives by file and line.
+type suppressions struct {
+	// rules maps filename -> line -> suppressed rule names on that line.
+	rules     map[string]map[int][]string
+	malformed []Finding
+}
+
+// covers reports whether a directive on the finding's line or the line
+// directly above names the finding's rule.
+func (s suppressions) covers(f Finding) bool {
+	lines := s.rules[f.Pos.Filename]
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectSuppressions(pkg *Package) suppressions {
+	s := suppressions{rules: make(map[string]map[int][]string)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Pos:     pos,
+						Rule:    "ignore",
+						Message: "malformed //lint:ignore directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				if s.rules[pos.Filename] == nil {
+					s.rules[pos.Filename] = make(map[int][]string)
+				}
+				s.rules[pos.Filename][pos.Line] = append(s.rules[pos.Filename][pos.Line], fields[0])
+			}
+		}
+	}
+	return s
+}
+
+// isTestFile reports whether the position is inside a _test.go file.
+func isTestFile(pos token.Position) bool {
+	return strings.HasSuffix(pos.Filename, "_test.go")
+}
+
+// isInternalPkg reports whether the package is part of the module's
+// internal/ API surface.
+func isInternalPkg(path string) bool {
+	return strings.HasPrefix(path, modulePath+"/internal/")
+}
+
+// deterministicPkgs names the internal packages whose output must be a pure
+// function of their inputs (configuration + injected *rand.Rand seeds).
+// These implement the paper's channel/PHY/allocation models and the
+// experiment harness whose tables EXPERIMENTS.md quotes bit-for-bit.
+var deterministicPkgs = map[string]bool{
+	"sim":         true,
+	"channel":     true,
+	"phy":         true,
+	"alloc":       true,
+	"ofdm":        true,
+	"scenario":    true,
+	"mobility":    true,
+	"experiments": true,
+	"precode":     true,
+	"optics":      true,
+	"illum":       true,
+	"geom":        true,
+	"dsp":         true,
+	"linalg":      true,
+	"rs":          true,
+	"frame":       true,
+	"led":         true,
+	"optimize":    true,
+	"core":        true,
+	"mac":         true,
+	"clock":       true,
+}
+
+// isDeterministicPkg reports whether pkgPath is one of the simulation
+// packages that must stay reproducible.
+func isDeterministicPkg(pkgPath string) bool {
+	name, ok := strings.CutPrefix(pkgPath, modulePath+"/internal/")
+	if !ok {
+		return false
+	}
+	return deterministicPkgs[name]
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function-typed values, conversions, and builtins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load locates the enclosing module, parses and type-checks every package in
+// it (dependencies included, so analyzers always see full type information),
+// and returns the packages selected by the patterns. Supported patterns are
+// the `go build` forms vlclint needs: "./...", "./dir/...", and "./dir".
+// File positions are reported relative to the module root.
+func Load(patterns []string) ([]*Package, error) {
+	root, err := findModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	srcs, err := scanModule(root)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(srcs)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std: importer.ForCompiler(fset, "source", nil),
+		mod: make(map[string]*types.Package),
+	}
+	var pkgs []*Package
+	for _, src := range order {
+		pkg, err := typeCheck(fset, root, src, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.mod[src.importPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+
+	var selected []*Package
+	for _, pkg := range pkgs {
+		if matchesAny(pkg.Path, patterns) {
+			selected = append(selected, pkg)
+		}
+	}
+	return selected, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// pkgSrc is one directory of source files awaiting type-checking.
+type pkgSrc struct {
+	relDir     string // "" for the module root package
+	importPath string
+	fileNames  []string // module-root-relative, slash-separated
+	imports    []string // module-local imports only
+}
+
+// scanModule parses every non-test .go file under root, grouped by
+// directory. Hidden directories, testdata, and vendor trees are skipped.
+func scanModule(root string) (map[string]*pkgSrc, error) {
+	srcs := make(map[string]*pkgSrc)
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		src, err := parseDir(root, rel)
+		if err != nil {
+			return nil, err
+		}
+		if src != nil {
+			srcs[src.importPath] = src
+		}
+	}
+	return srcs, nil
+}
+
+// parseDir scans the non-test .go files of one directory for their
+// module-local imports.
+func parseDir(root, relDir string) (*pkgSrc, error) {
+	absDir := filepath.Join(root, relDir)
+	entries, err := os.ReadDir(absDir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modulePath
+	if relDir != "" {
+		importPath = modulePath + "/" + filepath.ToSlash(relDir)
+	}
+	src := &pkgSrc{relDir: relDir, importPath: importPath}
+	importSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(absDir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		src.fileNames = append(src.fileNames, filepath.ToSlash(filepath.Join(relDir, name)))
+		for _, imp := range file.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == modulePath || strings.HasPrefix(p, modulePath+"/") {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(src.fileNames) == 0 {
+		return nil, nil
+	}
+	for p := range importSet {
+		src.imports = append(src.imports, p)
+	}
+	sort.Strings(src.imports)
+	return src, nil
+}
+
+// topoSort orders packages so every module-local dependency precedes its
+// importers.
+func topoSort(srcs map[string]*pkgSrc) ([]*pkgSrc, error) {
+	var order []*pkgSrc
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		src, ok := srcs[path]
+		if !ok {
+			return nil // import of a module path with no Go files; let go build report it
+		}
+		state[path] = 1
+		for _, dep := range src.imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, src)
+		return nil
+	}
+	paths := make([]string, 0, len(srcs))
+	for p := range srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-local imports from already-checked packages
+// and everything else through the standard-library source importer.
+type moduleImporter struct {
+	std types.Importer
+	mod map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mod[path]; ok {
+		return pkg, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		return nil, fmt.Errorf("lint: module package %s not yet type-checked", path)
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck runs go/types over one package.
+func typeCheck(fset *token.FileSet, root string, src *pkgSrc, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range src.fileNames {
+		data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(name)))
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(fset, name, data, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, file)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(src.importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", src.importPath, err)
+	}
+	return &Package{
+		Path:  src.importPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// matchesAny reports whether the import path is selected by any pattern.
+func matchesAny(importPath string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, modulePath), "/")
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "...":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		case pat == "." || pat == "":
+			if rel == "" {
+				return true
+			}
+		default:
+			if rel == pat || importPath == pat {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerMapOrder flags `range` loops over maps, in deterministic packages,
+// whose bodies are sensitive to iteration order: appending to a slice that
+// outlives the loop (unless the slice is sorted afterwards in the same
+// block), or accumulating into a floating-point variable (addition is not
+// associative, so the sum depends on Go's randomized map order).
+var analyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive accumulation across map iteration in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pkg *Package) []Finding {
+	if !isDeterministicPkg(pkg.Path) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch blk := n.(type) {
+			case *ast.BlockStmt:
+				stmts = blk.List
+			case *ast.CaseClause:
+				stmts = blk.Body
+			case *ast.CommClause:
+				stmts = blk.Body
+			default:
+				return true
+			}
+			for i, stmt := range stmts {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(pkg.Info.TypeOf(rs.X)) {
+					continue
+				}
+				findings = append(findings, checkMapRange(pkg, rs, stmts[i+1:])...)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body. rest holds the statements that
+// follow the loop in its enclosing block, used to recognize the
+// collect-then-sort idiom.
+func checkMapRange(pkg *Package, rs *ast.RangeStmt, rest []ast.Stmt) []Finding {
+	var findings []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				obj := assignedObj(pkg, as.Lhs[i])
+				if obj == nil || !declaredOutside(obj, rs) {
+					continue
+				}
+				if isAppendOf(pkg, rhs, obj) && !sortedAfter(pkg, obj, rest) {
+					findings = append(findings, Finding{
+						Pos:  pkg.Fset.Position(as.Pos()),
+						Rule: "maporder",
+						Message: fmt.Sprintf("append to %s inside map iteration produces a nondeterministically ordered slice; sort it afterwards or range over sorted keys",
+							obj.Name()),
+					})
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			obj := assignedObj(pkg, as.Lhs[0])
+			if obj == nil || !declaredOutside(obj, rs) {
+				return true
+			}
+			if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+				findings = append(findings, Finding{
+					Pos:  pkg.Fset.Position(as.Pos()),
+					Rule: "maporder",
+					Message: fmt.Sprintf("floating-point accumulation into %s across map iteration is order-dependent; range over sorted keys",
+						obj.Name()),
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// assignedObj resolves the object a plain identifier LHS refers to.
+func assignedObj(pkg *Package, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement, i.e. the accumulation escapes the loop.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// isAppendOf reports whether rhs is append(obj, ...).
+func isAppendOf(pkg *Package, rhs ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || pkg.Info.Uses[id] != types.Universe.Lookup("append") {
+		return false
+	}
+	argID, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pkg.Info.Uses[argID] == obj
+}
+
+// sortedAfter reports whether a statement following the loop sorts obj via
+// the sort or slices package, which restores determinism.
+func sortedAfter(pkg *Package, obj types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

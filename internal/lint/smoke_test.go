@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the self-hosting gate: vlclint must run clean over the
+// entire module, so a finding introduced anywhere fails this test (and
+// scripts/ci.sh) immediately.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	// Every deterministic package must actually be in the load set, so the
+	// determinism rules cannot silently rot if a package is renamed.
+	present := map[string]bool{}
+	for _, pkg := range pkgs {
+		if name, ok := strings.CutPrefix(pkg.Path, modulePath+"/internal/"); ok {
+			present[name] = true
+		}
+	}
+	for name := range deterministicPkgs {
+		if !present[name] {
+			t.Errorf("deterministic package %q not found under internal/; update deterministicPkgs in lint.go", name)
+		}
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestLoadPatternFiltering checks that package patterns select the right
+// subset while dependencies still type-check.
+func TestLoadPatternFiltering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := Load([]string{"./internal/lint"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != modulePath+"/internal/lint" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		t.Fatalf("Load(./internal/lint) = %v, want exactly [%s/internal/lint]", paths, modulePath)
+	}
+	sub, err := Load([]string{"./cmd/..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range sub {
+		if !strings.HasPrefix(p.Path, modulePath+"/cmd/") {
+			t.Errorf("pattern ./cmd/... selected %s", p.Path)
+		}
+	}
+	if len(sub) == 0 {
+		t.Error("pattern ./cmd/... selected no packages")
+	}
+}

@@ -1,5 +1,7 @@
 package mac
 
+import "sort"
+
 // ARQ tracks outstanding data frames for the controller's retransmission
 // logic: the prototype's receivers acknowledge over the WiFi uplink
 // (Sec. 7.2), and unacknowledged frames are resent until an attempt budget
@@ -52,9 +54,18 @@ func (a *ARQ) Ack(seq uint16) bool {
 // attempts left; frames whose budget is exhausted are counted as failed and
 // dropped. Callers re-send the returned frames under their ORIGINAL
 // sequence numbers (so receivers deduplicate) and Track them again.
+// Frames come back in ascending sequence order so retransmission schedules
+// are reproducible run to run.
 func (a *ARQ) TakeRetryable() []PendingFrame {
+	seqs := make([]int, 0, len(a.pending))
+	for seq := range a.pending {
+		seqs = append(seqs, int(seq))
+	}
+	sort.Ints(seqs)
 	var out []PendingFrame
-	for seq, p := range a.pending {
+	for _, s := range seqs {
+		seq := uint16(s)
+		p := a.pending[seq]
 		delete(a.pending, seq)
 		if p.Attempts >= a.maxAttempts {
 			a.failed++

@@ -65,7 +65,7 @@ func Run(cfg Config) (*Result, error) {
 	if net == nil {
 		net = transport.NewMemNetwork()
 	}
-	defer net.Close()
+	defer func() { _ = net.Close() }() // teardown; transport errors have no recovery path here
 
 	hub := NewHub(cfg.Setup, cfg.Trajectories, cfg.Blocker, cfg.Sync, cfg.MeasurementNoise, cfg.Seed)
 

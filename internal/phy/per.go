@@ -62,7 +62,7 @@ func (l *Link) MeasurePER(cfg PERConfig, amplitudes []float64) (PERResult, error
 	txs := make([]TXSignal, len(amplitudes))
 
 	for f := 0; f < cfg.Frames; f++ {
-		l.rng.Read(payload)
+		_, _ = l.rng.Read(payload) // (*rand.Rand).Read is documented to never fail
 		mac := frame.MAC{Dst: 1, Src: 2, Protocol: 0x0800, Payload: append([]byte(nil), payload...)}
 
 		for j := range txs {

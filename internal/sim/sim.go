@@ -140,7 +140,7 @@ func Run(cfg Config) (*Result, error) {
 	if net == nil {
 		net = transport.NewMemNetwork()
 	}
-	defer net.Close()
+	defer func() { _ = net.Close() }() // teardown; transport errors have no recovery path here
 	ctrlLink := net.Controller()
 
 	ctrl := mac.NewController(n, m, cfg.Policy, cfg.Budget, cfg.Setup.Params, cfg.Setup.LED)

@@ -173,6 +173,7 @@ func (e *ECDF) Quantile(q float64) float64 {
 func (e *ECDF) Points() (xs, ys []float64) {
 	n := len(e.sorted)
 	for i := 0; i < n; i++ {
+		//lint:ignore floatcmp collapsing bit-identical duplicates in sorted samples is an exact operation
 		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
 			continue
 		}

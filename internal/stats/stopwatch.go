@@ -1,0 +1,28 @@
+package stats
+
+import "time"
+
+// Stopwatch measures elapsed wall time through the runtime's monotonic
+// clock. It is the single audited wall-clock crossing for measurement code:
+// the vlclint determinism analyzer forbids raw time.Now/time.Since calls in
+// the simulation packages (sim, experiments, ...), so decision-complexity
+// timings go through this helper instead. Elapsed durations are reported as
+// measurements and must never feed back into simulation state.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins a measurement at the current instant.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Seconds returns the monotonic time elapsed since the stopwatch started.
+func (s Stopwatch) Seconds() float64 {
+	return time.Since(s.start).Seconds()
+}
+
+// Elapsed returns the monotonic time elapsed since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}

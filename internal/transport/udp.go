@@ -88,7 +88,7 @@ func (n *UDPNetwork) Node() (NodeLink, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return nil, ErrClosed
 	}
 	n.nodes = append(n.nodes, node)
@@ -110,9 +110,11 @@ func (n *UDPNetwork) Close() error {
 	nodes := append([]*udpNode(nil), n.nodes...)
 	n.mu.Unlock()
 
-	n.ctrlConn.Close()
+	// Socket close errors during teardown are unactionable: the receive
+	// loops exit on the pending-read error either way.
+	_ = n.ctrlConn.Close()
 	for _, node := range nodes {
-		node.conn.Close()
+		_ = node.conn.Close()
 	}
 	n.wg.Wait()
 	return nil

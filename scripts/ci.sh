@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for DenseVLC. Run from anywhere inside the repo:
+#
+#     ./scripts/ci.sh
+#
+# Steps, in order (fail fast):
+#   1. gofmt        — no unformatted files
+#   2. go vet       — standard static checks
+#   3. go build     — everything compiles
+#   4. vlclint      — domain invariants: determinism, maporder, floatcmp,
+#                     errdrop, apipanic (see DESIGN.md "Static analysis")
+#   5. go test      — the full unit/integration/property suite
+#   6. go test -race — the concurrent runtime and transports, as README
+#                     claims race-cleanliness for them
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> vlclint ./..."
+go run ./cmd/vlclint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/transport/ ./internal/node/"
+go test -race ./internal/transport/ ./internal/node/
+
+echo "==> ci.sh: all gates passed"
