@@ -23,6 +23,7 @@ import (
 	"densevlc/internal/sim"
 	"densevlc/internal/stats"
 	"densevlc/internal/transport"
+	"densevlc/internal/units"
 )
 
 func main() {
@@ -47,7 +48,7 @@ func main() {
 	var traj []mobility.Trajectory
 	for range scenario.Scenario2.RXPositions() {
 		traj = append(traj, mobility.NewRandomWaypoint(
-			stats.SplitRand(rng), 0.4, 0.4, 2.6, 2.6, 0, *speed))
+			stats.SplitRand(rng), 0.4, 0.4, 2.6, 2.6, 0, units.MetersPerSecond(*speed)))
 	}
 
 	policy := alloc.Heuristic{Kappa: *kappa, AllowPartial: true}
@@ -67,7 +68,7 @@ func main() {
 		setup.Grid.N(), len(traj), *budget, policy.Name())
 
 	if *async {
-		runAsync(setup, traj, policy, network, *budget, *rounds, *seed)
+		runAsync(setup, traj, policy, network, units.Watts(*budget), *rounds, *seed)
 		return
 	}
 
@@ -75,7 +76,7 @@ func main() {
 		Setup:            setup,
 		Trajectories:     traj,
 		Policy:           policy,
-		Budget:           *budget,
+		Budget:           units.Watts(*budget),
 		Sync:             clock.MethodNLOSVLC,
 		Rounds:           *rounds,
 		RoundDuration:    1.0,
@@ -93,9 +94,9 @@ func main() {
 
 	for _, r := range res.Rounds {
 		fmt.Printf("round %2d  t=%5.1fs  active TXs %2d  power %.2f W  system %6.2f Mb/s  per-RX",
-			r.Round, r.Time, r.ActiveTXs, r.Eval.CommPower, r.Eval.SumThroughput/1e6)
+			r.Round, r.Time.S(), r.ActiveTXs, r.Eval.CommPower, r.Eval.SumThroughput.Bps()/1e6)
 		for _, tp := range r.Eval.Throughput {
-			fmt.Printf(" %5.2f", tp/1e6)
+			fmt.Printf(" %5.2f", tp.Bps()/1e6)
 		}
 		if r.PER != nil {
 			fmt.Printf("  PER")
@@ -106,7 +107,7 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("\nmean system throughput %.2f Mb/s at %.2f W communication power\n",
-		res.MeanSystemThroughput/1e6, res.MeanCommPower)
+		res.MeanSystemThroughput.Bps()/1e6, res.MeanCommPower)
 	os.Exit(0)
 }
 
@@ -114,7 +115,7 @@ func main() {
 // receiver is its own goroutine reacting to the frames it receives, the
 // controller works with timeouts — the distributed prototype's shape.
 func runAsync(setup scenario.Setup, traj []mobility.Trajectory, policy alloc.Policy,
-	network transport.Network, budget float64, rounds int, seed int64) {
+	network transport.Network, budget units.Watts, rounds int, seed int64) {
 
 	res, err := node.Run(node.Config{
 		Setup:            setup,
@@ -135,7 +136,7 @@ func runAsync(setup scenario.Setup, traj []mobility.Trajectory, policy alloc.Pol
 	}
 	for _, r := range res.Rounds {
 		fmt.Printf("round %2d  reports ok %-5v  active TXs %2d  sent %2d  delivered %2d  retried %d  failed %d  system %6.2f Mb/s\n",
-			r.Round, r.ReportsOK, r.ActiveTXs, r.FramesSent, r.FramesAckd, r.Retransmits, r.FramesFailed, r.SystemThroughput/1e6)
+			r.Round, r.ReportsOK, r.ActiveTXs, r.FramesSent, r.FramesAckd, r.Retransmits, r.FramesFailed, r.SystemThroughput.Bps()/1e6)
 	}
 	fmt.Printf("\n%d application payloads delivered end to end\n", res.Delivered)
 }

@@ -14,6 +14,7 @@ import (
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/scenario"
+	"densevlc/internal/units"
 )
 
 func main() {
@@ -46,7 +47,7 @@ func main() {
 		policies = append(policies, alloc.Optimal{})
 	}
 
-	budgets := alloc.BudgetGrid(*max, *points)
+	budgets := alloc.BudgetGrid(units.Watts(*max), *points)
 
 	fmt.Print("budget_w")
 	for _, p := range policies {
@@ -65,7 +66,7 @@ func main() {
 	for bi, b := range budgets {
 		fmt.Printf("%.3f", b)
 		for pi := range policies {
-			fmt.Printf(",%.4f", results[pi][bi].Eval.SumThroughput/1e6)
+			fmt.Printf(",%.4f", results[pi][bi].Eval.SumThroughput.Bps()/1e6)
 		}
 		fmt.Println()
 	}
@@ -75,10 +76,10 @@ func main() {
 	dmiso := alloc.DMISO{}
 	if s, err := siso.Allocate(env, siso.OperatingPower(env)+1e-9); err == nil {
 		ev := alloc.Evaluate(env, s)
-		fmt.Printf("# SISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
+		fmt.Printf("# SISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput.Bps()/1e6)
 	}
 	if s, err := dmiso.Allocate(env, dmiso.OperatingPower(env)+1e-9); err == nil {
 		ev := alloc.Evaluate(env, s)
-		fmt.Printf("# D-MISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput/1e6)
+		fmt.Printf("# D-MISO operating point: %.3f W, %.4f Mb/s\n", ev.CommPower, ev.SumThroughput.Bps()/1e6)
 	}
 }

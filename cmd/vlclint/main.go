@@ -2,31 +2,50 @@
 // the module: determinism (no global randomness or wall-clock reads in
 // simulation packages), maporder (no order-sensitive accumulation across map
 // iteration), floatcmp (no exact floating-point equality), errdrop (no
-// silently discarded errors), and apipanic (no panics in internal API code).
+// silently discarded errors), apipanic (no panics in internal API code), and
+// unitsafety (dimensional analysis over the internal/units types: no
+// cross-unit conversions, no float64 laundering, no untyped physical
+// quantities in exported physics APIs).
 //
 // Usage:
 //
 //	go run ./cmd/vlclint ./...
+//	go run ./cmd/vlclint -rules unitsafety,floatcmp ./internal/...
+//	go run ./cmd/vlclint -json ./... > findings.json
 //	go run ./cmd/vlclint -list
 //
-// Findings print as "file:line: [rule] message" and the process exits 1 when
-// any are present, so the tool gates CI (scripts/ci.sh). Suppress a single
-// finding with a //lint:ignore <rule> <reason> comment on the offending line
-// or the line above.
+// Findings print as "file:line: [rule] message" (or a JSON array with
+// -json) and the process exits 1 when any are present, so the tool gates CI
+// (scripts/ci.sh). Suppress a single finding with a
+// //lint:ignore <rule> <reason> comment on the offending line or the line
+// above.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"densevlc/internal/lint"
 )
 
+// jsonFinding is the stable machine-readable form of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [-json] [-rules a,b,...] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,6 +55,12 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlclint:", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -51,12 +76,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vlclint: no packages matched %v\n", patterns)
 		os.Exit(2)
 	}
-	findings := lint.Run(pkgs, lint.Analyzers())
-	for _, f := range findings {
-		fmt.Println(f)
+	findings := lint.Run(pkgs, analyzers)
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Rule:    f.Rule,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vlclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "vlclint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves the -rules flag against the registered suite.
+// An empty spec selects every analyzer.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	var names []string
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var selected []*lint.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(names, ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("-rules selected no analyzers")
+	}
+	return selected, nil
 }

@@ -50,7 +50,7 @@ func main() {
 		if !matched && p.Eval.SumThroughput >= dmisoEval.SumThroughput {
 			matched = true
 			marker = fmt.Sprintf("  ← matches D-MISO at %.1f×%s less power",
-				dmisoEval.CommPower/p.Eval.CommPower, "")
+				dmisoEval.CommPower.W()/p.Eval.CommPower.W(), "")
 		}
 		fmt.Printf("  %5.2f W → %6.2f Mb/s%s\n", p.Eval.CommPower, p.Eval.SumThroughput/1e6, marker)
 	}

@@ -13,6 +13,7 @@ import (
 	"densevlc/internal/frame"
 	"densevlc/internal/phy"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 	"densevlc/internal/vlcsync"
 )
 
@@ -24,8 +25,8 @@ func main() {
 	fmt.Println("median pairwise trigger error at 100 Ksym/s (5000 trials):")
 	none := clock.MedianPairwiseDelay(rng, clock.MethodNone, 100e3, 5000)
 	ptp := clock.MedianPairwiseDelay(rng, clock.MethodNTPPTP, 100e3, 5000)
-	fmt.Printf("  %-22s %7.3f µs (paper: 10.040)\n", clock.MethodNone, none*1e6)
-	fmt.Printf("  %-22s %7.3f µs (paper:  4.565)\n", clock.MethodNTPPTP, ptp*1e6)
+	fmt.Printf("  %-22s %7.3f µs (paper: 10.040)\n", clock.MethodNone, none.S()*1e6)
+	fmt.Printf("  %-22s %7.3f µs (paper:  4.565)\n", clock.MethodNTPPTP, ptp.S()*1e6)
 
 	session, err := vlcsync.NewSession(vlcsync.Config{
 		LeaderID: 2, SymbolRate: 100e3, SampleRate: 1e6, GuardTime: 50e-6,
@@ -35,21 +36,25 @@ func main() {
 	}
 	follower := vlcsync.Follower{SNR: 4, PathDelay: 19e-9}
 	delays := session.PairwiseDelays(follower, follower, 400)
-	fmt.Printf("  %-22s %7.3f µs (paper:  0.575)\n\n", clock.MethodNLOSVLC, stats.Median(delays)*1e6)
+	ds := make([]float64, len(delays))
+	for i, d := range delays {
+		ds[i] = d.S()
+	}
+	fmt.Printf("  %-22s %7.3f µs (paper:  0.575)\n\n", clock.MethodNLOSVLC, stats.Median(ds)*1e6)
 
 	// Part 2 — what the trigger error does to frames: two transmitters of
 	// equal strength modulating the same frame with a growing offset.
 	fmt.Println("frame survival vs transmitter misalignment (two equal TXs):")
 	link, err := phy.NewLink(phy.Config{
 		SymbolRate: 100e3, SampleRate: 1e6,
-		NoiseStd: math.Sqrt(7.02e-23 * 1e6),
+		NoiseStd: units.Amperes(math.Sqrt(7.02e-23 * 1e6)),
 	}, stats.SplitRand(rng))
 	if err != nil {
 		log.Fatal(err)
 	}
 	const amp = 1.1e-8 / 2
 	payload := make([]byte, 64)
-	for _, offset := range []float64{0, 0.6e-6, 2e-6, 5e-6, 10e-6, 20e-6} {
+	for _, offset := range []units.Seconds{0, 0.6e-6, 2e-6, 5e-6, 10e-6, 20e-6} {
 		ok := 0
 		const trials = 20
 		for i := 0; i < trials; i++ {
@@ -63,7 +68,7 @@ func main() {
 				ok++
 			}
 		}
-		fmt.Printf("  offset %5.1f µs: %3d%% of frames decode\n", offset*1e6, 100*ok/trials)
+		fmt.Printf("  offset %5.1f µs: %3d%% of frames decode\n", offset.S()*1e6, 100*ok/trials)
 	}
 	fmt.Println("\nthe NLOS method's ≈0.6 µs error sits safely inside the tolerance;")
 	fmt.Println("the unsynchronised ≈10 µs (two chips) does not — Table 5's collapse.")

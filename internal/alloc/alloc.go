@@ -15,6 +15,7 @@ import (
 
 	"densevlc/internal/channel"
 	"densevlc/internal/led"
+	"densevlc/internal/units"
 )
 
 // Env is the environment a policy allocates within: link-budget parameters,
@@ -51,25 +52,25 @@ func (e *Env) M() int { return e.H.M }
 
 // ActivationCost returns the communication power one TX draws at full swing,
 // P_C,tx,max = r·(Isw,max/2)² — the paper's 74.42 mW quantum.
-func (e *Env) ActivationCost() float64 { return e.LED.MaxCommPower() }
+func (e *Env) ActivationCost() units.Watts { return e.LED.MaxCommPower() }
 
 // Policy computes a swing allocation for a power budget.
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
 	// Allocate returns the swing matrix for the given total communication
-	// power budget P_C,tot in watts. Implementations must respect both the
-	// per-TX swing bound (6) and the power budget (7).
-	Allocate(env *Env, budget float64) (channel.Swings, error)
+	// power budget P_C,tot. Implementations must respect both the per-TX
+	// swing bound (6) and the power budget (7).
+	Allocate(env *Env, budget units.Watts) (channel.Swings, error)
 }
 
 // Evaluate computes the metrics of an allocation under the environment.
 type Evaluation struct {
-	SINR          []float64
-	Throughput    []float64 // per-RX, bit/s
-	SumThroughput float64   // bit/s
-	SumLog        float64   // objective (5)
-	CommPower     float64   // P_C,tot actually consumed, W
+	SINR          []float64 // per-RX linear SINR, dimensionless
+	Throughput    []units.BitsPerSecond
+	SumThroughput units.BitsPerSecond
+	SumLog        float64     // objective (5), dimensionless
+	CommPower     units.Watts // P_C,tot actually consumed
 }
 
 // Evaluate scores a swing allocation.
@@ -90,11 +91,11 @@ func Evaluate(env *Env, s channel.Swings) Evaluation {
 
 // PowerEfficiency returns throughput per watt of communication power,
 // the paper's Sec. 8.3 figure of merit. Zero power yields zero.
-func (ev Evaluation) PowerEfficiency() float64 {
+func (ev Evaluation) PowerEfficiency() units.BitsPerJoule {
 	if ev.CommPower <= 0 {
 		return 0
 	}
-	return ev.SumThroughput / ev.CommPower
+	return units.BitsPerJoule(ev.SumThroughput.Bps() / ev.CommPower.W())
 }
 
 // Assignment pairs a transmitter with the receiver it serves. RX < 0 means
@@ -110,7 +111,7 @@ type Assignment struct {
 // partial swing that exactly exhausts the budget when allowPartial is true
 // (used for smooth budget sweeps), otherwise skipped along with everything
 // after it.
-func SwingsFromAssignments(env *Env, order []Assignment, budget float64, allowPartial bool) channel.Swings {
+func SwingsFromAssignments(env *Env, order []Assignment, budget units.Watts, allowPartial bool) channel.Swings {
 	s := channel.NewSwings(env.N(), env.M())
 	cost := env.ActivationCost()
 	remaining := budget
@@ -129,7 +130,8 @@ func SwingsFromAssignments(env *Env, order []Assignment, budget float64, allowPa
 		}
 		if allowPartial {
 			// r·(isw/2)² = remaining  =>  isw = 2·sqrt(remaining/r)
-			s[a.TX][a.RX] = env.LED.ClampSwing(2 * math.Sqrt(remaining/r))
+			isw := units.Amperes(2 * math.Sqrt(remaining.W()/r.Ohms()))
+			s[a.TX][a.RX] = env.LED.ClampSwing(isw)
 		}
 		break
 	}

@@ -9,6 +9,7 @@ import (
 	"densevlc/internal/geom"
 	"densevlc/internal/led"
 	"densevlc/internal/optics"
+	"densevlc/internal/units"
 )
 
 // testEnv builds the paper's deployment with receivers at the given xy
@@ -64,7 +65,7 @@ func TestEnvValidate(t *testing.T) {
 
 func TestActivationCostMatchesPaper(t *testing.T) {
 	env := testEnv(fig7RX())
-	if got := env.ActivationCost(); math.Abs(got-0.07442) > 1e-6 {
+	if got := env.ActivationCost(); math.Abs(got.W()-0.07442) > 1e-6 {
 		t.Errorf("activation cost = %v, want 74.42 mW", got)
 	}
 }
@@ -129,7 +130,7 @@ func TestHeuristicFirstPicksAreDominantTXs(t *testing.T) {
 func TestHeuristicBudgetRespected(t *testing.T) {
 	env := testEnv(fig7RX())
 	r := env.Params.DynamicResistance
-	for _, budget := range []float64{0, 0.05, 0.3, 1.19, 3.0} {
+	for _, budget := range []units.Watts{0, 0.05, 0.3, 1.19, 3.0} {
 		for _, partial := range []bool{false, true} {
 			s, err := Heuristic{Kappa: 1.3, AllowPartial: partial}.Allocate(env, budget)
 			if err != nil {
@@ -151,19 +152,19 @@ func TestHeuristicBudgetRespected(t *testing.T) {
 func TestHeuristicPartialExhaustsBudget(t *testing.T) {
 	env := testEnv(fig7RX())
 	r := env.Params.DynamicResistance
-	budget := 0.1 // not a multiple of the activation cost
+	budget := units.Watts(0.1) // not a multiple of the activation cost
 	s, err := Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := s.CommPower(r); math.Abs(p-budget) > 1e-9 {
+	if p := s.CommPower(r); math.Abs((p - budget).W()) > 1e-9 {
 		t.Errorf("partial allocation consumed %v, want %v", p, budget)
 	}
 }
 
 func TestHeuristicThroughputIncreasesWithBudget(t *testing.T) {
 	env := testEnv(fig7RX())
-	budgets := []float64{0.0745, 0.149, 0.298, 0.596, 1.19}
+	budgets := []units.Watts{0.0745, 0.149, 0.298, 0.596, 1.19}
 	points, err := Sweep(env, Heuristic{Kappa: 1.3, AllowPartial: true}, budgets)
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +229,7 @@ func TestSISOActivatesOneTXPerRX(t *testing.T) {
 		if s.TXTotal(j) > 0 {
 			active++
 			// Full swing, single receiver.
-			if math.Abs(s.TXTotal(j)-env.LED.MaxSwing) > 1e-12 {
+			if math.Abs((s.TXTotal(j) - env.LED.MaxSwing).A()) > 1e-12 {
 				t.Errorf("TX %d at partial swing %v", j, s.TXTotal(j))
 			}
 		}
@@ -237,11 +238,11 @@ func TestSISOActivatesOneTXPerRX(t *testing.T) {
 		t.Errorf("SISO activated %d TXs, want 4", active)
 	}
 	want := 4 * env.ActivationCost()
-	if got := (SISO{}).OperatingPower(env); math.Abs(got-want) > 1e-12 {
+	if got := (SISO{}).OperatingPower(env); math.Abs((got - want).W()) > 1e-12 {
 		t.Errorf("operating power = %v, want %v (298 mW)", got, want)
 	}
 	// The paper's Fig. 21 operating point: 298 mW.
-	if math.Abs(want-0.298) > 0.002 {
+	if math.Abs(want.W()-0.298) > 0.002 {
 		t.Errorf("SISO operating power %v, paper reports ≈298 mW", want)
 	}
 }
@@ -255,7 +256,7 @@ func TestDMISOUsesAllTXs(t *testing.T) {
 	if len(asg) != 36 {
 		t.Errorf("D-MISO assigned %d TXs, want 36", len(asg))
 	}
-	if got := d.OperatingPower(env); math.Abs(got-2.68) > 0.01 {
+	if got := d.OperatingPower(env); math.Abs(got.W()-2.68) > 0.01 {
 		t.Errorf("D-MISO operating power = %v, paper reports 2.68 W", got)
 	}
 	s, err := d.Allocate(env, 3)
@@ -307,11 +308,11 @@ func TestSwingsFromAssignmentsEdgeCases(t *testing.T) {
 	if s[5][1] != env.LED.MaxSwing {
 		t.Error("valid assignment not applied")
 	}
-	total := 0.0
+	total := units.Amperes(0)
 	for j := range s {
 		total += s.TXTotal(j)
 	}
-	if math.Abs(total-env.LED.MaxSwing) > 1e-12 {
+	if math.Abs((total - env.LED.MaxSwing).A()) > 1e-12 {
 		t.Errorf("unexpected extra swing: %v", total)
 	}
 	// Zero budget → nothing.
@@ -327,7 +328,7 @@ func TestBudgetGridAndActivationGrid(t *testing.T) {
 	g := BudgetGrid(3, 3)
 	want := []float64{1, 2, 3}
 	for i := range want {
-		if math.Abs(g[i]-want[i]) > 1e-12 {
+		if math.Abs(g[i].W()-want[i]) > 1e-12 {
 			t.Errorf("BudgetGrid = %v", g)
 		}
 	}
@@ -336,7 +337,7 @@ func TestBudgetGridAndActivationGrid(t *testing.T) {
 	}
 	env := testEnv(fig7RX())
 	ag := ActivationGrid(env, 2)
-	if math.Abs(ag[0]-env.ActivationCost()) > 1e-12 || math.Abs(ag[1]-2*env.ActivationCost()) > 1e-12 {
+	if math.Abs((ag[0]-env.ActivationCost()).W()) > 1e-12 || math.Abs((ag[1]-2*env.ActivationCost()).W()) > 1e-12 {
 		t.Errorf("ActivationGrid = %v", ag)
 	}
 }
@@ -403,7 +404,7 @@ func TestHeuristicBudgetMonotonicityProperty(t *testing.T) {
 		prev := math.Inf(-1)
 		base := 4 * env.ActivationCost()
 		for k := 1; k <= 4; k++ {
-			s, err := policy.Allocate(env, base*float64(k)/2)
+			s, err := policy.Allocate(env, units.Watts(base.W()*float64(k)/2))
 			if err != nil {
 				t.Fatal(err)
 			}

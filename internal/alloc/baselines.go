@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"densevlc/internal/channel"
+	"densevlc/internal/units"
 )
 
 // SISO is the "nearest-TX communicating" baseline of Sec. 8.3: only the
@@ -18,12 +19,12 @@ func (SISO) Name() string { return "SISO" }
 
 // Allocate implements Policy. The budget is still honoured: receivers are
 // served in order of their best channel until activations no longer fit.
-func (SISO) Allocate(env *Env, budget float64) (channel.Swings, error) {
+func (SISO) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if budget < 0 {
-		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget)
+		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget.W())
 	}
 	type pick struct {
 		rx, tx int
@@ -49,14 +50,14 @@ func (SISO) Allocate(env *Env, budget float64) (channel.Swings, error) {
 // OperatingPower returns the communication power SISO consumes when fully
 // deployed (one full-swing TX per receiver) — its single operating point in
 // Fig. 21.
-func (SISO) OperatingPower(env *Env) float64 {
+func (SISO) OperatingPower(env *Env) units.Watts {
 	n := 0
 	for i := 0; i < env.M(); i++ {
 		if env.H.BestTX(i) >= 0 {
 			n++
 		}
 	}
-	return float64(n) * env.ActivationCost()
+	return units.Watts(float64(n) * env.ActivationCost().W())
 }
 
 // DMISO is the "all-TXs communicating" baseline of Sec. 8.3: every
@@ -109,12 +110,12 @@ func (d DMISO) Assignments(env *Env) []Assignment {
 
 // Allocate implements Policy. D-MISO ignores power efficiency by design but
 // still cannot overspend the budget: activations stop when it is exhausted.
-func (d DMISO) Allocate(env *Env, budget float64) (channel.Swings, error) {
+func (d DMISO) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if budget < 0 {
-		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget)
+		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget.W())
 	}
 	return SwingsFromAssignments(env, d.Assignments(env), budget, false), nil
 }
@@ -122,6 +123,6 @@ func (d DMISO) Allocate(env *Env, budget float64) (channel.Swings, error) {
 // OperatingPower returns the communication power D-MISO consumes when fully
 // deployed — its operating point in Fig. 21 (2.68 W in the paper: 36 TXs at
 // 74.42 mW each).
-func (d DMISO) OperatingPower(env *Env) float64 {
-	return float64(len(d.Assignments(env))) * env.ActivationCost()
+func (d DMISO) OperatingPower(env *Env) units.Watts {
+	return units.Watts(float64(len(d.Assignments(env))) * env.ActivationCost().W())
 }

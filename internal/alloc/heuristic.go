@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"densevlc/internal/channel"
+	"densevlc/internal/units"
 )
 
 // Heuristic is the ranking-based Signal-to-Jamming-Ratio policy of
@@ -90,12 +91,12 @@ func (h Heuristic) Rank(env *Env) []Assignment {
 }
 
 // Allocate implements Policy.
-func (h Heuristic) Allocate(env *Env, budget float64) (channel.Swings, error) {
+func (h Heuristic) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if budget < 0 {
-		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget)
+		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget.W())
 	}
 	return SwingsFromAssignments(env, h.Rank(env), budget, h.AllowPartial), nil
 }
@@ -209,12 +210,12 @@ func (a AdaptiveKappa) Rank(env *Env) []Assignment {
 }
 
 // Allocate implements Policy.
-func (a AdaptiveKappa) Allocate(env *Env, budget float64) (channel.Swings, error) {
+func (a AdaptiveKappa) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if budget < 0 {
-		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget)
+		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget.W())
 	}
 	return SwingsFromAssignments(env, a.Rank(env), budget, a.AllowPartial), nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"densevlc/internal/channel"
 	"densevlc/internal/optimize"
+	"densevlc/internal/units"
 )
 
 // Optimal solves the allocation program of Eq. (5)–(7) directly:
@@ -39,12 +40,12 @@ type Optimal struct {
 func (Optimal) Name() string { return "optimal" }
 
 // Allocate implements Policy.
-func (o Optimal) Allocate(env *Env, budget float64) (channel.Swings, error) {
+func (o Optimal) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if budget < 0 {
-		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget)
+		return nil, fmt.Errorf("alloc: negative power budget %.3f", budget.W())
 	}
 	if budget == 0 {
 		return channel.NewSwings(env.N(), env.M()), nil
@@ -96,7 +97,7 @@ func (o Optimal) Allocate(env *Env, budget float64) (channel.Swings, error) {
 	}
 
 	if math.IsInf(bestF, -1) {
-		return nil, fmt.Errorf("alloc: no feasible allocation serves all %d receivers within %.3f W", env.M(), budget)
+		return nil, fmt.Errorf("alloc: no feasible allocation serves all %d receivers within %.3f W", env.M(), budget.W())
 	}
 	return unflatten(bestX, env.N(), env.M()), nil
 }
@@ -123,21 +124,22 @@ func (o Optimal) kappaGrid() []float64 {
 }
 
 // problem adapts Eq. (5)–(7) to the optimize package, with the swing matrix
-// flattened row-major: x[j*M+k] = Isw^{j,k}.
+// flattened row-major: x[j*M+k] = Isw^{j,k} in amperes. The optimiser works
+// on bare float64 magnitudes; units re-attach at the unflatten boundary.
 type problem struct {
 	env    *Env
-	budget float64
+	budget float64 // W
 	scale  float64 // c = R·η·r
-	noise  float64 // N0·B
+	noise  float64 // N0·B in A²
 }
 
-func newProblem(env *Env, budget float64) *problem {
+func newProblem(env *Env, budget units.Watts) *problem {
 	p := env.Params
 	return &problem{
 		env:    env,
-		budget: budget,
-		scale:  p.Responsivity * p.WallPlugEfficiency * p.DynamicResistance,
-		noise:  p.NoisePower(),
+		budget: budget.W(),
+		scale:  p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms(),
+		noise:  p.NoisePower().A2(),
 	}
 }
 
@@ -145,7 +147,7 @@ func newProblem(env *Env, budget float64) *problem {
 func (p *problem) Value(x []float64) float64 {
 	n, m := p.env.N(), p.env.M()
 	h := p.env.H
-	b := p.env.Params.Bandwidth
+	b := p.env.Params.Bandwidth.Hz()
 	obj := 0.0
 	for i := 0; i < m; i++ {
 		var u, w float64 // intended signal sum, total incident sum
@@ -179,7 +181,7 @@ func (p *problem) Value(x []float64) float64 {
 func (p *problem) Gradient(x, grad []float64) {
 	n, m := p.env.N(), p.env.M()
 	h := p.env.H
-	b := p.env.Params.Bandwidth
+	b := p.env.Params.Bandwidth.Hz()
 	c := p.scale
 
 	// Per-receiver aggregates.
@@ -251,8 +253,8 @@ func (p *problem) Gradient(x, grad []float64) {
 // constraint (6), then radial scaling for the power budget (7).
 func (p *problem) projector() optimize.Projector {
 	n, m := p.env.N(), p.env.M()
-	maxSwing := p.env.LED.MaxSwing
-	r := p.env.Params.DynamicResistance
+	maxSwing := p.env.LED.MaxSwing.A()
+	r := p.env.Params.DynamicResistance.Ohms()
 	return optimize.ProjectorFunc(func(x []float64) {
 		for j := 0; j < n; j++ {
 			optimize.ProjectCappedSimplex(x[j*m:(j+1)*m], maxSwing)
@@ -276,7 +278,7 @@ func (p *problem) projector() optimize.Projector {
 // transmitters.
 func (p *problem) seeds(count int) [][]float64 {
 	n, m := p.env.N(), p.env.M()
-	r := p.env.Params.DynamicResistance
+	r := p.env.Params.DynamicResistance.Ohms()
 	var out [][]float64
 
 	// Seed 1: each RX's best TX carries an equal share of the budget;
@@ -289,8 +291,8 @@ func (p *problem) seeds(count int) [][]float64 {
 	share := p.budget / float64(m)
 	for i := 0; i < m; i++ {
 		if tx := p.env.H.BestTX(i); tx >= 0 {
-			isw := 2 * math.Sqrt(share/r)
-			x[tx*m+i] = p.env.LED.ClampSwing(isw)
+			isw := units.Amperes(2 * math.Sqrt(share/r))
+			x[tx*m+i] = p.env.LED.ClampSwing(isw).A()
 		}
 	}
 	out = append(out, x)
@@ -318,7 +320,7 @@ func (p *problem) seeds(count int) [][]float64 {
 				continue
 			}
 			for k := 0; k < m; k++ {
-				x[j*m+k] = eps + frac*p.env.LED.MaxSwing*p.env.H.Gain(j, k)/denom
+				x[j*m+k] = eps + frac*p.env.LED.MaxSwing.A()*p.env.H.Gain(j, k)/denom
 			}
 		}
 		out = append(out, x)
@@ -333,7 +335,9 @@ func flatten(s channel.Swings) []float64 {
 	m := len(s[0])
 	x := make([]float64, len(s)*m)
 	for j := range s {
-		copy(x[j*m:], s[j])
+		for k, v := range s[j] {
+			x[j*m+k] = v.A()
+		}
 	}
 	return x
 }
@@ -341,7 +345,9 @@ func flatten(s channel.Swings) []float64 {
 func unflatten(x []float64, n, m int) channel.Swings {
 	s := channel.NewSwings(n, m)
 	for j := 0; j < n; j++ {
-		copy(s[j], x[j*m:(j+1)*m])
+		for k := 0; k < m; k++ {
+			s[j][k] = units.Amperes(x[j*m+k])
+		}
 	}
 	return s
 }

@@ -7,12 +7,13 @@ import (
 	"densevlc/internal/channel"
 	"densevlc/internal/geom"
 	"densevlc/internal/optimize"
+	"densevlc/internal/units"
 )
 
 func TestOptimalRespectsConstraints(t *testing.T) {
 	env := testEnv(fig7RX())
 	r := env.Params.DynamicResistance
-	for _, budget := range []float64{0, 0.074, 0.3, 1.19} {
+	for _, budget := range []units.Watts{0, 0.074, 0.3, 1.19} {
 		s, err := Optimal{}.Allocate(env, budget)
 		if err != nil {
 			t.Fatalf("budget %v: %v", budget, err)
@@ -36,7 +37,7 @@ func TestOptimalRespectsConstraints(t *testing.T) {
 func TestOptimalBeatsOrMatchesEveryHeuristic(t *testing.T) {
 	// The optimal policy is the yardstick of Fig. 11: no κ may beat it.
 	env := testEnv(fig7RX())
-	for _, budget := range []float64{0.3, 1.19} {
+	for _, budget := range []units.Watts{0.3, 1.19} {
 		sOpt, err := Optimal{}.Allocate(env, budget)
 		if err != nil {
 			t.Fatal(err)
@@ -100,8 +101,8 @@ func TestOptimalInsight1SequentialActivation(t *testing.T) {
 	var powers []float64
 	total := 0.0
 	for j := range s {
-		half := s.TXTotal(j) / 2
-		p := r * half * half
+		half := s.TXTotal(j).A() / 2
+		p := r.Ohms() * half * half
 		powers = append(powers, p)
 		total += p
 	}

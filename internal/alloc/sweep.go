@@ -1,22 +1,26 @@
 package alloc
 
-import "fmt"
+import (
+	"fmt"
+
+	"densevlc/internal/units"
+)
 
 // SweepPoint is one budget point of a policy sweep.
 type SweepPoint struct {
-	Budget     float64 // requested P_C,tot, W
+	Budget     units.Watts // requested P_C,tot
 	Eval       Evaluation
-	Throughput []float64 // alias of Eval.Throughput for convenience
+	Throughput []units.BitsPerSecond // alias of Eval.Throughput for convenience
 }
 
 // Sweep evaluates a policy across a list of power budgets, the x-axis of
 // Figs. 8, 11, 18–21.
-func Sweep(env *Env, policy Policy, budgets []float64) ([]SweepPoint, error) {
+func Sweep(env *Env, policy Policy, budgets []units.Watts) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(budgets))
 	for _, b := range budgets {
 		s, err := policy.Allocate(env, b)
 		if err != nil {
-			return nil, fmt.Errorf("alloc: %s at %.3f W: %w", policy.Name(), b, err)
+			return nil, fmt.Errorf("alloc: %s at %.3f W: %w", policy.Name(), b.W(), err)
 		}
 		ev := Evaluate(env, s)
 		out = append(out, SweepPoint{Budget: b, Eval: ev, Throughput: ev.Throughput})
@@ -26,13 +30,13 @@ func Sweep(env *Env, policy Policy, budgets []float64) ([]SweepPoint, error) {
 
 // BudgetGrid returns count budgets evenly spaced over (0, max], excluding
 // zero (where every policy trivially delivers nothing).
-func BudgetGrid(max float64, count int) []float64 {
+func BudgetGrid(max units.Watts, count int) []units.Watts {
 	if count < 1 {
 		return nil
 	}
-	out := make([]float64, count)
+	out := make([]units.Watts, count)
 	for i := range out {
-		out[i] = max * float64(i+1) / float64(count)
+		out[i] = units.Watts(max.W() * float64(i+1) / float64(count))
 	}
 	return out
 }
@@ -41,11 +45,11 @@ func BudgetGrid(max float64, count int) []float64 {
 // activate: k·P_C,tx,max for k = 1..n. The experimental evaluation
 // (Sec. 8.2) sweeps budgets exactly this way — "assigning the TXs from the
 // ranked list one by one".
-func ActivationGrid(env *Env, n int) []float64 {
+func ActivationGrid(env *Env, n int) []units.Watts {
 	cost := env.ActivationCost()
-	out := make([]float64, n)
+	out := make([]units.Watts, n)
 	for i := range out {
-		out[i] = float64(i+1) * cost
+		out[i] = units.Watts(float64(i+1) * cost.W())
 	}
 	return out
 }
@@ -53,7 +57,7 @@ func ActivationGrid(env *Env, n int) []float64 {
 // NormalizeSystem returns each sweep point's system throughput divided by
 // the maximum across the sweep, the normalisation of Figs. 18–21.
 func NormalizeSystem(points []SweepPoint) []float64 {
-	max := 0.0
+	var max units.BitsPerSecond
 	for _, p := range points {
 		if p.Eval.SumThroughput > max {
 			max = p.Eval.SumThroughput
@@ -64,7 +68,7 @@ func NormalizeSystem(points []SweepPoint) []float64 {
 		return out
 	}
 	for i, p := range points {
-		out[i] = p.Eval.SumThroughput / max
+		out[i] = p.Eval.SumThroughput.Bps() / max.Bps()
 	}
 	return out
 }

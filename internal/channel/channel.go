@@ -11,22 +11,24 @@ import (
 
 	"densevlc/internal/geom"
 	"densevlc/internal/optics"
+	"densevlc/internal/units"
 )
 
 // Params are the link-budget constants of Eq. (12) (Table 1 of the paper).
 type Params struct {
-	// NoiseDensity is N0, the single-sided spectral power density in A²/Hz
-	// (7.02e-23 in the paper).
-	NoiseDensity float64
-	// Bandwidth is the communication bandwidth B in Hz (1 MHz).
-	Bandwidth float64
-	// Responsivity is the photodiode responsivity R in A/W (0.40).
-	Responsivity float64
-	// WallPlugEfficiency is the LED's electrical-to-optical efficiency η (0.40).
+	// NoiseDensity is N0, the single-sided spectral power density
+	// (7.02e-23 A²/Hz in the paper).
+	NoiseDensity units.SquareAmperesPerHertz
+	// Bandwidth is the communication bandwidth B (1 MHz).
+	Bandwidth units.Hertz
+	// Responsivity is the photodiode responsivity R (0.40 A/W).
+	Responsivity units.AmperesPerWatt
+	// WallPlugEfficiency is the LED's electrical-to-optical efficiency η
+	// (0.40), a dimensionless ratio.
 	WallPlugEfficiency float64
-	// DynamicResistance is the LED dynamic resistance r in Ω at the working
+	// DynamicResistance is the LED dynamic resistance r at the working
 	// point, converting swing current to electrical signal power.
-	DynamicResistance float64
+	DynamicResistance units.Ohms
 }
 
 // Validate reports whether the parameters are usable.
@@ -46,8 +48,10 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// NoisePower returns the receiver noise power N0·B in A².
-func (p Params) NoisePower() float64 { return p.NoiseDensity * p.Bandwidth }
+// NoisePower returns the receiver noise power N0·B.
+func (p Params) NoisePower() units.SquareAmperes {
+	return units.SquareAmperes(p.NoiseDensity.A2PerHz() * p.Bandwidth.Hz())
+}
 
 // Matrix is the line-of-sight path-loss matrix H: H[j][i] is the channel
 // gain from TX j to RX i (Eq. 2). Dimensions are N TXs × M RXs.
@@ -122,15 +126,15 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Swings is the allocation variable of the optimisation problem: the swing
-// current (amps) TX j applies to the signal destined for RX k, indexed
-// [tx][rx]. A TX serving nobody has an all-zero row; the MAC keeps such TXs
-// in illumination mode.
-type Swings [][]float64
+// current TX j applies to the signal destined for RX k, indexed [tx][rx].
+// A TX serving nobody has an all-zero row; the MAC keeps such TXs in
+// illumination mode.
+type Swings [][]units.Amperes
 
 // NewSwings allocates an all-zero N×M swing matrix.
 func NewSwings(n, m int) Swings {
 	s := make(Swings, n)
-	buf := make([]float64, n*m)
+	buf := make([]units.Amperes, n*m)
 	for j := range s {
 		s[j], buf = buf[:m], buf[m:]
 	}
@@ -151,8 +155,8 @@ func (s Swings) Clone() Swings {
 
 // TXTotal returns the summed swing of TX j across receivers, the quantity
 // bounded by Isw,max in constraint (6).
-func (s Swings) TXTotal(j int) float64 {
-	t := 0.0
+func (s Swings) TXTotal(j int) units.Amperes {
+	var t units.Amperes
 	for _, v := range s[j] {
 		t += v
 	}
@@ -163,13 +167,13 @@ func (s Swings) TXTotal(j int) float64 {
 // Eq. (11): Σ_j r·(Σ_k Isw[j][k] / 2)². The inner sum mirrors constraint (7),
 // where a TX's branches modulate the same LED, so their swings add before
 // the quadratic.
-func (s Swings) CommPower(r float64) float64 {
+func (s Swings) CommPower(r units.Ohms) units.Watts {
 	total := 0.0
 	for j := range s {
-		half := s.TXTotal(j) / 2
-		total += r * half * half
+		half := s.TXTotal(j).A() / 2
+		total += r.Ohms() * half * half
 	}
-	return total
+	return units.Watts(total)
 }
 
 // SINR computes the per-receiver signal-to-interference-plus-noise ratio of
@@ -185,8 +189,8 @@ func SINR(p Params, h *Matrix, s Swings) []float64 {
 		panic(fmt.Sprintf("channel: swing matrix has %d TX rows, gain matrix %d", len(s), h.N))
 	}
 	out := make([]float64, h.M)
-	scale := p.Responsivity * p.WallPlugEfficiency * p.DynamicResistance
-	noise := p.NoisePower()
+	scale := p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms()
+	noise := p.NoisePower().A2()
 	for i := 0; i < h.M; i++ {
 		var sig, interf float64
 		for j := 0; j < h.N; j++ {
@@ -195,7 +199,7 @@ func SINR(p Params, h *Matrix, s Swings) []float64 {
 				continue
 			}
 			for k := 0; k < h.M; k++ {
-				half := s[j][k] / 2
+				half := s[j][k].A() / 2
 				term := hji * half * half
 				if k == i {
 					sig += term
@@ -211,33 +215,34 @@ func SINR(p Params, h *Matrix, s Swings) []float64 {
 	return out
 }
 
-// Throughput returns the per-receiver Shannon throughput in bit/s:
-// B·log2(1 + SINR_i).
-func Throughput(p Params, sinr []float64) []float64 {
-	out := make([]float64, len(sinr))
+// Throughput returns the per-receiver Shannon throughput B·log2(1 + SINR_i).
+func Throughput(p Params, sinr []float64) []units.BitsPerSecond {
+	out := make([]units.BitsPerSecond, len(sinr))
 	for i, s := range sinr {
-		out[i] = p.Bandwidth * math.Log2(1+s)
+		out[i] = units.BitsPerSecond(p.Bandwidth.Hz() * math.Log2(1+s))
 	}
 	return out
 }
 
-// SumThroughput returns the total system throughput in bit/s.
-func SumThroughput(p Params, sinr []float64) float64 {
+// SumThroughput returns the total system throughput.
+func SumThroughput(p Params, sinr []float64) units.BitsPerSecond {
 	t := 0.0
 	for _, s := range sinr {
-		t += p.Bandwidth * math.Log2(1+s)
+		t += p.Bandwidth.Hz() * math.Log2(1+s)
 	}
-	return t
+	return units.BitsPerSecond(t)
 }
 
 // SumLogThroughput returns the proportional-fair objective of Eq. (5):
 // Σ_i log(B·log2(1 + SINR_i)). A receiver with zero throughput drives the
 // objective to −Inf, which correctly forces every policy to serve all
 // receivers.
+//
+//lint:ignore unitsafety the sum-of-logs objective is dimensionless
 func SumLogThroughput(p Params, sinr []float64) float64 {
 	obj := 0.0
 	for _, s := range sinr {
-		t := p.Bandwidth * math.Log2(1+s)
+		t := p.Bandwidth.Hz() * math.Log2(1+s)
 		if t <= 0 {
 			return math.Inf(-1)
 		}
@@ -250,8 +255,8 @@ func SumLogThroughput(p Params, sinr []float64) float64 {
 // in for a person or furniture between the ceiling and the receivers
 // (Sec. 9's blockage discussion).
 type DiskBlocker struct {
-	Center geom.Vec // centre of the disk
-	Radius float64  // disk radius in metres
+	Center geom.Vec     // centre of the disk
+	Radius units.Meters // disk radius
 }
 
 // Blocked reports whether the segment from 'from' to 'to' passes through the
@@ -268,5 +273,5 @@ func (b DiskBlocker) Blocked(from, to geom.Vec) bool {
 	x := from.X + t*(to.X-from.X)
 	y := from.Y + t*(to.Y-from.Y)
 	dx, dy := x-b.Center.X, y-b.Center.Y
-	return dx*dx+dy*dy <= b.Radius*b.Radius
+	return dx*dx+dy*dy <= b.Radius.M()*b.Radius.M()
 }

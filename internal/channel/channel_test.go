@@ -7,6 +7,7 @@ import (
 
 	"densevlc/internal/geom"
 	"densevlc/internal/optics"
+	"densevlc/internal/units"
 )
 
 func paperParams() Params {
@@ -47,7 +48,7 @@ func TestParamsValidate(t *testing.T) {
 
 func TestNoisePower(t *testing.T) {
 	p := paperParams()
-	if got := p.NoisePower(); math.Abs(got-7.02e-17) > 1e-25 {
+	if got := p.NoisePower(); math.Abs(got.A2()-7.02e-17) > 1e-25 {
 		t.Errorf("N0·B = %v, want 7.02e-17", got)
 	}
 }
@@ -128,13 +129,13 @@ func TestSwingsHelpers(t *testing.T) {
 	s := NewSwings(2, 3)
 	s[0][0], s[0][2] = 0.4, 0.2
 	s[1][1] = 0.9
-	if got := s.TXTotal(0); math.Abs(got-0.6) > 1e-15 {
+	if got := s.TXTotal(0); math.Abs(got.A()-0.6) > 1e-15 {
 		t.Errorf("TXTotal = %v", got)
 	}
-	r := 0.3675
+	r := units.Ohms(0.3675)
 	// P = r·(0.6/2)² + r·(0.9/2)².
-	want := r*0.09 + r*0.2025
-	if got := s.CommPower(r); math.Abs(got-want) > 1e-12 {
+	want := r.Ohms()*0.09 + r.Ohms()*0.2025
+	if got := s.CommPower(r); math.Abs(got.W()-want) > 1e-12 {
 		t.Errorf("CommPower = %v, want %v", got, want)
 	}
 	c := s.Clone()
@@ -167,9 +168,9 @@ func TestSINRSingleLinkMatchesHandComputation(t *testing.T) {
 	s[0][0] = 0.9 // TX0 serves RX0 at full swing
 
 	sinr := SINR(p, h, s)
-	c := p.Responsivity * p.WallPlugEfficiency * p.DynamicResistance
+	c := p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms()
 	sig := c * h.Gain(0, 0) * 0.45 * 0.45
-	want := sig * sig / p.NoisePower()
+	want := sig * sig / p.NoisePower().A2()
 	if math.Abs(sinr[0]-want) > 1e-9*want {
 		t.Errorf("SINR[0] = %v, want %v", sinr[0], want)
 	}
@@ -191,7 +192,7 @@ func TestSINRPaperMagnitude(t *testing.T) {
 		t.Errorf("axial full-swing SINR = %v, expected order 1", sinr[0])
 	}
 	tput := Throughput(p, sinr)
-	if tput[0] < 0.5e6 || tput[0] > 3e6 {
+	if tput[0].Bps() < 0.5e6 || tput[0].Bps() > 3e6 {
 		t.Errorf("throughput = %v, expected ≈1–2 Mbit/s", tput[0])
 	}
 }
@@ -227,9 +228,9 @@ func TestSINRMoreSignalPowerHelps(t *testing.T) {
 			a, b = b, a
 		}
 		sa := NewSwings(2, 2)
-		sa[0][0] = a
+		sa[0][0] = units.Amperes(a)
 		sb := NewSwings(2, 2)
-		sb[0][0] = b
+		sb[0][0] = units.Amperes(b)
 		return SINR(p, h, sa)[0] <= SINR(p, h, sb)[0]+1e-18
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -251,10 +252,10 @@ func TestThroughputAndObjective(t *testing.T) {
 	p := paperParams()
 	sinr := []float64{1, 3}
 	tput := Throughput(p, sinr)
-	if math.Abs(tput[0]-1e6) > 1 || math.Abs(tput[1]-2e6) > 1 {
+	if math.Abs(tput[0].Bps()-1e6) > 1 || math.Abs(tput[1].Bps()-2e6) > 1 {
 		t.Errorf("Throughput = %v", tput)
 	}
-	if got := SumThroughput(p, sinr); math.Abs(got-3e6) > 1 {
+	if got := SumThroughput(p, sinr); math.Abs(got.Bps()-3e6) > 1 {
 		t.Errorf("SumThroughput = %v", got)
 	}
 	want := math.Log(1e6) + math.Log(2e6)

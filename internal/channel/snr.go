@@ -3,6 +3,8 @@ package channel
 import (
 	"errors"
 	"math"
+
+	"densevlc/internal/units"
 )
 
 // M2M4 errors.
@@ -59,12 +61,7 @@ func EstimateSNRM2M4(samples []float64) (float64, error) {
 
 // SNRdB converts a linear SNR to decibels. Zero or negative input maps to
 // -Inf.
-func SNRdB(linear float64) float64 {
-	if linear <= 0 {
-		return math.Inf(-1)
-	}
-	return 10 * math.Log10(linear)
-}
+func SNRdB(linear float64) units.Decibels { return units.LinearToDecibels(linear) }
 
 // SNRFromdB converts a decibel SNR to linear.
-func SNRFromdB(db float64) float64 { return math.Pow(10, db/10) }
+func SNRFromdB(db units.Decibels) float64 { return units.DecibelsToLinear(db) }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"densevlc/internal/units"
 )
 
 // synthSamples produces a binary-antipodal signal ±amp in Gaussian noise.
@@ -22,7 +24,7 @@ func synthSamples(rng *rand.Rand, n int, amp, sigma float64) []float64 {
 func TestM2M4Accuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, trueSNRdB := range []float64{0, 5, 10, 15, 20} {
-		snr := SNRFromdB(trueSNRdB)
+		snr := SNRFromdB(units.Decibels(trueSNRdB))
 		sigma := 1.0
 		amp := math.Sqrt(snr) * sigma
 		samples := synthSamples(rng, 200000, amp, sigma)
@@ -30,7 +32,7 @@ func TestM2M4Accuracy(t *testing.T) {
 		if err != nil {
 			t.Fatalf("SNR %v dB: %v", trueSNRdB, err)
 		}
-		gotdB := SNRdB(got)
+		gotdB := SNRdB(got).DB()
 		// Pauluzzi & Beaulieu show M2M4 is near the CRLB above 0 dB; with
 		// 2e5 samples the estimate lands within a fraction of a dB.
 		if math.Abs(gotdB-trueSNRdB) > 0.5 {
@@ -75,14 +77,14 @@ func TestM2M4TooFewSamples(t *testing.T) {
 }
 
 func TestSNRdBConversions(t *testing.T) {
-	if got := SNRdB(100); math.Abs(got-20) > 1e-12 {
+	if got := SNRdB(100); math.Abs(got.DB()-20) > 1e-12 {
 		t.Errorf("SNRdB(100) = %v", got)
 	}
-	if !math.IsInf(SNRdB(0), -1) || !math.IsInf(SNRdB(-1), -1) {
+	if !math.IsInf(SNRdB(0).DB(), -1) || !math.IsInf(SNRdB(-1).DB(), -1) {
 		t.Error("non-positive SNR should map to -Inf dB")
 	}
 	for _, db := range []float64{-10, 0, 3, 20} {
-		if got := SNRdB(SNRFromdB(db)); math.Abs(got-db) > 1e-9 {
+		if got := SNRdB(SNRFromdB(units.Decibels(db))); math.Abs(got.DB()-db) > 1e-9 {
 			t.Errorf("round trip %v dB → %v", db, got)
 		}
 	}

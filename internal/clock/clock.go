@@ -14,47 +14,50 @@
 // level) in package vlcsync; this package covers the clock-based baselines
 // and the oscillator model both share.
 //
-// All times are in seconds.
+// Times carry units.Seconds and rates units.Hertz; only the internal
+// jitter constants and dimensionless ratios stay bare float64.
 package clock
 
 import (
 	"fmt"
 	"math/rand"
+
+	"densevlc/internal/units"
 )
 
 // Clock is a free-running local oscillator: local = (1+drift)·t + offset.
 type Clock struct {
-	// Offset is the initial phase error against true time, seconds.
-	Offset float64
+	// Offset is the initial phase error against true time.
+	Offset units.Seconds
 	// DriftPPM is the frequency error in parts per million (typical
 	// crystal: ±20 ppm).
 	DriftPPM float64
 }
 
-// NewClock draws a clock with Gaussian offset (std offsetStd seconds) and
-// uniform drift in ±driftPPM.
-func NewClock(rng *rand.Rand, offsetStd, driftPPM float64) Clock {
+// NewClock draws a clock with Gaussian offset (std offsetStd) and uniform
+// drift in ±driftPPM.
+func NewClock(rng *rand.Rand, offsetStd units.Seconds, driftPPM float64) Clock {
 	return Clock{
-		Offset:   offsetStd * rng.NormFloat64(),
+		Offset:   units.Seconds(offsetStd.S() * rng.NormFloat64()),
 		DriftPPM: driftPPM * (2*rng.Float64() - 1),
 	}
 }
 
 // LocalTime converts true time to this clock's local reading.
-func (c Clock) LocalTime(t float64) float64 {
-	return t*(1+c.DriftPPM*1e-6) + c.Offset
+func (c Clock) LocalTime(t units.Seconds) units.Seconds {
+	return units.Seconds(t.S()*(1+c.DriftPPM*1e-6)) + c.Offset
 }
 
 // TrueTime converts a local reading back to true time.
-func (c Clock) TrueTime(local float64) float64 {
-	return (local - c.Offset) / (1 + c.DriftPPM*1e-6)
+func (c Clock) TrueTime(local units.Seconds) units.Seconds {
+	return units.Seconds((local - c.Offset).S() / (1 + c.DriftPPM*1e-6))
 }
 
 // Discipline slews the clock toward zero offset, leaving a residual error
 // (what NTP/PTP achieve): offset becomes a fresh Gaussian with the given
 // residual std.
-func (c *Clock) Discipline(rng *rand.Rand, residualStd float64) {
-	c.Offset = residualStd * rng.NormFloat64()
+func (c *Clock) Discipline(rng *rand.Rand, residualStd units.Seconds) {
+	c.Offset = units.Seconds(residualStd.S() * rng.NormFloat64())
 }
 
 // Method identifies a synchronisation scheme of the paper's comparison.
@@ -103,6 +106,15 @@ const (
 	PTPLoopFraction = 0.5
 )
 
+// Typed views of the jitter calibration constants, for callers crossing
+// into the units system.
+const (
+	// OSJitter is OSJitterStd as a typed duration.
+	OSJitter units.Seconds = OSJitterStd
+	// PTPResidual is PTPResidualStd as a typed duration.
+	PTPResidual units.Seconds = PTPResidualStd
+)
+
 // TriggerError draws the trigger-time error of one transmitter for a
 // transmission at the given symbol rate, under the given method. The error
 // is relative to the ideal common start instant; pairwise synchronisation
@@ -110,15 +122,15 @@ const (
 //
 // MethodNLOSVLC is not handled here — its error comes from the waveform
 // simulation in package vlcsync; calling it panics.
-func TriggerError(rng *rand.Rand, m Method, symbolRate float64) float64 {
-	symbolPeriod := 1 / symbolRate
+func TriggerError(rng *rand.Rand, m Method, symbolRate units.Hertz) units.Seconds {
+	symbolPeriod := 1 / symbolRate.Hz()
 	switch m {
 	case MethodNone:
 		// Frame delivery jitter plus a full symbol of phase ambiguity:
 		// the TX's symbol loop starts wherever it happens to be.
-		return OSJitterStd*rng.NormFloat64() + rng.Float64()*symbolPeriod
+		return units.Seconds(OSJitterStd*rng.NormFloat64() + rng.Float64()*symbolPeriod)
 	case MethodNTPPTP:
-		return PTPResidualStd*rng.NormFloat64() + rng.Float64()*symbolPeriod*PTPLoopFraction
+		return units.Seconds(PTPResidualStd*rng.NormFloat64() + rng.Float64()*symbolPeriod*PTPLoopFraction)
 	default:
 		//lint:ignore apipanic documented API contract: MethodNLOSVLC is modelled by package vlcsync, not here
 		panic(fmt.Sprintf("clock: TriggerError does not model %v", m))
@@ -127,7 +139,7 @@ func TriggerError(rng *rand.Rand, m Method, symbolRate float64) float64 {
 
 // PairwiseDelay draws the measured synchronisation delay between two
 // transmitters: |err₁ − err₂|.
-func PairwiseDelay(rng *rand.Rand, m Method, symbolRate float64) float64 {
+func PairwiseDelay(rng *rand.Rand, m Method, symbolRate units.Hertz) units.Seconds {
 	d := TriggerError(rng, m, symbolRate) - TriggerError(rng, m, symbolRate)
 	if d < 0 {
 		d = -d
@@ -138,16 +150,16 @@ func PairwiseDelay(rng *rand.Rand, m Method, symbolRate float64) float64 {
 // MedianPairwiseDelay estimates the median synchronisation delay over n
 // trials, mirroring the paper's measurement procedure (median over a frame,
 // averaged over 10 frames).
-func MedianPairwiseDelay(rng *rand.Rand, m Method, symbolRate float64, n int) float64 {
+func MedianPairwiseDelay(rng *rand.Rand, m Method, symbolRate units.Hertz, n int) units.Seconds {
 	if n < 1 {
 		n = 1
 	}
 	delays := make([]float64, n)
 	for i := range delays {
-		delays[i] = PairwiseDelay(rng, m, symbolRate)
+		delays[i] = PairwiseDelay(rng, m, symbolRate).S()
 	}
 	// Median by partial sort (n is small; a full sort is fine).
-	return median(delays)
+	return units.Seconds(median(delays))
 }
 
 func median(xs []float64) float64 {
@@ -169,9 +181,9 @@ func median(xs []float64) float64 {
 // given fraction of the symbol width: rate = fraction / delay. This is the
 // paper's 10% criterion, by which NTP/PTP's ≈7 µs delay at its operating
 // point caps the rate at 14.28 Ksymbols/s (Sec. 6.1).
-func MaxSymbolRate(medianDelay, maxOverlapFraction float64) float64 {
+func MaxSymbolRate(medianDelay units.Seconds, maxOverlapFraction float64) units.Hertz {
 	if medianDelay <= 0 {
 		return 0
 	}
-	return maxOverlapFraction / medianDelay
+	return units.Hertz(maxOverlapFraction / medianDelay.S())
 }

@@ -5,14 +5,15 @@ import (
 	"testing"
 
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 func TestClockConversionRoundTrip(t *testing.T) {
 	c := Clock{Offset: 1e-3, DriftPPM: 20}
-	for _, tt := range []float64{0, 1, 100, 1e4} {
+	for _, tt := range []units.Seconds{0, 1, 100, 1e4} {
 		local := c.LocalTime(tt)
 		back := c.TrueTime(local)
-		if math.Abs(back-tt) > 1e-9 {
+		if math.Abs((back - tt).S()) > 1e-9 {
 			t.Errorf("round trip at %v: %v", tt, back)
 		}
 	}
@@ -21,7 +22,7 @@ func TestClockConversionRoundTrip(t *testing.T) {
 func TestClockDrift(t *testing.T) {
 	c := Clock{DriftPPM: 20}
 	// After 1 s a 20 ppm clock gains 20 µs.
-	if got := c.LocalTime(1) - 1; math.Abs(got-20e-6) > 1e-12 {
+	if got := c.LocalTime(1) - 1; math.Abs(got.S()-20e-6) > 1e-12 {
 		t.Errorf("drift gain = %v", got)
 	}
 }
@@ -42,7 +43,7 @@ func TestDiscipline(t *testing.T) {
 	for i := range offsets {
 		c := Clock{Offset: 0.5}
 		c.Discipline(rng, 5e-6)
-		offsets[i] = math.Abs(c.Offset)
+		offsets[i] = math.Abs(c.Offset.S())
 	}
 	med := stats.Median(offsets)
 	// Median |N(0,σ)| = 0.674σ ≈ 3.4 µs.
@@ -56,7 +57,7 @@ func TestTable4NoSyncMedian(t *testing.T) {
 	rng := stats.NewRand(3)
 	med := MedianPairwiseDelay(rng, MethodNone, 100e3, 20000)
 	if med < 7e-6 || med > 14e-6 {
-		t.Errorf("no-sync median = %v µs, paper reports 10.040 µs", med*1e6)
+		t.Errorf("no-sync median = %v µs, paper reports 10.040 µs", med.S()*1e6)
 	}
 }
 
@@ -65,7 +66,7 @@ func TestTable4NTPPTPMedian(t *testing.T) {
 	rng := stats.NewRand(4)
 	med := MedianPairwiseDelay(rng, MethodNTPPTP, 100e3, 20000)
 	if med < 3e-6 || med > 7e-6 {
-		t.Errorf("NTP/PTP median = %v µs, paper reports 4.565 µs", med*1e6)
+		t.Errorf("NTP/PTP median = %v µs, paper reports 4.565 µs", med.S()*1e6)
 	}
 }
 
@@ -73,7 +74,7 @@ func TestNTPPTPAtLeastTwiceBetter(t *testing.T) {
 	// Fig. 12: NTP/PTP improves the delay by at least a factor of two at
 	// every symbol rate.
 	rng := stats.NewRand(5)
-	for _, rate := range []float64{1e3, 2e3, 5e3, 10e3, 20e3, 50e3, 64e3} {
+	for _, rate := range []units.Hertz{1e3, 2e3, 5e3, 10e3, 20e3, 50e3, 64e3} {
 		none := MedianPairwiseDelay(rng, MethodNone, rate, 5000)
 		ptp := MedianPairwiseDelay(rng, MethodNTPPTP, rate, 5000)
 		if ptp >= none/1.8 {
@@ -112,7 +113,7 @@ func TestTriggerErrorPanicsOnNLOS(t *testing.T) {
 func TestMaxSymbolRate(t *testing.T) {
 	// 10% overlap at 7 µs delay → 14.28 Ksymbols/s (Sec. 6.1).
 	got := MaxSymbolRate(7e-6, 0.1)
-	if math.Abs(got-14285.7) > 1 {
+	if math.Abs(got.Hz()-14285.7) > 1 {
 		t.Errorf("max rate = %v, want ≈14285.7", got)
 	}
 	if MaxSymbolRate(0, 0.1) != 0 {

@@ -22,6 +22,7 @@ import (
 	"densevlc/internal/mobility"
 	"densevlc/internal/scenario"
 	"densevlc/internal/sim"
+	"densevlc/internal/units"
 )
 
 // Config selects the deployment and the decision policy.
@@ -88,12 +89,12 @@ type Allocation struct {
 	Env *alloc.Env
 }
 
-// SystemThroughput returns the total throughput in bit/s.
-func (a Allocation) SystemThroughput() float64 { return a.Eval.SumThroughput }
+// SystemThroughput returns the total throughput.
+func (a Allocation) SystemThroughput() units.BitsPerSecond { return a.Eval.SumThroughput }
 
 // Allocate runs the policy for receivers at the given positions under the
-// given communication power budget (watts).
-func (s *System) Allocate(rx []geom.Vec, budget float64) (Allocation, error) {
+// given communication power budget.
+func (s *System) Allocate(rx []geom.Vec, budget units.Watts) (Allocation, error) {
 	if len(rx) == 0 {
 		return Allocation{}, errors.New("core: no receivers")
 	}
@@ -106,7 +107,7 @@ func (s *System) Allocate(rx []geom.Vec, budget float64) (Allocation, error) {
 }
 
 // Sweep evaluates the policy across budgets for fixed receiver positions.
-func (s *System) Sweep(rx []geom.Vec, budgets []float64) ([]alloc.SweepPoint, error) {
+func (s *System) Sweep(rx []geom.Vec, budgets []units.Watts) ([]alloc.SweepPoint, error) {
 	if len(rx) == 0 {
 		return nil, errors.New("core: no receivers")
 	}
@@ -114,11 +115,11 @@ func (s *System) Sweep(rx []geom.Vec, budgets []float64) ([]alloc.SweepPoint, er
 }
 
 // Illumination computes the illuminance map of the deployment over the
-// centred area of interest (w × h metres) at the receiver plane, which is
+// centred w × h area of interest at the receiver plane, which is
 // independent of any communication allocation (the flicker-free property).
-func (s *System) Illumination(w, h float64) (*illum.Map, error) {
+func (s *System) Illumination(w, h units.Meters) (*illum.Map, error) {
 	set := s.cfg.Setup
-	flux := make([]float64, set.Grid.N())
+	flux := make([]units.Lumens, set.Grid.N())
 	for i := range flux {
 		flux[i] = set.LED.LuminousFluxAtBias
 	}
@@ -133,9 +134,9 @@ func (s *System) Illumination(w, h float64) (*illum.Map, error) {
 // SimulateOptions configure a live system run.
 type SimulateOptions struct {
 	Trajectories   []mobility.Trajectory
-	Budget         float64
+	Budget         units.Watts
 	Rounds         int
-	RoundDuration  float64
+	RoundDuration  units.Seconds
 	Sync           clock.Method
 	WaveformPHY    bool
 	FramesPerRound int

@@ -7,6 +7,7 @@ import (
 	"densevlc/internal/alloc"
 	"densevlc/internal/mobility"
 	"densevlc/internal/scenario"
+	"densevlc/internal/units"
 )
 
 func TestNewSystemValidation(t *testing.T) {
@@ -71,7 +72,7 @@ func TestSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, err := s.Sweep(scenario.Scenario1.RXPositions(), []float64{0.1, 0.3, 0.6})
+	pts, err := s.Sweep(scenario.Scenario1.RXPositions(), []units.Watts{0.1, 0.3, 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestSweep(t *testing.T) {
 	if pts[2].Eval.SumThroughput < pts[0].Eval.SumThroughput {
 		t.Error("throughput should grow with budget in scenario 1")
 	}
-	if _, err := s.Sweep(nil, []float64{1}); err == nil {
+	if _, err := s.Sweep(nil, []units.Watts{1}); err == nil {
 		t.Error("empty receivers accepted")
 	}
 }
@@ -99,7 +100,7 @@ func TestIlluminationFacade(t *testing.T) {
 	if !st.CompliesISO8995() {
 		t.Errorf("default deployment should satisfy ISO 8995-1: %+v", st)
 	}
-	if math.Abs(st.Average-564) > 20 {
+	if math.Abs(st.Average.Lx()-564) > 20 {
 		t.Errorf("average %v lux, paper reports 564", st.Average)
 	}
 }

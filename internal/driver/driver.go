@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"densevlc/internal/led"
+	"densevlc/internal/units"
 )
 
 // FluxModel captures LED luminous flux versus drive current with the
@@ -32,7 +33,9 @@ type FluxModel struct {
 	// Eta0 is the low-current slope in lumen per amp.
 	Eta0 float64
 	// Droop is d in 1/A; CREE XT-E class emitters lose roughly 15% of
-	// per-amp efficacy per amp of drive.
+	// per-amp efficacy per amp of drive. Both coefficients stay bare
+	// float64: they are curve-fit parameters of the droop polynomial, not
+	// quantities the simulator trades across unit boundaries.
 	Droop float64
 }
 
@@ -44,20 +47,21 @@ type FluxModel struct {
 func CreeXTEFlux() FluxModel {
 	const droop = 0.25 // 1/A
 	m := led.CreeXTE()
-	eta0 := m.LuminousFluxAtBias / (m.BiasCurrent * (1 - droop*m.BiasCurrent))
+	ib := m.BiasCurrent.A()
+	eta0 := m.LuminousFluxAtBias.Lm() / (ib * (1 - droop*ib))
 	return FluxModel{Eta0: eta0, Droop: droop}
 }
 
-// Flux returns the luminous flux in lumen at drive current i (amps).
-func (f FluxModel) Flux(i float64) float64 {
+// Flux returns the luminous flux at drive current i.
+func (f FluxModel) Flux(i units.Amperes) units.Lumens {
 	if i <= 0 {
 		return 0
 	}
-	v := f.Eta0 * i * (1 - f.Droop*i)
+	v := f.Eta0 * i.A() * (1 - f.Droop*i.A())
 	if v < 0 {
 		return 0
 	}
-	return v
+	return units.Lumens(v)
 }
 
 // BrightnessNeutralHigh returns the HIGH current that makes 50% duty-cycled
@@ -65,15 +69,15 @@ func (f FluxModel) Flux(i float64) float64 {
 // Φ(Ih)/2 = Φ(Ib). With droop this exceeds 2·Ib. An error is returned when
 // the droop makes the equation unsatisfiable within the model's validity
 // range.
-func (f FluxModel) BrightnessNeutralHigh(bias float64) (float64, error) {
+func (f FluxModel) BrightnessNeutralHigh(bias units.Amperes) (units.Amperes, error) {
 	if bias <= 0 {
 		return 0, errors.New("driver: non-positive bias current")
 	}
 	target := 2 * f.Flux(bias)
 	// Φ peaks at I = 1/(2d); beyond that the model is invalid anyway.
-	lo, hi := bias, 1/(2*f.Droop)
+	lo, hi := bias, units.Amperes(1/(2*f.Droop))
 	if f.Flux(hi) < target {
-		return 0, fmt.Errorf("driver: droop %.2f/A cannot double the %d lm bias flux", f.Droop, int(f.Flux(bias)))
+		return 0, fmt.Errorf("driver: droop %.2f/A cannot double the %d lm bias flux", f.Droop, int(f.Flux(bias).Lm()))
 	}
 	for iter := 0; iter < 100; iter++ {
 		mid := (lo + hi) / 2
@@ -88,36 +92,37 @@ func (f FluxModel) BrightnessNeutralHigh(bias float64) (float64, error) {
 
 // Design is a realised front-end: branch resistors and operating currents.
 type Design struct {
-	// Supply is the rail voltage in volts.
-	Supply float64
+	// Supply is the rail voltage.
+	Supply units.Volts
 	// BoardOverhead is the constant draw of the logic and transistor
-	// biasing in watts.
-	BoardOverhead float64
-	// BiasCurrent and HighCurrent are the two non-zero drive levels (amps).
-	BiasCurrent, HighCurrent float64
-	// RBias and RHigh are the branch series resistances in ohms. RHigh is
-	// the parallel combination's increment: when both branches conduct the
-	// LED sees the HIGH current.
-	RBias, RHigh float64
+	// biasing.
+	BoardOverhead units.Watts
+	// BiasCurrent and HighCurrent are the two non-zero drive levels.
+	BiasCurrent, HighCurrent units.Amperes
+	// RBias and RHigh are the branch series resistances. RHigh is the
+	// parallel combination's increment: when both branches conduct the LED
+	// sees the HIGH current.
+	RBias, RHigh units.Ohms
 }
 
 // Solve computes the series resistance that sets the LED current to i from
 // the supply: R = (Vs − Vf(i))/i. It errors when the supply cannot reach
 // the LED's forward voltage.
-func seriesResistor(m led.Model, supply, i float64) (float64, error) {
+func seriesResistor(m led.Model, supply units.Volts, i units.Amperes) (units.Ohms, error) {
 	if i <= 0 {
-		return 0, fmt.Errorf("driver: non-positive branch current %.3f A", i)
+		return 0, fmt.Errorf("driver: non-positive branch current %.3f A", i.A())
 	}
 	vf := m.ForwardVoltage(i)
 	if vf >= supply {
-		return 0, fmt.Errorf("driver: supply %.2f V below the %.2f V forward voltage at %.0f mA", supply, vf, i*1000)
+		return 0, fmt.Errorf("driver: supply %.2f V below the %.2f V forward voltage at %.0f mA",
+			supply.V(), vf.V(), units.AmperesToMilliamperes(i).MA())
 	}
-	return (supply - vf) / i, nil
+	return units.Ohms((supply - vf).V() / i.A()), nil
 }
 
 // NewDesign sizes the two branches of Fig. 15 for the given LED, flux
 // model, supply rail and bias current.
-func NewDesign(m led.Model, flux FluxModel, supply, overhead float64) (Design, error) {
+func NewDesign(m led.Model, flux FluxModel, supply units.Volts, overhead units.Watts) (Design, error) {
 	if err := m.Validate(); err != nil {
 		return Design{}, err
 	}
@@ -153,20 +158,20 @@ func NewDesign(m led.Model, flux FluxModel, supply, overhead float64) (Design, e
 
 // IlluminationPower returns the front-end's draw in illumination mode:
 // the supply feeds the bias branch continuously, plus the board overhead.
-func (d Design) IlluminationPower() float64 {
-	return d.Supply*d.BiasCurrent + d.BoardOverhead
+func (d Design) IlluminationPower() units.Watts {
+	return units.Watts(d.Supply.V()*d.BiasCurrent.A()) + d.BoardOverhead
 }
 
 // CommunicationPower returns the draw in 50% duty-cycled communication
 // mode: half the time both branches push the HIGH current, half the time
 // the LED is dark.
-func (d Design) CommunicationPower() float64 {
-	return 0.5*d.Supply*d.HighCurrent + d.BoardOverhead
+func (d Design) CommunicationPower() units.Watts {
+	return units.Watts(0.5*d.Supply.V()*d.HighCurrent.A()) + d.BoardOverhead
 }
 
 // CommunicationOverhead returns the extra power communication costs over
 // pure illumination — the front-end-level counterpart of the allocation
 // model's per-LED P_C.
-func (d Design) CommunicationOverhead() float64 {
+func (d Design) CommunicationOverhead() units.Watts {
 	return d.CommunicationPower() - d.IlluminationPower()
 }

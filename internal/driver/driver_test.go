@@ -6,13 +6,14 @@ import (
 
 	"densevlc/internal/led"
 	"densevlc/internal/phy"
+	"densevlc/internal/units"
 )
 
 func TestFluxModelCalibration(t *testing.T) {
 	f := CreeXTEFlux()
 	m := led.CreeXTE()
 	// Anchored to the illumination calibration.
-	if got := f.Flux(m.BiasCurrent); math.Abs(got-m.LuminousFluxAtBias) > 0.1 {
+	if got := f.Flux(m.BiasCurrent); math.Abs((got - m.LuminousFluxAtBias).Lm()) > 0.1 {
 		t.Errorf("flux at bias = %v, want %v", got, m.LuminousFluxAtBias)
 	}
 	if f.Flux(0) != 0 || f.Flux(-1) != 0 {
@@ -23,8 +24,8 @@ func TestFluxModelCalibration(t *testing.T) {
 		t.Error("no droop — doubling current doubled flux")
 	}
 	// Monotone within the validity range.
-	prev := 0.0
-	for i := 0.05; i < 1/(2*f.Droop); i += 0.05 {
+	prev := units.Lumens(0)
+	for i := units.Amperes(0.05); i.A() < 1/(2*f.Droop); i += 0.05 {
 		v := f.Flux(i)
 		if v <= prev {
 			t.Fatalf("flux not increasing at %v A", i)
@@ -44,7 +45,7 @@ func TestBrightnessNeutralHigh(t *testing.T) {
 		t.Errorf("Ih = %v, droop requires > 0.9 A", ih)
 	}
 	// And the defining equation holds: half-duty HIGH flux equals bias flux.
-	if got := f.Flux(ih) / 2; math.Abs(got-f.Flux(0.45)) > 0.01*f.Flux(0.45) {
+	if got := f.Flux(ih) / 2; math.Abs((got - f.Flux(0.45)).Lm()) > 0.01*f.Flux(0.45).Lm() {
 		t.Errorf("brightness mismatch: %v vs %v", got, f.Flux(0.45))
 	}
 	if _, err := f.BrightnessNeutralHigh(0); err == nil {
@@ -66,18 +67,18 @@ func TestDesignMatchesPaperPowerMeasurements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := d.IlluminationPower(); math.Abs(got-2.51) > 0.05 {
+	if got := d.IlluminationPower(); math.Abs(got.W()-2.51) > 0.05 {
 		t.Errorf("illumination power = %.3f W, paper measures 2.51 W", got)
 	}
-	if got := d.CommunicationPower(); math.Abs(got-3.04) > 0.06 {
+	if got := d.CommunicationPower(); math.Abs(got.W()-3.04) > 0.06 {
 		t.Errorf("communication power = %.3f W, paper measures 3.04 W", got)
 	}
 	if d.CommunicationOverhead() <= 0 {
 		t.Error("communication must cost extra power")
 	}
 	// Agreement with the constants package phy carries.
-	if math.Abs(d.IlluminationPower()-phy.FrontEndPowerIllum) > 0.05 ||
-		math.Abs(d.CommunicationPower()-phy.FrontEndPowerComm) > 0.06 {
+	if math.Abs((d.IlluminationPower()-phy.FrontEndPowerIllum).W()) > 0.05 ||
+		math.Abs((d.CommunicationPower()-phy.FrontEndPowerComm).W()) > 0.06 {
 		t.Error("driver design disagrees with the phy constants")
 	}
 }

@@ -4,16 +4,18 @@ import (
 	"math"
 
 	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // budgetGrid is the P_C,tot axis of Figs. 8–11: 0–3 W.
-func budgetGrid(quick bool) []float64 {
+func budgetGrid(quick bool) []units.Watts {
 	if quick {
-		return []float64{0.3, 1.2, 3.0}
+		return []units.Watts{0.3, 1.2, 3.0}
 	}
-	return []float64{0.15, 0.3, 0.45, 0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0}
+	return []units.Watts{0.15, 0.3, 0.45, 0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0}
 }
 
 // optimalPolicy is the fmincon substitute tuned for sweeps.
@@ -45,9 +47,9 @@ func Fig08(opts Options) Table {
 				continue
 			}
 			ev := alloc.Evaluate(env, s)
-			sys = append(sys, ev.SumThroughput/1e6)
+			sys = append(sys, ev.SumThroughput.Bps()/1e6)
 			for i, tp := range ev.Throughput {
-				per[i] = append(per[i], tp/1e6)
+				per[i] = append(per[i], tp.Bps()/1e6)
 			}
 		}
 		sum := stats.Summarize(sys)
@@ -75,9 +77,9 @@ func Fig09(opts Options) Table {
 	env := set.Env(scenario.Fig7Instance(), nil)
 	policy := optimalPolicy()
 
-	steps := []float64{0.07, 0.15, 0.3, 0.6, 0.9, 1.2, 1.8, 2.4}
+	steps := []units.Watts{0.07, 0.15, 0.3, 0.6, 0.9, 1.2, 1.8, 2.4}
 	if opts.Quick {
-		steps = []float64{0.15, 0.6, 1.8}
+		steps = []units.Watts{0.15, 0.6, 1.8}
 	}
 
 	t := Table{
@@ -102,14 +104,14 @@ func Fig09(opts Options) Table {
 	return t
 }
 
-func activeList(s [][]float64, rx int) string {
+func activeList(s channel.Swings, rx int) string {
 	out := ""
 	for j := range s {
 		if s[j][rx] > 1e-3 {
 			if out != "" {
 				out += " "
 			}
-			out += f("TX%d(%.0f)", j+1, s[j][rx]*1000)
+			out += f("TX%d(%.0f)", j+1, units.AmperesToMilliamperes(s[j][rx]).MA())
 		}
 	}
 	if out == "" {
@@ -143,7 +145,7 @@ func Fig10(opts Options) Table {
 				continue
 			}
 			for _, tx := range watch {
-				samples[tx] = append(samples[tx], s[tx][1]) // toward RX2
+				samples[tx] = append(samples[tx], s[tx][1].A()) // toward RX2
 			}
 		}
 	}
@@ -192,14 +194,14 @@ func Fig11(opts Options) Table {
 		if err != nil {
 			continue
 		}
-		row := []string{f("%.2f", budget), f("%.2f", alloc.Evaluate(env, sOpt).SumThroughput/1e6)}
+		row := []string{f("%.2f", budget), f("%.2f", alloc.Evaluate(env, sOpt).SumThroughput.Bps()/1e6)}
 		for _, k := range kappas {
 			sH, err := alloc.Heuristic{Kappa: k, AllowPartial: true}.Allocate(env, budget)
 			if err != nil {
 				row = append(row, "-")
 				continue
 			}
-			row = append(row, f("%.2f", alloc.Evaluate(env, sH).SumThroughput/1e6))
+			row = append(row, f("%.2f", alloc.Evaluate(env, sH).SumThroughput.Bps()/1e6))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -210,7 +212,7 @@ func Fig11(opts Options) Table {
 	losses := make(map[float64][]float64, len(kappas))
 	lossBudgets := budgets
 	if !opts.Quick {
-		lossBudgets = []float64{0.3, 0.6, 1.2, 2.4} // keep the sweep tractable
+		lossBudgets = []units.Watts{0.3, 0.6, 1.2, 2.4} // keep the sweep tractable
 	}
 	for _, inst := range insts {
 		envI := set.Env(inst, nil)
@@ -227,7 +229,7 @@ func Fig11(opts Options) Table {
 					continue
 				}
 				h := alloc.Evaluate(envI, sH).SumThroughput
-				rel = append(rel, 100*(h-opt)/opt)
+				rel = append(rel, 100*(h.Bps()-opt.Bps())/opt.Bps())
 			}
 			if len(rel) > 0 {
 				losses[k] = append(losses[k], stats.Mean(rel))

@@ -5,6 +5,7 @@ import (
 	"densevlc/internal/led"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // Fig03 reproduces the LED I-V curve of Fig. 3 (CREE XT-E model, Eq. 8).
@@ -15,8 +16,8 @@ func Fig03(Options) Table {
 		Title:  "LED I-V curve (CREE XT-E, Shockley + series resistance)",
 		Header: []string{"I [mA]", "V [V]", "P [W]"},
 	}
-	for _, mA := range []float64{0, 50, 100, 200, 300, 450, 600, 750, 900, 1000} {
-		i := mA / 1000
+	for _, mA := range []units.Milliamperes{0, 50, 100, 200, 300, 450, 600, 750, 900, 1000} {
+		i := units.MilliamperesToAmperes(mA)
 		t.Rows = append(t.Rows, []string{
 			f("%.0f", mA),
 			f("%.3f", m.ForwardVoltage(i)),
@@ -37,10 +38,10 @@ func Fig04(Options) Table {
 		Title:  "Relative error of the Taylor power approximation vs swing (Ib = 450 mA)",
 		Header: []string{"Isw [mA]", "error [%]"},
 	}
-	for mA := 0.0; mA <= 1000; mA += 100 {
+	for mA := units.Milliamperes(0); mA <= 1000; mA += 100 {
 		t.Rows = append(t.Rows, []string{
 			f("%.0f", mA),
-			f("%.3f", 100*m.TaylorError(mA/1000)),
+			f("%.3f", 100*m.TaylorError(units.MilliamperesToAmperes(mA))),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -52,7 +53,7 @@ func Fig04(Options) Table {
 // uniformity inside the 2.2 m × 2.2 m area of interest.
 func Fig05(Options) Table {
 	set := scenario.Default()
-	flux := make([]float64, set.Grid.N())
+	flux := make([]units.Lumens, set.Grid.N())
 	for i := range flux {
 		flux[i] = set.LED.LuminousFluxAtBias
 	}
@@ -63,7 +64,7 @@ func Fig05(Options) Table {
 	}
 	for _, reg := range []struct {
 		name string
-		w, h float64
+		w, h units.Meters
 	}{
 		{"2.2 m AOI", 2.2, 2.2},
 		{"full floor", 3.0, 3.0},

@@ -8,6 +8,7 @@ import (
 	"densevlc/internal/geom"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // DensitySweep studies the TX-density question of Sec. 9: fewer transmitters
@@ -19,7 +20,7 @@ func DensitySweep(opts Options) Table {
 	grids := []struct {
 		name    string
 		rows    int
-		spacing float64
+		spacing units.Meters
 	}{
 		{"3x3 (1.0 m)", 3, 1.0},
 		{"4x4 (0.75 m)", 4, 0.75},
@@ -56,7 +57,7 @@ func DensitySweep(opts Options) Table {
 				continue
 			}
 			ev := alloc.Evaluate(env, s)
-			sys = append(sys, ev.SumThroughput/1e6)
+			sys = append(sys, ev.SumThroughput.Bps()/1e6)
 			min, max := ev.Throughput[0], ev.Throughput[0]
 			for _, tp := range ev.Throughput {
 				if tp < min {
@@ -67,7 +68,7 @@ func DensitySweep(opts Options) Table {
 				}
 			}
 			if max > 0 {
-				fair = append(fair, min/max)
+				fair = append(fair, min.Bps()/max.Bps())
 			}
 		}
 		t.Rows = append(t.Rows, []string{
@@ -112,9 +113,9 @@ func BlockageAblation(opts Options) Table {
 		ev := alloc.Evaluate(env, s)
 		t.Rows = append(t.Rows, []string{
 			c.name,
-			f("%.2f", ev.SumThroughput/1e6),
-			f("%.2f", ev.Throughput[0]/1e6),
-			f("%.2f", ev.Throughput[1]/1e6),
+			f("%.2f", ev.SumThroughput.Bps()/1e6),
+			f("%.2f", ev.Throughput[0].Bps()/1e6),
+			f("%.2f", ev.Throughput[1].Bps()/1e6),
 		})
 	}
 	t.Notes = append(t.Notes, "Sec. 9: blockage can even help by shadowing interference — compare RX2 across cases")
@@ -127,7 +128,7 @@ func AdaptiveKappaStudy(opts Options) Table {
 	set := scenario.Default()
 	rng := stats.NewRand(opts.Seed)
 	insts := set.RandomInstances(rng, opts.instances())
-	budgets := []float64{0.3, 0.6, 1.19}
+	budgets := []units.Watts{0.3, 0.6, 1.19}
 
 	policies := []alloc.Policy{
 		alloc.Heuristic{Kappa: 1.3, AllowPartial: true},
@@ -149,7 +150,7 @@ func AdaptiveKappaStudy(opts Options) Table {
 				if err != nil {
 					continue
 				}
-				sys = append(sys, alloc.Evaluate(env, s).SumThroughput/1e6)
+				sys = append(sys, alloc.Evaluate(env, s).SumThroughput.Bps()/1e6)
 			}
 			means[pi] = stats.Mean(sys)
 		}
@@ -171,7 +172,7 @@ func RXOrientationStudy(opts Options) Table {
 	set := scenario.Default()
 	rx := scenario.Scenario2.RXPositions()
 
-	tilts := []float64{0, 10, 20, 30, 45}
+	tilts := []units.Degrees{0, 10, 20, 30, 45}
 	t := Table{
 		ID:     "Ext. orientation",
 		Title:  "System throughput vs receiver tilt (all RXs tilted toward +x)",
@@ -179,9 +180,9 @@ func RXOrientationStudy(opts Options) Table {
 	}
 	for _, deg := range tilts {
 		dets := set.Detectors(rx)
-		rad := geom.Rad(deg)
+		rad := units.DegreesToRadians(deg)
 		for i := range dets {
-			dets[i].Normal = geom.V(math.Sin(rad), 0, math.Cos(rad))
+			dets[i].Normal = geom.V(math.Sin(rad.Rad()), 0, rad.Cos())
 		}
 		h := channel.BuildMatrix(set.Emitters(), dets, nil)
 		env := &alloc.Env{Params: set.Params, H: h, LED: set.LED}
@@ -191,7 +192,7 @@ func RXOrientationStudy(opts Options) Table {
 			continue
 		}
 		ev := alloc.Evaluate(env, s)
-		t.Rows = append(t.Rows, []string{f("%.0f", deg), f("%.2f", ev.SumThroughput/1e6)})
+		t.Rows = append(t.Rows, []string{f("%.0f", deg), f("%.2f", ev.SumThroughput.Bps()/1e6)})
 	}
 	t.Notes = append(t.Notes, "both the optimisation and the heuristic work unchanged for tilted receivers — only H changes")
 	return t

@@ -6,6 +6,7 @@ import (
 	"densevlc/internal/driver"
 	"densevlc/internal/dsp"
 	"densevlc/internal/led"
+	"densevlc/internal/units"
 )
 
 // Fig02 reproduces the operating-modes illustration: the LED current trace
@@ -23,7 +24,7 @@ func Fig02(Options) Table {
 	// Current trace: 6 bit-times of illumination, the Manchester chips of
 	// the byte 0xB4, then illumination again. LOW emits no light in the
 	// prototype's front-end; HIGH is the brightness-neutral current.
-	var levels []float64
+	var levels []units.Amperes
 	label := []string{}
 	for i := 0; i < 6; i++ {
 		levels = append(levels, m.BiasCurrent, m.BiasCurrent)
@@ -60,23 +61,23 @@ func Fig02(Options) Table {
 		t.Rows = append(t.Rows, []string{
 			f("%d", i),
 			label[i],
-			f("%.0f", c1*1000),
-			f("%.0f", c2*1000),
+			f("%.0f", units.AmperesToMilliamperes(c1).MA()),
+			f("%.0f", units.AmperesToMilliamperes(c2).MA()),
 			bar(c1, d.HighCurrent) + bar(c2, d.HighCurrent),
 		})
 	}
 	t.Notes = append(t.Notes,
-		f("HIGH = %.0f mA and LOW = 0 mA average to the bias brightness (Manchester, 50%% duty) — no flicker across mode switches", d.HighCurrent*1000),
+		f("HIGH = %.0f mA and LOW = 0 mA average to the bias brightness (Manchester, 50%% duty) — no flicker across mode switches", units.AmperesToMilliamperes(d.HighCurrent).MA()),
 		"the seamless switch is what lets the controller re-allocate beamspots without visible lighting artefacts")
 	return t
 }
 
 // bar renders a current level as a 6-char gauge.
-func bar(i, max float64) string {
+func bar(i, max units.Amperes) string {
 	if max <= 0 {
 		return "      "
 	}
-	n := int(6 * i / max)
+	n := int(6 * i.A() / max.A())
 	if n > 6 {
 		n = 6
 	}

@@ -7,6 +7,7 @@ import (
 	"densevlc/internal/mobility"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // MobilityStudy quantifies the paper's fast-adaptation requirement
@@ -28,14 +29,14 @@ func MobilityStudy(opts Options) Table {
 	}
 
 	duration := moving.Duration()
-	step := 0.2
+	step := units.Seconds(0.2)
 	if opts.Quick {
 		step = 1.0
 	}
 	policy := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
-	budget := 1.19
+	budget := units.Watts(1.19)
 
-	envAt := func(t float64) *alloc.Env {
+	envAt := func(t units.Seconds) *alloc.Env {
 		p := moving.Position(t)
 		rx := []geom.Vec{geom.V(p.X, p.Y, 0), fixed[1], fixed[2], fixed[3]}
 		return set.Env(rx, nil)
@@ -54,17 +55,17 @@ func MobilityStudy(opts Options) Table {
 	// interior optimum.
 	const measurementRound = 36 * 2e-3
 
-	periods := []float64{0.2, 1, 2, 4, 8, 1e9} // 1e9 ≈ allocate once, never refresh
+	periods := []units.Seconds{0.2, 1, 2, 4, 8, 1e9} // 1e9 ≈ allocate once, never refresh
 	if opts.Quick {
-		periods = []float64{1, 4, 1e9}
+		periods = []units.Seconds{1, 4, 1e9}
 	}
 
 	var baselineSys float64
 	for pi, period := range periods {
 		var sys, mov []float64
 		var swings channel.Swings
-		lastRefresh := -1e18
-		for t := 0.0; t <= duration; t += step {
+		lastRefresh := units.Seconds(-1e18)
+		for t := units.Seconds(0); t <= duration; t += step {
 			if t-lastRefresh >= period {
 				s, err := policy.Allocate(envAt(t), budget)
 				if err != nil {
@@ -74,8 +75,8 @@ func MobilityStudy(opts Options) Table {
 				lastRefresh = t
 			}
 			ev := alloc.Evaluate(envAt(t), swings)
-			sys = append(sys, ev.SumThroughput/1e6)
-			mov = append(mov, ev.Throughput[0]/1e6)
+			sys = append(sys, ev.SumThroughput.Bps()/1e6)
+			mov = append(mov, ev.Throughput[0].Bps()/1e6)
 		}
 		meanSys := stats.Mean(sys)
 		if pi == 0 {
@@ -91,7 +92,7 @@ func MobilityStudy(opts Options) Table {
 		}
 		overhead := 0.0
 		if period < 1e6 {
-			overhead = measurementRound / period
+			overhead = measurementRound / period.S()
 			if overhead > 1 {
 				overhead = 1
 			}

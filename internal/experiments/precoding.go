@@ -4,6 +4,7 @@ import (
 	"densevlc/internal/alloc"
 	"densevlc/internal/precode"
 	"densevlc/internal/scenario"
+	"densevlc/internal/units"
 )
 
 // PrecodingStudy compares DenseVLC's on-off allocation against the
@@ -25,9 +26,9 @@ func PrecodingStudy(opts Options) Table {
 		{"scenario 2 (mixed)", scenario.Scenario2},
 		{"scenario 3 (dense)", scenario.Scenario3},
 	}
-	budgets := []float64{0.3, 0.6, 1.19, 2.4}
+	budgets := []units.Watts{0.3, 0.6, 1.19, 2.4}
 	if opts.Quick {
-		budgets = []float64{0.3, 1.19}
+		budgets = []units.Watts{0.3, 1.19}
 	}
 
 	t := Table{
@@ -48,17 +49,17 @@ func PrecodingStudy(opts Options) Table {
 				continue
 			}
 			hEval := alloc.Evaluate(env, s)
-			row = append(row, f("%.2f", hEval.SumThroughput/1e6))
+			row = append(row, f("%.2f", hEval.SumThroughput.Bps()/1e6))
 
 			zf, err := precode.ZeroForcing(env, budget)
 			if err != nil {
 				row = append(row, "-", "-")
 			} else {
 				row = append(row,
-					f("%.2f", zf.SumThroughput/1e6),
-					f("%.2f", minOf(zf.Throughput)/1e6))
+					f("%.2f", zf.SumThroughput.Bps()/1e6),
+					f("%.2f", minOf(zf.Throughput).Bps()/1e6))
 			}
-			row = append(row, f("%.2f", minOf(hEval.Throughput)/1e6))
+			row = append(row, f("%.2f", minOf(hEval.Throughput).Bps()/1e6))
 			t.Rows = append(t.Rows, row)
 		}
 	}
@@ -68,7 +69,7 @@ func PrecodingStudy(opts Options) Table {
 	return t
 }
 
-func minOf(xs []float64) float64 {
+func minOf(xs []units.BitsPerSecond) units.BitsPerSecond {
 	if len(xs) == 0 {
 		return 0
 	}

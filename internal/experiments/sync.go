@@ -11,6 +11,7 @@ import (
 	"densevlc/internal/phy"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 	"densevlc/internal/vlcsync"
 )
 
@@ -21,9 +22,9 @@ func Fig12(opts Options) Table {
 	rng := stats.NewRand(opts.Seed)
 	trials := opts.trials()
 
-	rates := []float64{1e3, 2e3, 5e3, 10e3, 20e3, 40e3, 64e3}
+	rates := []units.Hertz{1e3, 2e3, 5e3, 10e3, 20e3, 40e3, 64e3}
 	if opts.Quick {
-		rates = []float64{1e3, 10e3, 64e3}
+		rates = []units.Hertz{1e3, 10e3, 64e3}
 	}
 
 	t := Table{
@@ -37,22 +38,22 @@ func Fig12(opts Options) Table {
 		none := clock.MedianPairwiseDelay(rng, clock.MethodNone, rate, trials)
 		ptp := clock.MedianPairwiseDelay(rng, clock.MethodNTPPTP, rate, trials)
 		t.Rows = append(t.Rows, []string{
-			f("%.0f", rate/1e3),
-			f("%.1f", none*1e6),
-			f("%.1f", ptp*1e6),
-			f("%.2f", nlos*1e6),
+			f("%.0f", rate.Hz()/1e3),
+			f("%.1f", none.S()*1e6),
+			f("%.1f", ptp.S()*1e6),
+			f("%.2f", nlos.S()*1e6),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: both baselines fall with symbol rate (the symbol-period ambiguity shrinks); NTP/PTP at least 2x better",
 		f("10%%-overlap criterion: NTP/PTP supports at most %.1f Ksym/s at its ≈7 µs operating delay (paper: 14.28)",
-			clock.MaxSymbolRate(7e-6, 0.1)/1e3))
+			clock.MaxSymbolRate(7e-6, 0.1).Hz()/1e3))
 	return t
 }
 
 // nlosMedian measures the NLOS method's median pairwise delay at the given
 // pilot symbol rate through the waveform-level simulation.
-func nlosMedian(opts Options, symbolRate float64) float64 {
+func nlosMedian(opts Options, symbolRate units.Hertz) units.Seconds {
 	session, err := vlcsync.NewSession(vlcsync.Config{
 		LeaderID:   2,
 		SymbolRate: symbolRate,
@@ -60,7 +61,7 @@ func nlosMedian(opts Options, symbolRate float64) float64 {
 		GuardTime:  50e-6,
 	}, stats.NewRand(opts.Seed+1))
 	if err != nil {
-		return math.NaN()
+		return units.Seconds(math.NaN())
 	}
 	n := 400
 	if opts.Quick {
@@ -69,7 +70,11 @@ func nlosMedian(opts Options, symbolRate float64) float64 {
 	a := Follower()
 	b := Follower()
 	delays := session.PairwiseDelays(a, b, n)
-	return stats.Median(delays)
+	ds := make([]float64, len(delays))
+	for i, d := range delays {
+		ds[i] = d.S()
+	}
+	return units.Seconds(stats.Median(ds))
 }
 
 // Follower builds the NLOS sync receive conditions of two neighbouring
@@ -77,7 +82,7 @@ func nlosMedian(opts Options, symbolRate float64) float64 {
 func Follower() vlcsync.Follower {
 	room := geom.Room{Width: 3, Depth: 3, Height: 2}
 	floor := optics.FloorReflection{Reflectivity: 0.5, Room: room, Resolution: 15}
-	leader := optics.NewDownwardEmitter(geom.V(1.25, 1.25, 2), 15*math.Pi/180)
+	leader := optics.NewDownwardEmitter(geom.V(1.25, 1.25, 2), units.DegreesToRadians(15))
 	det := optics.Detector{
 		Pos: geom.V(1.75, 1.25, 2), Normal: geom.V(0, 0, -1),
 		Area: scenario.PhotodiodeArea, FOV: scenario.ReceiverFOV, OpticsGain: 1,
@@ -107,9 +112,9 @@ func Table4(opts Options) Table {
 		Header: []string{"method", "measured [µs]", "paper [µs]"},
 	}
 	t.Rows = append(t.Rows,
-		[]string{"no synchronization", f("%.3f", none*1e6), "10.040"},
-		[]string{"NTP/PTP", f("%.3f", ptp*1e6), "4.565"},
-		[]string{"NLOS VLC", f("%.3f", nlos*1e6), "0.575"},
+		[]string{"no synchronization", f("%.3f", none.S()*1e6), "10.040"},
+		[]string{"NTP/PTP", f("%.3f", ptp.S()*1e6), "4.565"},
+		[]string{"NLOS VLC", f("%.3f", nlos.S()*1e6), "0.575"},
 	)
 	t.Notes = append(t.Notes, "NLOS granularity is set by the 1 µs sampling period of the follower ADCs plus correlation noise")
 	return t
@@ -129,16 +134,17 @@ func Table5(opts Options) Table {
 	set := scenario.DefaultExperimental()
 	rx := geom.V(1.0, 0.5, 0) // centre of TX2 (0.75,0.25), TX3 (1.25,0.25), TX8 (0.75,0.75), TX9 (1.25,0.75)
 	env := set.Env([]geom.Vec{rx}, nil)
-	scale := set.Params.Responsivity * set.Params.WallPlugEfficiency * set.Params.DynamicResistance
-	amp := func(tx int) float64 {
-		return scale * env.H.Gain(tx, 0) * (set.LED.MaxSwing / 2) * (set.LED.MaxSwing / 2)
+	scale := set.Params.Responsivity.APerW() * set.Params.WallPlugEfficiency * set.Params.DynamicResistance.Ohms()
+	amp := func(tx int) units.Amperes {
+		half := set.LED.MaxSwing.A() / 2
+		return units.Amperes(scale * env.H.Gain(tx, 0) * half * half)
 	}
 	// TX indices (0-based): TX2=1, TX3=2, TX8=7, TX9=8.
-	sameBBB := []float64{amp(1), amp(7)}                 // TX2, TX8: one BBB
-	fourTXs := []float64{amp(1), amp(7), amp(2), amp(8)} // + TX3, TX9 on another BBB
+	sameBBB := []units.Amperes{amp(1), amp(7)}                 // TX2, TX8: one BBB
+	fourTXs := []units.Amperes{amp(1), amp(7), amp(2), amp(8)} // + TX3, TX9 on another BBB
 
-	noiseStd := math.Sqrt(set.Params.NoisePower())
-	run := func(seed int64, amps []float64, offsets func(*rand.Rand, int) phy.TXTiming) phy.PERResult {
+	noiseStd := units.Amperes(math.Sqrt(set.Params.NoisePower().A2()))
+	run := func(seed int64, amps []units.Amperes, offsets func(*rand.Rand, int) phy.TXTiming) phy.PERResult {
 		link, err := phy.NewLink(phy.Config{
 			SymbolRate: 100e3, SampleRate: 1e6, NoiseStd: noiseStd,
 		}, stats.NewRand(seed))
@@ -155,7 +161,7 @@ func Table5(opts Options) Table {
 	}
 
 	r1 := run(opts.Seed+1, sameBBB, nil)
-	var bbb2Offset float64
+	var bbb2Offset units.Seconds
 	r2 := run(opts.Seed+2, fourTXs, func(rng *rand.Rand, tx int) phy.TXTiming {
 		if tx < 2 {
 			return phy.TXTiming{ClockPPM: 20} // first BBB
@@ -163,13 +169,13 @@ func Table5(opts Options) Table {
 		// Second BBB free-runs its own frame stream; both of its TXs share
 		// one clock, so one offset draw per frame.
 		if tx == 2 {
-			bbb2Offset = 20e-3 * rng.Float64()
+			bbb2Offset = units.Seconds(20e-3 * rng.Float64())
 		}
 		return phy.TXTiming{Offset: bbb2Offset, Continuous: true, ClockPPM: -20}
 	})
 	r3 := run(opts.Seed+3, fourTXs, func(rng *rand.Rand, tx int) phy.TXTiming {
 		// NLOS-synchronised: sampling-quantisation offsets, own crystals.
-		return phy.TXTiming{Offset: 1.2e-6 * rng.Float64(), ClockPPM: 40*rng.Float64() - 20}
+		return phy.TXTiming{Offset: units.Seconds(1.2e-6 * rng.Float64()), ClockPPM: 40*rng.Float64() - 20}
 	})
 
 	t := Table{
@@ -178,9 +184,9 @@ func Table5(opts Options) Table {
 		Header: []string{"scenario", "goodput [Kbit/s]", "PER [%]", "paper [Kbit/s / %]"},
 	}
 	t.Rows = append(t.Rows,
-		[]string{"2 TXs (one BBB)", f("%.1f", r1.Goodput/1e3), f("%.2f", 100*r1.PER), "33.9 / 0.19"},
-		[]string{"4 TXs (no sync)", f("%.1f", r2.Goodput/1e3), f("%.2f", 100*r2.PER), "0 / 100"},
-		[]string{"4 TXs (NLOS sync)", f("%.1f", r3.Goodput/1e3), f("%.2f", 100*r3.PER), "33.8 / 0.55"},
+		[]string{"2 TXs (one BBB)", f("%.1f", r1.Goodput.Bps()/1e3), f("%.2f", 100*r1.PER), "33.9 / 0.19"},
+		[]string{"4 TXs (no sync)", f("%.1f", r2.Goodput.Bps()/1e3), f("%.2f", 100*r2.PER), "0 / 100"},
+		[]string{"4 TXs (NLOS sync)", f("%.1f", r3.Goodput.Bps()/1e3), f("%.2f", 100*r3.PER), "33.8 / 0.55"},
 	)
 	t.Notes = append(t.Notes,
 		"goodput model: payload bits over pilot+preamble+frame air time plus a 17 ms WiFi-ACK turnaround (Sec. 7.2)",

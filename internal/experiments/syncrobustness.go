@@ -1,13 +1,12 @@
 package experiments
 
 import (
-	"math"
-
 	"densevlc/internal/channel"
 	"densevlc/internal/geom"
 	"densevlc/internal/optics"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 	"densevlc/internal/vlcsync"
 )
 
@@ -17,7 +16,7 @@ import (
 // (only part of the floor's contribution is shadowed).
 func SyncRobustness(opts Options) Table {
 	room := geom.Room{Width: 3, Depth: 3, Height: 2}
-	leader := optics.NewDownwardEmitter(geom.V(1.25, 1.25, 2), 15*math.Pi/180)
+	leader := optics.NewDownwardEmitter(geom.V(1.25, 1.25, 2), units.DegreesToRadians(15))
 	det := optics.Detector{
 		Pos: geom.V(1.75, 1.25, 2), Normal: geom.V(0, 0, -1),
 		Area: scenario.PhotodiodeArea, FOV: scenario.ReceiverFOV, OpticsGain: 1,

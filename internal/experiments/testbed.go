@@ -5,6 +5,7 @@ import (
 	"densevlc/internal/channel"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // measuredEnv builds the experimental environment of Sec. 8.2: the true
@@ -61,7 +62,7 @@ func scenarioSweep(sc scenario.Scenario, opts Options) Table {
 
 	// Per-RX normalised throughput under κ = 1.3.
 	ref := sweeps[1.3]
-	maxRX := make([]float64, env.M())
+	maxRX := make([]units.BitsPerSecond, env.M())
 	for _, p := range ref {
 		for i, tp := range p.Throughput {
 			if tp > maxRX[i] {
@@ -78,7 +79,7 @@ func scenarioSweep(sc scenario.Scenario, opts Options) Table {
 		for i := 0; i < env.M(); i++ {
 			v := 0.0
 			if maxRX[i] > 0 {
-				v = ref[idx].Throughput[i] / maxRX[i]
+				v = ref[idx].Throughput[i].Bps() / maxRX[i].Bps()
 			}
 			row = append(row, f("%.2f", v))
 		}
@@ -163,19 +164,19 @@ func Fig21(opts Options) Table {
 	}
 	for _, p := range dense {
 		t.Rows = append(t.Rows, []string{
-			"DenseVLC", f("%.2f", p.Eval.CommPower), f("%.2f", p.Eval.SumThroughput/maxT),
+			"DenseVLC", f("%.2f", p.Eval.CommPower), f("%.2f", p.Eval.SumThroughput.Bps()/maxT.Bps()),
 		})
 	}
 	t.Rows = append(t.Rows,
-		[]string{"SISO", f("%.3f", sisoEval.CommPower), f("%.2f", sisoEval.SumThroughput/maxT)},
-		[]string{"D-MISO", f("%.2f", dmisoEval.CommPower), f("%.2f", dmisoEval.SumThroughput/maxT)},
+		[]string{"SISO", f("%.3f", sisoEval.CommPower), f("%.2f", sisoEval.SumThroughput.Bps()/maxT.Bps())},
+		[]string{"D-MISO", f("%.2f", dmisoEval.CommPower), f("%.2f", dmisoEval.SumThroughput.Bps()/maxT.Bps())},
 	)
 
 	// Headline metrics: the budget where DenseVLC first matches D-MISO's
 	// throughput, the implied power-efficiency gain, and the throughput
 	// gain over SISO at that operating point.
-	match := -1.0
-	var matchT float64
+	match := units.Watts(-1)
+	var matchT units.BitsPerSecond
 	for _, p := range dense {
 		if p.Eval.SumThroughput >= dmisoEval.SumThroughput {
 			match = p.Eval.CommPower
@@ -186,16 +187,16 @@ func Fig21(opts Options) Table {
 	if match > 0 {
 		t.Notes = append(t.Notes,
 			f("DenseVLC reaches D-MISO's throughput at %.2f W vs %.2f W → power efficiency x%.1f (paper: 1.19 W vs 2.68 W, x2.3)",
-				match, dmisoEval.CommPower, dmisoEval.CommPower/match),
+				match, dmisoEval.CommPower, dmisoEval.CommPower.W()/match.W()),
 			f("throughput gain over SISO at that point: +%.0f%% (paper: +45%%)",
-				100*(matchT-sisoEval.SumThroughput)/sisoEval.SumThroughput))
+				100*(matchT.Bps()-sisoEval.SumThroughput.Bps())/sisoEval.SumThroughput.Bps()))
 	} else {
 		best := dense[len(dense)-1]
 		t.Notes = append(t.Notes,
 			f("DenseVLC peaks at %.2f of D-MISO's throughput within the sweep (D-MISO at %.2f W)",
-				best.Eval.SumThroughput/dmisoEval.SumThroughput, dmisoEval.CommPower))
+				best.Eval.SumThroughput.Bps()/dmisoEval.SumThroughput.Bps(), dmisoEval.CommPower))
 	}
 	t.Notes = append(t.Notes,
-		f("SISO operating point: %.0f mW (paper: 298 mW)", 1000*sisoEval.CommPower))
+		f("SISO operating point: %.0f mW (paper: 298 mW)", units.WattsToMilliwatts(sisoEval.CommPower).MW()))
 	return t
 }

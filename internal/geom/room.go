@@ -3,29 +3,31 @@ package geom
 import (
 	"fmt"
 	"math"
+
+	"densevlc/internal/units"
 )
 
 // Room describes the rectangular indoor deployment volume: x in [0, Width],
 // y in [0, Depth], floor at z = 0, ceiling at z = Height.
 type Room struct {
-	Width  float64 // extent along x, metres
-	Depth  float64 // extent along y, metres
-	Height float64 // ceiling height, metres
+	Width  units.Meters // extent along x
+	Depth  units.Meters // extent along y
+	Height units.Meters // ceiling height
 }
 
 // Contains reports whether point p lies within the room (inclusive bounds).
 func (r Room) Contains(p Vec) bool {
-	return p.X >= 0 && p.X <= r.Width &&
-		p.Y >= 0 && p.Y <= r.Depth &&
-		p.Z >= 0 && p.Z <= r.Height
+	return p.X >= 0 && p.X <= r.Width.M() &&
+		p.Y >= 0 && p.Y <= r.Depth.M() &&
+		p.Z >= 0 && p.Z <= r.Height.M()
 }
 
 // Clamp returns p with each coordinate clamped to the room bounds.
 func (r Room) Clamp(p Vec) Vec {
 	return Vec{
-		X: clamp(p.X, 0, r.Width),
-		Y: clamp(p.Y, 0, r.Depth),
-		Z: clamp(p.Z, 0, r.Height),
+		X: clamp(p.X, 0, r.Width.M()),
+		Y: clamp(p.Y, 0, r.Depth.M()),
+		Z: clamp(p.Z, 0, r.Height.M()),
 	}
 }
 
@@ -44,8 +46,8 @@ func clamp(v, lo, hi float64) float64 {
 // inter-node spacing.
 type Grid struct {
 	Rows, Cols int
-	// Spacing is the inter-node distance in metres (0.5 m in the paper).
-	Spacing float64
+	// Spacing is the inter-node distance (0.5 m in the paper).
+	Spacing units.Meters
 	// Origin is the position of node (0,0); remaining nodes extend in +x
 	// (columns) and +y (rows).
 	Origin Vec
@@ -63,7 +65,7 @@ func (g Grid) Pos(i int) Vec {
 	}
 	row := i / g.Cols
 	col := i % g.Cols
-	return g.Origin.Add(Vec{X: float64(col) * g.Spacing, Y: float64(row) * g.Spacing})
+	return g.Origin.Add(Vec{X: float64(col) * g.Spacing.M(), Y: float64(row) * g.Spacing.M()})
 }
 
 // Positions returns the positions of all nodes in row-major order.
@@ -92,9 +94,9 @@ func (g Grid) Nearest(p Vec) int {
 // Neighborhood returns the indices of all grid nodes whose xy-distance to p
 // is at most radius, sorted by index. It is used by the D-MISO baseline,
 // which assigns the ring of surrounding TXs to each receiver.
-func (g Grid) Neighborhood(p Vec, radius float64) []int {
+func (g Grid) Neighborhood(p Vec, radius units.Meters) []int {
 	var out []int
-	r2 := radius * radius
+	r2 := radius.M() * radius.M()
 	for i := 0; i < g.N(); i++ {
 		q := g.Pos(i)
 		d := (q.X-p.X)*(q.X-p.X) + (q.Y-p.Y)*(q.Y-p.Y)
@@ -108,13 +110,13 @@ func (g Grid) Neighborhood(p Vec, radius float64) []int {
 // CenteredGrid builds a rows x cols grid with the given spacing centred in
 // the xy-plane of the room at height z. The paper's deployment is a 6x6 grid
 // with 0.5 m spacing centred in a 3m x 3m room: nodes at 0.25, 0.75, ... 2.75.
-func CenteredGrid(room Room, rows, cols int, spacing, z float64) Grid {
-	w := float64(cols-1) * spacing
-	d := float64(rows-1) * spacing
+func CenteredGrid(room Room, rows, cols int, spacing, z units.Meters) Grid {
+	w := float64(cols-1) * spacing.M()
+	d := float64(rows-1) * spacing.M()
 	return Grid{
 		Rows:    rows,
 		Cols:    cols,
 		Spacing: spacing,
-		Origin:  Vec{X: (room.Width - w) / 2, Y: (room.Depth - d) / 2, Z: z},
+		Origin:  Vec{X: (room.Width.M() - w) / 2, Y: (room.Depth.M() - d) / 2, Z: z.M()},
 	}
 }

@@ -5,11 +5,19 @@
 // z points up. Transmitters sit on the ceiling facing straight down (normal
 // -z unless tilted); receivers sit on the floor or a table facing up
 // (normal +z unless tilted).
+//
+// Vec is the raw linear-algebra substrate: its components are bare float64
+// coordinates in metres, because vectors double as dimensionless directions
+// (normals, unit rays) and typed components would poison every dot product.
+// The configuration-level lengths — room extents, grid spacing, radii —
+// carry units.Meters and cross into Vec math through their accessors.
 package geom
 
 import (
 	"fmt"
 	"math"
+
+	"densevlc/internal/units"
 )
 
 // Vec is a 3-D vector (or point) in metres.
@@ -69,13 +77,13 @@ func (v Vec) String() string {
 	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
 }
 
-// AngleBetween returns the angle in radians between v and w, in [0, pi].
+// AngleBetween returns the angle between v and w, in [0, pi].
 // If either vector is zero the angle is reported as pi/2 (orthogonal), which
 // in optical-gain terms means zero gain contribution.
-func AngleBetween(v, w Vec) float64 {
+func AngleBetween(v, w Vec) units.Radians {
 	nv, nw := v.Norm(), w.Norm()
 	if nv == 0 || nw == 0 {
-		return math.Pi / 2
+		return units.Radians(math.Pi / 2)
 	}
 	c := v.Dot(w) / (nv * nw)
 	// Clamp against floating-point drift before acos.
@@ -84,11 +92,5 @@ func AngleBetween(v, w Vec) float64 {
 	} else if c < -1 {
 		c = -1
 	}
-	return math.Acos(c)
+	return units.Radians(math.Acos(c))
 }
-
-// Deg converts radians to degrees.
-func Deg(rad float64) float64 { return rad * 180 / math.Pi }
-
-// Rad converts degrees to radians.
-func Rad(deg float64) float64 { return deg * math.Pi / 180 }

@@ -20,12 +20,13 @@ import (
 
 	"densevlc/internal/geom"
 	"densevlc/internal/optics"
+	"densevlc/internal/units"
 )
 
 // ISO 8995-1 requirements for indoor office premises.
 const (
 	// MinAverageLux is the minimum maintained average illuminance.
-	MinAverageLux = 500.0
+	MinAverageLux units.Lux = 500
 	// MinUniformity is the minimum ratio of minimum to average illuminance.
 	MinUniformity = 0.70
 )
@@ -34,34 +35,34 @@ const (
 // work plane.
 type Map struct {
 	// X0, Y0 are the coordinates of sample (0, 0).
-	X0, Y0 float64
-	// Step is the sample spacing in metres.
-	Step float64
+	X0, Y0 units.Meters
+	// Step is the sample spacing.
+	Step units.Meters
 	// Lux holds samples in row-major order, Lux[iy][ix].
-	Lux [][]float64
+	Lux [][]units.Lux
 }
 
 // Config drives a map computation.
 type Config struct {
-	// Emitters are the luminaires, with per-emitter luminous flux in lumen.
+	// Emitters are the luminaires, with per-emitter luminous flux.
 	Emitters []optics.Emitter
-	Flux     []float64
+	Flux     []units.Lumens
 	// PlaneZ is the work-plane height (0.8 m table in the simulations,
 	// floor-level receivers in the testbed).
-	PlaneZ float64
+	PlaneZ units.Meters
 	// Region is the rectangle of the work plane to sample.
 	Region Region
 	// Step is the sample spacing; 0 defaults to 0.05 m.
-	Step float64
+	Step units.Meters
 }
 
 // Region is an axis-aligned rectangle [X0, X1] × [Y0, Y1] on the work plane.
 type Region struct {
-	X0, Y0, X1, Y1 float64
+	X0, Y0, X1, Y1 units.Meters
 }
 
 // CenteredRegion returns a w × h region centred within the room footprint.
-func CenteredRegion(room geom.Room, w, h float64) Region {
+func CenteredRegion(room geom.Room, w, h units.Meters) Region {
 	return Region{
 		X0: (room.Width - w) / 2,
 		Y0: (room.Depth - h) / 2,
@@ -82,17 +83,17 @@ func Compute(cfg Config) (*Map, error) {
 	if step <= 0 {
 		step = 0.05
 	}
-	nx := int((cfg.Region.X1-cfg.Region.X0)/step) + 1
-	ny := int((cfg.Region.Y1-cfg.Region.Y0)/step) + 1
+	nx := int((cfg.Region.X1.M()-cfg.Region.X0.M())/step.M()) + 1
+	ny := int((cfg.Region.Y1.M()-cfg.Region.Y0.M())/step.M()) + 1
 
-	m := &Map{X0: cfg.Region.X0, Y0: cfg.Region.Y0, Step: step, Lux: make([][]float64, ny)}
+	m := &Map{X0: cfg.Region.X0, Y0: cfg.Region.Y0, Step: step, Lux: make([][]units.Lux, ny)}
 	up := geom.V(0, 0, 1)
 	for iy := 0; iy < ny; iy++ {
-		row := make([]float64, nx)
-		y := cfg.Region.Y0 + float64(iy)*step
+		row := make([]units.Lux, nx)
+		y := cfg.Region.Y0.M() + float64(iy)*step.M()
 		for ix := 0; ix < nx; ix++ {
-			p := geom.V(cfg.Region.X0+float64(ix)*step, y, cfg.PlaneZ)
-			e := 0.0
+			p := geom.V(cfg.Region.X0.M()+float64(ix)*step.M(), y, cfg.PlaneZ.M())
+			var e units.Lux
 			for k, em := range cfg.Emitters {
 				e += optics.Illuminance(em, cfg.Flux[k], p, up)
 			}
@@ -105,16 +106,16 @@ func Compute(cfg Config) (*Map, error) {
 
 // Stats summarises an illuminance map.
 type Stats struct {
-	Average    float64
-	Min        float64
-	Max        float64
-	Uniformity float64 // Min / Average
+	Average    units.Lux
+	Min        units.Lux
+	Max        units.Lux
+	Uniformity float64 // Min / Average, dimensionless
 }
 
 // Stats computes the summary metrics of the map.
 func (m *Map) Stats() Stats {
 	var s Stats
-	s.Min = math.Inf(1)
+	s.Min = units.Lux(math.Inf(1))
 	n := 0
 	for _, row := range m.Lux {
 		for _, v := range row {
@@ -132,9 +133,9 @@ func (m *Map) Stats() Stats {
 		s.Min = 0
 		return s
 	}
-	s.Average /= float64(n)
+	s.Average /= units.Lux(n)
 	if s.Average > 0 {
-		s.Uniformity = s.Min / s.Average
+		s.Uniformity = s.Min.Lx() / s.Average.Lx()
 	}
 	return s
 }
@@ -147,14 +148,14 @@ func (s Stats) CompliesISO8995() bool {
 
 // At returns the bilinearly interpolated illuminance at work-plane point
 // (x, y), clamping outside the sampled region to the nearest sample.
-func (m *Map) At(x, y float64) float64 {
+func (m *Map) At(x, y units.Meters) units.Lux {
 	ny := len(m.Lux)
 	if ny == 0 {
 		return 0
 	}
 	nx := len(m.Lux[0])
-	fx := (x - m.X0) / m.Step
-	fy := (y - m.Y0) / m.Step
+	fx := (x - m.X0).M() / m.Step.M()
+	fy := (y - m.Y0).M() / m.Step.M()
 	fx = clampF(fx, 0, float64(nx-1))
 	fy = clampF(fy, 0, float64(ny-1))
 	ix, iy := int(fx), int(fy)
@@ -188,7 +189,7 @@ func (m *Map) At(x, y float64) float64 {
 			v11 = m.Lux[iy+1][ix+1]
 		}
 	}
-	return v00*(1-tx)*(1-ty) + v01*tx*(1-ty) + v10*(1-tx)*ty + v11*tx*ty
+	return units.Lux(v00.Lx()*(1-tx)*(1-ty) + v01.Lx()*tx*(1-ty) + v10.Lx()*(1-tx)*ty + v11.Lx()*tx*ty)
 }
 
 func clampF(v, lo, hi float64) float64 {

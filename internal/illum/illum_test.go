@@ -7,15 +7,16 @@ import (
 	"densevlc/internal/geom"
 	"densevlc/internal/led"
 	"densevlc/internal/optics"
+	"densevlc/internal/units"
 )
 
 // paperSetup builds the 6×6 deployment of the paper's simulation section.
-func paperSetup() (geom.Room, []optics.Emitter, []float64) {
+func paperSetup() (geom.Room, []optics.Emitter, []units.Lumens) {
 	room := geom.Room{Width: 3, Depth: 3, Height: 2.8}
 	grid := geom.CenteredGrid(room, 6, 6, 0.5, room.Height)
 	m := led.CreeXTE()
 	emitters := make([]optics.Emitter, grid.N())
-	flux := make([]float64, grid.N())
+	flux := make([]units.Lumens, grid.N())
 	for i, p := range grid.Positions() {
 		emitters[i] = optics.NewDownwardEmitter(p, m.HalfPowerSemiAngle)
 		flux[i] = m.LuminousFluxAtBias
@@ -36,7 +37,7 @@ func TestFig5IlluminationDistribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := m.Stats()
-	if math.Abs(s.Average-564) > 20 {
+	if math.Abs(s.Average.Lx()-564) > 20 {
 		t.Errorf("average = %.1f lux, paper reports 564", s.Average)
 	}
 	if math.Abs(s.Uniformity-0.74) > 0.03 {
@@ -78,7 +79,7 @@ func TestIlluminationIndependentOfAllocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flux2 := make([]float64, len(flux))
+	flux2 := make([]units.Lumens, len(flux))
 	for i := range flux {
 		flux2[i] = flux[i] * 2
 	}
@@ -89,7 +90,7 @@ func TestIlluminationIndependentOfAllocation(t *testing.T) {
 	}
 	for iy := range m1.Lux {
 		for ix := range m1.Lux[iy] {
-			if math.Abs(m2.Lux[iy][ix]-2*m1.Lux[iy][ix]) > 1e-9 {
+			if math.Abs(m2.Lux[iy][ix].Lx()-2*m1.Lux[iy][ix].Lx()) > 1e-9 {
 				t.Fatalf("illuminance not linear in flux at (%d,%d)", ix, iy)
 			}
 		}
@@ -108,7 +109,7 @@ func TestComputeErrors(t *testing.T) {
 }
 
 func TestMapAtInterpolation(t *testing.T) {
-	m := &Map{X0: 0, Y0: 0, Step: 1, Lux: [][]float64{
+	m := &Map{X0: 0, Y0: 0, Step: 1, Lux: [][]units.Lux{
 		{0, 10},
 		{20, 30},
 	}}
@@ -118,7 +119,7 @@ func TestMapAtInterpolation(t *testing.T) {
 		{-5, -5, 0}, {9, 9, 30}, // clamped outside
 	}
 	for _, c := range cases {
-		if got := m.At(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+		if got := m.At(units.Meters(c.x), units.Meters(c.y)); math.Abs(got.Lx()-c.want) > 1e-12 {
 			t.Errorf("At(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
 		}
 	}
@@ -129,12 +130,12 @@ func TestMapAtDegenerate(t *testing.T) {
 	if empty.At(0, 0) != 0 {
 		t.Error("empty map should read 0")
 	}
-	single := &Map{X0: 0, Y0: 0, Step: 1, Lux: [][]float64{{7}}}
+	single := &Map{X0: 0, Y0: 0, Step: 1, Lux: [][]units.Lux{{7}}}
 	if single.At(5, 5) != 7 {
 		t.Error("single-sample map should read its value everywhere")
 	}
-	row := &Map{X0: 0, Y0: 0, Step: 1, Lux: [][]float64{{1, 3}}}
-	if got := row.At(0.5, 0); math.Abs(got-2) > 1e-12 {
+	row := &Map{X0: 0, Y0: 0, Step: 1, Lux: [][]units.Lux{{1, 3}}}
+	if got := row.At(0.5, 0); math.Abs(got.Lx()-2) > 1e-12 {
 		t.Errorf("single-row interpolation = %v, want 2", got)
 	}
 }
@@ -150,7 +151,7 @@ func TestStatsEmpty(t *testing.T) {
 func TestCenteredRegion(t *testing.T) {
 	room := geom.Room{Width: 3, Depth: 3, Height: 2.8}
 	r := CenteredRegion(room, 2.2, 2.2)
-	if math.Abs(r.X0-0.4) > 1e-12 || math.Abs(r.X1-2.6) > 1e-12 {
+	if math.Abs(r.X0.M()-0.4) > 1e-12 || math.Abs(r.X1.M()-2.6) > 1e-12 {
 		t.Errorf("region = %+v", r)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"densevlc/internal/units"
 )
 
 func TestCreeXTEValid(t *testing.T) {
@@ -38,8 +40,8 @@ func TestValidateRejections(t *testing.T) {
 
 func TestPowerMonotoneInCurrent(t *testing.T) {
 	m := CreeXTE()
-	prev := 0.0
-	for i := 0.01; i <= 1.0; i += 0.01 {
+	prev := units.Watts(0)
+	for i := units.Amperes(0.01); i <= 1.0; i += 0.01 {
 		p := m.Power(i)
 		if p <= prev {
 			t.Fatalf("power not increasing at %v A", i)
@@ -82,7 +84,7 @@ func TestMaxCommPowerMatchesPaper(t *testing.T) {
 	// Sec. 4.2: P_C,tx,max = r·(Isw,max/2)² = 74.42 mW.
 	m := CreeXTE()
 	got := m.MaxCommPower()
-	if math.Abs(got-0.07442) > 1e-6 {
+	if math.Abs(got.W()-0.07442) > 1e-6 {
 		t.Errorf("MaxCommPower = %v W, want 74.42 mW", got)
 	}
 }
@@ -91,7 +93,7 @@ func TestCommPowerQuadratic(t *testing.T) {
 	m := CreeXTE()
 	// P_C(2x) = 4·P_C(x) for the Taylor form.
 	a, b := m.CommPower(0.2), m.CommPower(0.4)
-	if math.Abs(b-4*a) > 1e-12 {
+	if math.Abs((b - 4*a).W()) > 1e-12 {
 		t.Errorf("quadratic scaling violated: %v vs %v", b, 4*a)
 	}
 	if m.CommPower(0) != 0 {
@@ -112,7 +114,7 @@ func TestTaylorErrorMatchesFig4(t *testing.T) {
 	}
 	// Error grows monotonically with the swing (shape of Fig. 4).
 	prev := 0.0
-	for isw := 0.05; isw <= 0.9; isw += 0.05 {
+	for isw := units.Amperes(0.05); isw <= 0.9; isw += 0.05 {
 		e := m.TaylorError(isw)
 		if e < prev-1e-12 {
 			t.Fatalf("Taylor error not monotone at %v A: %v < %v", isw, e, prev)
@@ -132,7 +134,7 @@ func TestCommPowerExactVsTaylorProperty(t *testing.T) {
 		if math.IsNaN(raw) || math.IsInf(raw, 0) {
 			return true
 		}
-		isw := math.Mod(math.Abs(raw), m.MaxSwing)
+		isw := units.Amperes(math.Mod(math.Abs(raw), m.MaxSwing.A()))
 		exact := m.CommPowerExact(isw)
 		approx := m.CommPower(isw)
 		if isw == 0 {
@@ -144,7 +146,7 @@ func TestCommPowerExactVsTaylorProperty(t *testing.T) {
 		if m.TaylorError(isw) > 0.015 {
 			return false
 		}
-		return math.Abs(exact-approx) <= 0.15*math.Max(exact, approx)
+		return math.Abs((exact - approx).W()) <= 0.15*math.Max(exact.W(), approx.W())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -153,19 +155,19 @@ func TestCommPowerExactVsTaylorProperty(t *testing.T) {
 
 func TestHighLowCurrents(t *testing.T) {
 	m := CreeXTE()
-	if ih := m.HighCurrent(0.9); math.Abs(ih-0.9) > 1e-12 {
+	if ih := m.HighCurrent(0.9); math.Abs(ih.A()-0.9) > 1e-12 {
 		t.Errorf("Ih = %v, want 0.9", ih)
 	}
 	if il := m.LowCurrent(0.9); il != 0 {
 		t.Errorf("Il = %v, want 0 (full swing turns the LED off)", il)
 	}
-	if il := m.LowCurrent(0.4); math.Abs(il-0.25) > 1e-12 {
+	if il := m.LowCurrent(0.4); math.Abs(il.A()-0.25) > 1e-12 {
 		t.Errorf("Il = %v, want 0.25", il)
 	}
 	// Symmetric swing keeps the average current at the bias → same
 	// brightness in both modes (flicker-free requirement).
 	avg := (m.HighCurrent(0.4) + m.LowCurrent(0.4)) / 2
-	if math.Abs(avg-m.BiasCurrent) > 1e-12 {
+	if math.Abs((avg - m.BiasCurrent).A()) > 1e-12 {
 		t.Errorf("average current %v drifts from bias %v", avg, m.BiasCurrent)
 	}
 }
@@ -197,8 +199,8 @@ func TestOpticalPower(t *testing.T) {
 	if got := m.OpticalPower(1.0); got != 0.40 {
 		t.Errorf("OpticalPower = %v", got)
 	}
-	want := m.WallPlugEfficiency * m.CommPower(0.9)
-	if got := m.OpticalSwingPower(0.9); math.Abs(got-want) > 1e-15 {
+	want := units.Watts(m.WallPlugEfficiency * m.CommPower(0.9).W())
+	if got := m.OpticalSwingPower(0.9); math.Abs((got - want).W()) > 1e-15 {
 		t.Errorf("OpticalSwingPower = %v, want %v", got, want)
 	}
 }
@@ -209,8 +211,8 @@ func TestDynamicResistanceOverride(t *testing.T) {
 		t.Error("override should win when set")
 	}
 	m.DynamicResistanceOverride = 0
-	want := m.IdealityFactor*m.ThermalVoltage/(2*m.BiasCurrent) + m.SeriesResistance
-	if math.Abs(m.DynamicResistance()-want) > 1e-15 {
+	want := units.Ohms(m.IdealityFactor*m.ThermalVoltage.V()/(2*m.BiasCurrent.A())) + m.SeriesResistance
+	if math.Abs((m.DynamicResistance() - want).Ohms()) > 1e-15 {
 		t.Errorf("analytic r = %v, want %v", m.DynamicResistance(), want)
 	}
 }

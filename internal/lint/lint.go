@@ -5,7 +5,7 @@
 // (go/parser, go/ast, go/types), so the repo stays offline-buildable with a
 // dependency-free go.mod.
 //
-// Five analyzers run over every package:
+// Six analyzers run over every package:
 //
 //   - determinism: forbids global math/rand functions and wall-clock calls
 //     (time.Now, time.Since, ...) inside the simulation packages; stochastic
@@ -21,6 +21,11 @@
 //   - apipanic: flags panic(...) in internal/ library code; recoverable
 //     failures must be returned as errors, and genuine programmer-invariant
 //     checks must carry a //lint:ignore apipanic <reason> directive.
+//   - unitsafety: dimensional analysis over the internal/units types —
+//     flags cross-unit conversions (units.Radians of a units.Degrees
+//     value), unit values laundered through bare float64(...) casts,
+//     multiplication/division of two unit-typed values, and exported
+//     physics-package APIs that pass physical quantities as bare float64.
 //
 // Any finding can be suppressed with a comment on the same line or the line
 // directly above:
@@ -81,6 +86,7 @@ func Analyzers() []*Analyzer {
 		analyzerFloatCmp,
 		analyzerErrDrop,
 		analyzerAPIPanic,
+		analyzerUnitSafety,
 	}
 }
 

@@ -21,12 +21,14 @@ var (
 	fixtureImp  types.Importer
 )
 
+func initFixtureImporter() {
+	fixtureFset = token.NewFileSet()
+	fixtureImp = importer.ForCompiler(fixtureFset, "source", nil)
+}
+
 func fixturePkg(t *testing.T, pkgPath, filename, src string) *Package {
 	t.Helper()
-	fixtureOnce.Do(func() {
-		fixtureFset = token.NewFileSet()
-		fixtureImp = importer.ForCompiler(fixtureFset, "source", nil)
-	})
+	fixtureOnce.Do(initFixtureImporter)
 	file, err := parser.ParseFile(fixtureFset, filename, src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("parse fixture: %v", err)

@@ -32,6 +32,12 @@ func TestRepoIsClean(t *testing.T) {
 			t.Errorf("deterministic package %q not found under internal/; update deterministicPkgs in lint.go", name)
 		}
 	}
+	// Likewise the physics packages guarded by unitsafety's API audit.
+	for name := range physicsPkgs {
+		if !present[name] {
+			t.Errorf("physics package %q not found under internal/; update physicsPkgs in unitsafety.go", name)
+		}
+	}
 	findings := Run(pkgs, Analyzers())
 	for _, f := range findings {
 		t.Errorf("unexpected finding: %s", f)
@@ -67,4 +73,15 @@ func TestLoadPatternFiltering(t *testing.T) {
 	if len(sub) == 0 {
 		t.Error("pattern ./cmd/... selected no packages")
 	}
+}
+
+// TestSuiteIncludesUnitSafety pins the dimensional-analysis pass into the
+// default suite: TestRepoIsClean only gates what Analyzers() returns.
+func TestSuiteIncludesUnitSafety(t *testing.T) {
+	for _, a := range Analyzers() {
+		if a.Name == "unitsafety" {
+			return
+		}
+	}
+	t.Fatal("unitsafety missing from Analyzers()")
 }

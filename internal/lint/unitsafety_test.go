@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"sync"
+	"testing"
+)
+
+// unitsFixtureSrc is a miniature internal/units: enough defined types,
+// accessors and named conversions to exercise every unitsafety sub-rule
+// without type-checking the real module.
+const unitsFixtureSrc = `package units
+
+type Watts float64
+type Milliwatts float64
+type Degrees float64
+type Radians float64
+type Seconds float64
+
+func (w Watts) W() float64      { return float64(w) }
+func (m Milliwatts) MW() float64 { return float64(m) }
+func (r Radians) Rad() float64  { return float64(r) }
+func (s Seconds) S() float64    { return float64(s) }
+
+func WattsToMilliwatts(w Watts) Milliwatts { return Milliwatts(float64(w) * 1000) }
+func DegreesToRadians(d Degrees) Radians   { return Radians(float64(d) * 3.141592653589793 / 180) }
+`
+
+var (
+	unitsFixtureOnce sync.Once
+	unitsFixtureTpkg *types.Package
+	unitsFixtureErr  error
+)
+
+// unitsImporter resolves the units import path to the fixture package and
+// everything else through the shared source importer.
+type unitsImporter struct{ std types.Importer }
+
+func (m unitsImporter) Import(path string) (*types.Package, error) {
+	if path == unitsPkgPath {
+		return unitsFixtureTpkg, unitsFixtureErr
+	}
+	return m.std.Import(path)
+}
+
+// unitsFixturePkg type-checks a fixture that may import the units package.
+func unitsFixturePkg(t *testing.T, pkgPath, filename, src string) *Package {
+	t.Helper()
+	fixtureOnce.Do(initFixtureImporter)
+	unitsFixtureOnce.Do(func() {
+		file, err := parser.ParseFile(fixtureFset, "internal/units/units.go", unitsFixtureSrc, parser.ParseComments)
+		if err != nil {
+			unitsFixtureErr = err
+			return
+		}
+		conf := types.Config{Importer: fixtureImp}
+		unitsFixtureTpkg, unitsFixtureErr = conf.Check(unitsPkgPath, fixtureFset, []*ast.File{file}, newInfo())
+	})
+	if unitsFixtureErr != nil {
+		t.Fatalf("type-check units fixture: %v", unitsFixtureErr)
+	}
+	file, err := parser.ParseFile(fixtureFset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: unitsImporter{std: fixtureImp}}
+	tpkg, err := conf.Check(pkgPath, fixtureFset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return &Package{Path: pkgPath, Fset: fixtureFset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+}
+
+func TestUnitSafety(t *testing.T) {
+	tests := []struct {
+		name    string
+		pkgPath string
+		file    string
+		src     string
+		want    []string
+	}{
+		{
+			name:    "cross-unit conversion flagged",
+			pkgPath: "densevlc/internal/optics",
+			file:    "internal/optics/a.go",
+			src: `package optics
+import "densevlc/internal/units"
+func f(d units.Degrees) units.Radians {
+	return units.Radians(d)
+}`,
+			want: []string{"internal/optics/a.go:4 unitsafety"},
+		},
+		{
+			name:    "named conversion and constructor sanctioned",
+			pkgPath: "densevlc/internal/optics",
+			file:    "internal/optics/b.go",
+			src: `package optics
+import "densevlc/internal/units"
+func f(d units.Degrees, raw float64) units.Radians {
+	_ = units.Watts(raw)       // construction from a bare magnitude
+	_ = units.Seconds(1.5e-3)  // construction from a constant
+	return units.DegreesToRadians(d)
+}`,
+			want: nil,
+		},
+		{
+			name:    "laundering through float64 flagged, accessor sanctioned",
+			pkgPath: "densevlc/internal/phy",
+			file:    "internal/phy/c.go",
+			src: `package phy
+import "densevlc/internal/units"
+func f(w units.Watts) (float64, float64) {
+	bad := float64(w)
+	good := w.W()
+	return bad, good
+}`,
+			want: []string{"internal/phy/c.go:4 unitsafety"},
+		},
+		{
+			name:    "mixed-unit arithmetic flagged, scaling by constants sanctioned",
+			pkgPath: "densevlc/internal/channel",
+			file:    "internal/channel/d.go",
+			src: `package channel
+import "densevlc/internal/units"
+func f(a, b units.Watts, s units.Seconds) units.Watts {
+	_ = a * b
+	_ = a / b
+	_ = float64(a.W() * s.S()) // magnitudes first: fine
+	return a + b - b/2
+}`,
+			want: []string{
+				"internal/channel/d.go:4 unitsafety",
+				"internal/channel/d.go:5 unitsafety",
+			},
+		},
+		{
+			name:    "untyped exported physics API flagged",
+			pkgPath: "densevlc/internal/led",
+			file:    "internal/led/e.go",
+			src: `package led
+func EmitAt(power float64, gain float64) {}
+func PeakPower() float64 { return 1.19 }
+func helperPower(power float64) {}
+`,
+			want: []string{
+				"internal/led/e.go:2 unitsafety", // power parameter
+				"internal/led/e.go:3 unitsafety", // unnamed result, function named *Power
+			},
+		},
+		{
+			name:    "typed API and non-physics package pass",
+			pkgPath: "densevlc/internal/stats",
+			file:    "internal/stats/f.go",
+			src: `package stats
+func WeightedPower(power float64) float64 { return power } // stats is not a physics package
+`,
+			want: nil,
+		},
+		{
+			name:    "units package itself exempt",
+			pkgPath: unitsPkgPath,
+			file:    "internal/units/g.go",
+			src: `package units
+type Joules float64
+type Kilojoules float64
+func f(j Joules) Kilojoules { return Kilojoules(j) } // conversion helpers live here
+`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg := unitsFixturePkg(t, tt.pkgPath, tt.file, tt.src)
+			assertFindings(t, analyzerUnitSafety.Run(pkg), tt.want...)
+		})
+	}
+}
+
+func TestUnitSafetySuppression(t *testing.T) {
+	pkg := unitsFixturePkg(t, "densevlc/internal/channel", "internal/channel/supp.go", `package channel
+import "densevlc/internal/units"
+
+//lint:ignore unitsafety the ratio is dimensionless by construction
+func ratio(a, b units.Watts) units.Watts { return a / b }
+
+func unsuppressed(a, b units.Watts) units.Watts { return a / b }
+`)
+	got := Run([]*Package{pkg}, []*Analyzer{analyzerUnitSafety})
+	assertFindings(t, got, "internal/channel/supp.go:7 unitsafety")
+}
+
+func TestUnitSafetyTypedAPIPasses(t *testing.T) {
+	pkg := unitsFixturePkg(t, "densevlc/internal/led", "internal/led/typed.go", `package led
+import "densevlc/internal/units"
+func EmitAt(power units.Watts, tilt units.Radians) units.Watts { return power }
+`)
+	assertFindings(t, analyzerUnitSafety.Run(pkg))
+}

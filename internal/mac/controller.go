@@ -8,6 +8,7 @@ import (
 	"densevlc/internal/channel"
 	"densevlc/internal/frame"
 	"densevlc/internal/led"
+	"densevlc/internal/units"
 )
 
 // Controller hosts DenseVLC's decision logic (Sec. 3.2): it ingests channel
@@ -20,7 +21,7 @@ import (
 type Controller struct {
 	N, M   int
 	Policy alloc.Policy
-	Budget float64
+	Budget units.Watts
 	Params channel.Params
 	LED    led.Model
 
@@ -44,7 +45,7 @@ type Plan struct {
 }
 
 // NewController builds a controller for n transmitters and m receivers.
-func NewController(n, m int, policy alloc.Policy, budget float64, params channel.Params, ledModel led.Model) *Controller {
+func NewController(n, m int, policy alloc.Policy, budget units.Watts, params channel.Params, ledModel led.Model) *Controller {
 	g := make([][]float64, n)
 	for j := range g {
 		g[j] = make([]float64, m)
@@ -166,7 +167,7 @@ func (c *Controller) AllocationFrame(plan Plan) (frame.Downlink, error) {
 		for i := 0; i < c.M; i++ {
 			if plan.Swings[j][i] > 0 {
 				cmd.RX = i
-				cmd.SwingMilliAmps = uint16(math.Round(plan.Swings[j][i] * 1000))
+				cmd.SwingMilliAmps = uint16(math.Round(units.AmperesToMilliamperes(plan.Swings[j][i]).MA()))
 				cmd.Leader = plan.Leader[i] == j
 				break
 			}

@@ -216,7 +216,7 @@ func TestControllerFullCycle(t *testing.T) {
 	if action != TXReconfigure || !node.Communicating() {
 		t.Errorf("TX %d not reconfigured: action=%v cmd=%+v", servingTX, action, node.Cmd)
 	}
-	if math.Abs(node.Swing()-plan.Swings[servingTX][0]) > 1e-3 {
+	if math.Abs((node.Swing() - plan.Swings[servingTX][0]).A()) > 1e-3 {
 		t.Errorf("swing %v vs plan %v", node.Swing(), plan.Swings[servingTX][0])
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"densevlc/internal/frame"
+	"densevlc/internal/units"
 )
 
 // TXAction is what a transmitter must do with a downlink frame.
@@ -37,7 +38,9 @@ func NewTXNode(id int) *TXNode {
 func (t *TXNode) Communicating() bool { return t.Cmd.RX >= 0 && t.Cmd.SwingMilliAmps > 0 }
 
 // Swing returns the commanded swing in amps.
-func (t *TXNode) Swing() float64 { return float64(t.Cmd.SwingMilliAmps) / 1000 }
+func (t *TXNode) Swing() units.Amperes {
+	return units.MilliamperesToAmperes(units.Milliamperes(t.Cmd.SwingMilliAmps))
+}
 
 // HandleDownlink processes a controller frame ("each TX checks this field
 // and acts upon it accordingly"). Allocation frames update the node's

@@ -9,30 +9,31 @@ import (
 	"math/rand"
 
 	"densevlc/internal/geom"
+	"densevlc/internal/units"
 )
 
-// Trajectory yields a receiver's xy position at a given time (seconds).
+// Trajectory yields a receiver's xy position at a given simulated time.
 type Trajectory interface {
-	Position(t float64) geom.Vec
+	Position(t units.Seconds) geom.Vec
 }
 
 // Static is a receiver that never moves.
 type Static struct{ Pos geom.Vec }
 
 // Position implements Trajectory.
-func (s Static) Position(float64) geom.Vec { return s.Pos }
+func (s Static) Position(units.Seconds) geom.Vec { return s.Pos }
 
 // Waypoints moves through a sequence of points at constant speed, holding
 // the final point. With Loop set it cycles back to the start instead.
 type Waypoints struct {
 	Points []geom.Vec
-	// Speed in m/s (the ACRO gantry does ~0.1–0.5 m/s comfortably).
-	Speed float64
+	// Speed of travel (the ACRO gantry does ~0.1–0.5 m/s comfortably).
+	Speed units.MetersPerSecond
 	Loop  bool
 }
 
 // Position implements Trajectory.
-func (w Waypoints) Position(t float64) geom.Vec {
+func (w Waypoints) Position(t units.Seconds) geom.Vec {
 	if len(w.Points) == 0 {
 		return geom.Vec{}
 	}
@@ -53,7 +54,7 @@ func (w Waypoints) Position(t float64) geom.Vec {
 		return pts[0]
 	}
 
-	dist := w.Speed * t
+	dist := w.Speed.MPerS() * t.S()
 	if w.Loop {
 		dist = math.Mod(dist, total)
 	} else if dist >= total {
@@ -76,7 +77,7 @@ func (w Waypoints) Position(t float64) geom.Vec {
 
 // Duration returns the time to traverse the full path once (infinite speed
 // guards return 0).
-func (w Waypoints) Duration() float64 {
+func (w Waypoints) Duration() units.Seconds {
 	if w.Speed <= 0 || len(w.Points) < 2 {
 		return 0
 	}
@@ -88,7 +89,7 @@ func (w Waypoints) Duration() float64 {
 	for i := 1; i < len(pts); i++ {
 		total += pts[i].Dist(pts[i-1])
 	}
-	return total / w.Speed
+	return units.Seconds(total / w.Speed.MPerS())
 }
 
 // RandomWaypoint is the classic random-waypoint model bounded to a region:
@@ -97,18 +98,18 @@ func (w Waypoints) Duration() float64 {
 // trajectories with the same seed agree.
 type RandomWaypoint struct {
 	// Region bounds the motion (positions keep the given Z).
-	XMin, YMin, XMax, YMax float64
-	Z                      float64
-	Speed                  float64
+	XMin, YMin, XMax, YMax units.Meters
+	Z                      units.Meters
+	Speed                  units.MetersPerSecond
 
 	rng     *rand.Rand
-	curTime float64
+	curTime units.Seconds
 	cur     geom.Vec
 	dst     geom.Vec
 }
 
 // NewRandomWaypoint starts the model at a uniform position in the region.
-func NewRandomWaypoint(rng *rand.Rand, xMin, yMin, xMax, yMax, z, speed float64) *RandomWaypoint {
+func NewRandomWaypoint(rng *rand.Rand, xMin, yMin, xMax, yMax, z units.Meters, speed units.MetersPerSecond) *RandomWaypoint {
 	r := &RandomWaypoint{
 		XMin: xMin, YMin: yMin, XMax: xMax, YMax: yMax, Z: z, Speed: speed,
 		rng: rng,
@@ -120,22 +121,22 @@ func NewRandomWaypoint(rng *rand.Rand, xMin, yMin, xMax, yMax, z, speed float64)
 
 func (r *RandomWaypoint) draw() geom.Vec {
 	return geom.V(
-		r.XMin+r.rng.Float64()*(r.XMax-r.XMin),
-		r.YMin+r.rng.Float64()*(r.YMax-r.YMin),
-		r.Z,
+		r.XMin.M()+r.rng.Float64()*(r.XMax.M()-r.XMin.M()),
+		r.YMin.M()+r.rng.Float64()*(r.YMax.M()-r.YMin.M()),
+		r.Z.M(),
 	)
 }
 
 // Position implements Trajectory. Time must be non-decreasing across calls;
 // earlier times return the current position.
-func (r *RandomWaypoint) Position(t float64) geom.Vec {
+func (r *RandomWaypoint) Position(t units.Seconds) geom.Vec {
 	if r.Speed <= 0 {
 		return r.cur
 	}
 	for t > r.curTime {
 		dist := r.cur.Dist(r.dst)
-		dt := t - r.curTime
-		travel := r.Speed * dt
+		dt := (t - r.curTime).S()
+		travel := r.Speed.MPerS() * dt
 		if travel < dist {
 			f := travel / dist
 			r.cur = r.cur.Add(r.dst.Sub(r.cur).Scale(f))
@@ -143,7 +144,7 @@ func (r *RandomWaypoint) Position(t float64) geom.Vec {
 			break
 		}
 		// Arrive and pick the next destination.
-		timeToArrive := dist / r.Speed
+		timeToArrive := units.Seconds(dist / r.Speed.MPerS())
 		r.curTime += timeToArrive
 		r.cur = r.dst
 		r.dst = r.draw()

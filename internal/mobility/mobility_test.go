@@ -6,6 +6,7 @@ import (
 
 	"densevlc/internal/geom"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 func TestStatic(t *testing.T) {
@@ -21,7 +22,7 @@ func TestWaypointsInterpolation(t *testing.T) {
 		Speed:  0.5,
 	}
 	cases := []struct {
-		t    float64
+		t    units.Seconds
 		want geom.Vec
 	}{
 		{0, geom.V(0, 0, 0)},
@@ -37,7 +38,7 @@ func TestWaypointsInterpolation(t *testing.T) {
 			t.Errorf("Position(%v) = %v, want %v", c.t, got, c.want)
 		}
 	}
-	if d := w.Duration(); math.Abs(d-4) > 1e-12 {
+	if d := w.Duration(); math.Abs(d.S()-4) > 1e-12 {
 		t.Errorf("Duration = %v, want 4", d)
 	}
 }
@@ -84,7 +85,7 @@ func TestWaypointsDegenerate(t *testing.T) {
 func TestRandomWaypointStaysInRegion(t *testing.T) {
 	rng := stats.NewRand(3)
 	r := NewRandomWaypoint(rng, 0.4, 0.4, 2.6, 2.6, 0, 0.5)
-	for tt := 0.0; tt < 600; tt += 0.5 {
+	for tt := units.Seconds(0); tt < 600; tt += 0.5 {
 		p := r.Position(tt)
 		if p.X < 0.4-1e-9 || p.X > 2.6+1e-9 || p.Y < 0.4-1e-9 || p.Y > 2.6+1e-9 {
 			t.Fatalf("t=%v: %v escaped the region", tt, p)
@@ -99,7 +100,7 @@ func TestRandomWaypointMovesAtBoundedSpeed(t *testing.T) {
 	rng := stats.NewRand(4)
 	r := NewRandomWaypoint(rng, 0, 0, 3, 3, 0, 0.5)
 	prev := r.Position(0)
-	for tt := 0.1; tt < 100; tt += 0.1 {
+	for tt := units.Seconds(0.1); tt < 100; tt += 0.1 {
 		p := r.Position(tt)
 		if d := p.Dist(prev); d > 0.5*0.1+1e-9 {
 			t.Fatalf("t=%v: moved %v m in 0.1 s at 0.5 m/s", tt, d)
@@ -111,7 +112,7 @@ func TestRandomWaypointMovesAtBoundedSpeed(t *testing.T) {
 func TestRandomWaypointDeterministic(t *testing.T) {
 	a := NewRandomWaypoint(stats.NewRand(7), 0, 0, 3, 3, 0, 0.5)
 	b := NewRandomWaypoint(stats.NewRand(7), 0, 0, 3, 3, 0, 0.5)
-	for tt := 0.0; tt < 50; tt += 1.3 {
+	for tt := units.Seconds(0); tt < 50; tt += 1.3 {
 		if a.Position(tt) != b.Position(tt) {
 			t.Fatal("same seed should give the same trajectory")
 		}
@@ -122,7 +123,7 @@ func TestRandomWaypointActuallyCoversSpace(t *testing.T) {
 	rng := stats.NewRand(8)
 	r := NewRandomWaypoint(rng, 0, 0, 3, 3, 0, 1.0)
 	seen := map[[2]int]bool{}
-	for tt := 0.0; tt < 2000; tt += 1 {
+	for tt := units.Seconds(0); tt < 2000; tt += 1 {
 		p := r.Position(tt)
 		seen[[2]int{int(p.X), int(p.Y)}] = true
 	}

@@ -24,6 +24,7 @@ import (
 	"densevlc/internal/phy"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // PilotEvent is what a receiver's front-end reports for one pilot slot.
@@ -46,20 +47,20 @@ type Hub struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
 	positions []mobility.Trajectory
-	now       float64 // virtual time, advanced by the controller
+	now       units.Seconds // virtual time, advanced by the controller
 	h         *channel.Matrix
 	blocker   channel.Blocker
-	swings    []float64 // commanded swing per TX
-	serves    []int     // RX served per TX (-1 = none)
-	leader    []bool    // leader flag per TX
+	swings    []units.Amperes // commanded swing per TX
+	serves    []int           // RX served per TX (-1 = none)
+	leader    []bool          // leader flag per TX
 
 	pilotCh []chan PilotEvent
 	rxCh    []chan Reception
 
 	// pending data transmissions grouped by sequence number.
 	pending map[uint16]*airFrame
-	noise   float64
-	meas    float64 // measurement-noise relative std
+	noise   units.Amperes // per-sample photocurrent noise std
+	meas    float64       // measurement-noise relative std
 }
 
 type airFrame struct {
@@ -81,13 +82,13 @@ func NewHub(setup scenario.Setup, traj []mobility.Trajectory, blocker channel.Bl
 		rng:       stats.NewRand(seed),
 		positions: traj,
 		blocker:   blocker,
-		swings:    make([]float64, n),
+		swings:    make([]units.Amperes, n),
 		serves:    make([]int, n),
 		leader:    make([]bool, n),
 		pilotCh:   make([]chan PilotEvent, m),
 		rxCh:      make([]chan Reception, m),
 		pending:   map[uint16]*airFrame{},
-		noise:     math.Sqrt(setup.Params.NoisePower()),
+		noise:     units.Amperes(math.Sqrt(setup.Params.NoisePower().A2())),
 		meas:      measurementNoise,
 	}
 	for j := range hub.serves {
@@ -112,7 +113,7 @@ func (h *Hub) Receptions(i int) <-chan Reception { return h.rxCh[i] }
 
 // AdvanceTime moves the virtual clock (receiver positions follow their
 // trajectories) and refreshes the channel matrix.
-func (h *Hub) AdvanceTime(t float64) {
+func (h *Hub) AdvanceTime(t units.Seconds) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.now = t
@@ -156,7 +157,7 @@ func (h *Hub) Snapshot() (*channel.Matrix, channel.Swings) {
 
 // Configure records one transmitter's current command (called by TX
 // goroutines when an allocation arrives).
-func (h *Hub) Configure(tx int, servesRX int, swing float64, leader bool) {
+func (h *Hub) Configure(tx int, servesRX int, swing units.Amperes, leader bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if tx < 0 || tx >= len(h.swings) {
@@ -229,20 +230,20 @@ func (h *Hub) deliver(af *airFrame) {
 	}
 	h.mu.Lock()
 	p := h.setup.Params
-	scale := p.Responsivity * p.WallPlugEfficiency * p.DynamicResistance
+	scale := p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms()
 	var txs []phy.TXSignal
 	for _, tx := range af.txs {
-		half := h.swings[tx] / 2
-		amp := scale * h.h.Gain(tx, af.rx) * half * half
-		off := 0.0
+		half := h.swings[tx].A() / 2
+		amp := units.Amperes(scale * h.h.Gain(tx, af.rx) * half * half)
+		var off units.Seconds
 		if !h.leader[tx] {
 			switch h.sync {
 			case clock.MethodNLOSVLC:
-				off = 1.2e-6 * h.rng.Float64()
+				off = units.Seconds(1.2e-6 * h.rng.Float64())
 			case clock.MethodNTPPTP:
-				off = math.Abs(clock.TriggerError(h.rng, clock.MethodNTPPTP, 100e3))
+				off = units.Seconds(math.Abs(clock.TriggerError(h.rng, clock.MethodNTPPTP, 100e3).S()))
 			default:
-				off = 20e-3 * h.rng.Float64()
+				off = units.Seconds(20e-3 * h.rng.Float64())
 			}
 		}
 		txs = append(txs, phy.TXSignal{
@@ -257,12 +258,12 @@ func (h *Hub) deliver(af *airFrame) {
 		if rxServed < 0 || rxServed == af.rx || h.swings[j] <= 0 {
 			continue
 		}
-		half := h.swings[j] / 2
-		amp := scale * h.h.Gain(j, af.rx) * half * half
+		half := h.swings[j].A() / 2
+		amp := units.Amperes(scale * h.h.Gain(j, af.rx) * half * half)
 		if amp > 0 {
 			txs = append(txs, phy.TXSignal{
 				Amplitude:  amp,
-				Offset:     h.rng.Float64() * 10e-3,
+				Offset:     units.Seconds(h.rng.Float64() * 10e-3),
 				Continuous: true,
 				ClockPPM:   40*h.rng.Float64() - 20,
 			})

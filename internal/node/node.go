@@ -10,6 +10,7 @@ import (
 	"densevlc/internal/frame"
 	"densevlc/internal/mac"
 	"densevlc/internal/transport"
+	"densevlc/internal/units"
 )
 
 // RunTX is a transmitter node's event loop: it consumes controller frames
@@ -105,12 +106,12 @@ func RunRX(ctx context.Context, id, numTX int, link transport.NodeLink, hub *Hub
 type ControllerConfig struct {
 	N, M   int
 	Policy alloc.Policy
-	Budget float64
+	Budget units.Watts
 	// Rounds to run.
 	Rounds int
 	// RoundDuration advances the hub's virtual clock per round (receiver
 	// motion), seconds.
-	RoundDuration float64
+	RoundDuration units.Seconds
 	// FramesPerRX data frames per receiver per round.
 	FramesPerRX int
 	// MaxAttempts bounds transmissions per frame (1 = no retransmission).
@@ -156,7 +157,7 @@ type RoundStats struct {
 	ActiveTXs    int
 	// SystemThroughput is the analytic Eq. 12 score of the commanded
 	// allocation against the true channel at round time.
-	SystemThroughput float64
+	SystemThroughput units.BitsPerSecond
 }
 
 // RunController drives the asynchronous system: per round it schedules the
@@ -173,7 +174,7 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		hub.AdvanceTime(float64(round) * cfg.RoundDuration)
+		hub.AdvanceTime(units.Seconds(float64(round) * cfg.RoundDuration.S()))
 
 		// Measurement phase: one pilot slot per TX.
 		for j := 0; j < cfg.N; j++ {

@@ -14,6 +14,7 @@ import (
 	"densevlc/internal/mobility"
 	"densevlc/internal/scenario"
 	"densevlc/internal/transport"
+	"densevlc/internal/units"
 )
 
 // Config wires a full asynchronous deployment.
@@ -21,7 +22,7 @@ type Config struct {
 	Setup        scenario.Setup
 	Trajectories []mobility.Trajectory
 	Policy       alloc.Policy
-	Budget       float64
+	Budget       units.Watts
 	Sync         clock.Method
 	Blocker      channel.Blocker
 	// Network carries the control plane; nil selects in-memory. The run
@@ -29,7 +30,7 @@ type Config struct {
 	Network transport.Network
 	// Controller loop parameters.
 	Rounds        int
-	RoundDuration float64
+	RoundDuration units.Seconds
 	FramesPerRX   int
 	// MeasurementNoise is the channel-estimate relative std.
 	MeasurementNoise float64

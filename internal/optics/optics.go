@@ -4,8 +4,9 @@
 // single-bounce non-line-of-sight (NLOS) floor reflection that carries the
 // synchronisation pilot between transmitters (Sec. 6.2).
 //
-// All positions are in metres (package geom), angles in radians, optical
-// powers in watts, luminous quantities in lumen/lux.
+// All positions are in metres (package geom); angles, areas, fluxes and
+// delays carry their units.* types, so a degree/radian or mW/W slip fails
+// the build (or the unitsafety lint) instead of skewing Eq. (2) silently.
 package optics
 
 import (
@@ -13,6 +14,7 @@ import (
 	"math"
 
 	"densevlc/internal/geom"
+	"densevlc/internal/units"
 )
 
 // Emitter describes an optical source: its pose and Lambertian emission
@@ -22,13 +24,14 @@ type Emitter struct {
 	Pos geom.Vec
 	// Normal is the unit emission axis.
 	Normal geom.Vec
-	// Order is the Lambertian mode number m = −ln2/ln(cos φ½).
+	// Order is the dimensionless Lambertian mode number
+	// m = −ln2/ln(cos φ½).
 	Order float64
 }
 
 // NewDownwardEmitter returns an emitter at pos facing straight down with
-// the Lambertian order derived from the half-power semi-angle (radians).
-func NewDownwardEmitter(pos geom.Vec, halfPowerSemiAngle float64) Emitter {
+// the Lambertian order derived from the half-power semi-angle.
+func NewDownwardEmitter(pos geom.Vec, halfPowerSemiAngle units.Radians) Emitter {
 	return Emitter{
 		Pos:    pos,
 		Normal: geom.V(0, 0, -1),
@@ -36,9 +39,9 @@ func NewDownwardEmitter(pos geom.Vec, halfPowerSemiAngle float64) Emitter {
 	}
 }
 
-// LambertianOrder returns m = −ln2 / ln(cos φ½).
-func LambertianOrder(halfPowerSemiAngle float64) float64 {
-	return -math.Ln2 / math.Log(math.Cos(halfPowerSemiAngle))
+// LambertianOrder returns m = −ln2 / ln(cos φ½), dimensionless.
+func LambertianOrder(halfPowerSemiAngle units.Radians) float64 {
+	return -math.Ln2 / math.Log(halfPowerSemiAngle.Cos())
 }
 
 // Detector describes an optical receiver: its pose, collection area,
@@ -49,12 +52,12 @@ type Detector struct {
 	// table face up (Normal = (0,0,1)); the TX-mounted sync receivers face
 	// down.
 	Normal geom.Vec
-	// Area is the photodiode collection area A_pd in m² (1.1 mm² for the
+	// Area is the photodiode collection area A_pd (1.1 mm² for the
 	// Hamamatsu S5971 used in the paper).
-	Area float64
-	// FOV is the half-angle field of view Ψc in radians; light at larger
-	// incidence contributes nothing.
-	FOV float64
+	Area units.SquareMeters
+	// FOV is the half-angle field of view Ψc; light at larger incidence
+	// contributes nothing.
+	FOV units.Radians
 	// OpticsGain is the concentrator-and-filter gain g(ψ), assumed
 	// angle-independent inside the FOV (the paper's g(ψ)). 1 means bare
 	// photodiode.
@@ -62,8 +65,8 @@ type Detector struct {
 }
 
 // NewUpwardDetector returns a detector at pos facing straight up with the
-// given area (m²) and field of view (radians), with unit optics gain.
-func NewUpwardDetector(pos geom.Vec, area, fov float64) Detector {
+// given area and field of view, with unit optics gain.
+func NewUpwardDetector(pos geom.Vec, area units.SquareMeters, fov units.Radians) Detector {
 	return Detector{Pos: pos, Normal: geom.V(0, 0, 1), Area: area, FOV: fov, OpticsGain: 1}
 }
 
@@ -92,12 +95,12 @@ func Gain(e Emitter, d Detector) float64 {
 	if cosPsi <= 0 {
 		return 0 // light arrives from behind the photodiode
 	}
-	if math.Acos(clamp1(cosPsi)) > d.FOV {
+	if math.Acos(clamp1(cosPsi)) > d.FOV.Rad() {
 		return 0
 	}
 
 	m := e.Order
-	return (m + 1) * d.Area / (2 * math.Pi * dist2) *
+	return (m + 1) * d.Area.M2() / (2 * math.Pi * dist2) *
 		math.Pow(cosPhi, m) * d.OpticsGain * cosPsi
 }
 
@@ -111,13 +114,13 @@ func clamp1(c float64) float64 {
 	return c
 }
 
-// Illuminance returns the illuminance in lux produced at the detector plane
-// point p (with surface normal n) by an emitter radiating the given total
-// luminous flux in lumen. The axial luminous intensity of a Lambertian
-// source of order m is I₀ = Φ·(m+1)/(2π) candela, and
+// Illuminance returns the illuminance produced at the detector plane point
+// p (with surface normal n) by an emitter radiating the given total
+// luminous flux. The axial luminous intensity of a Lambertian source of
+// order m is I₀ = Φ·(m+1)/(2π) candela, and
 //
 //	E = I₀ · cosᵐ(φ) · cos(ψ) / d².
-func Illuminance(e Emitter, flux float64, p, n geom.Vec) float64 {
+func Illuminance(e Emitter, flux units.Lumens, p, n geom.Vec) units.Lux {
 	sep := p.Sub(e.Pos)
 	dist2 := sep.Norm2()
 	if dist2 == 0 {
@@ -132,8 +135,8 @@ func Illuminance(e Emitter, flux float64, p, n geom.Vec) float64 {
 	if cosPsi <= 0 {
 		return 0
 	}
-	i0 := flux * (e.Order + 1) / (2 * math.Pi)
-	return i0 * math.Pow(cosPhi, e.Order) * cosPsi / dist2
+	i0 := units.LuminousIntensity(flux, e.Order)
+	return units.Lux(i0.Cd() * math.Pow(cosPhi, e.Order) * cosPsi / dist2)
 }
 
 // FloorReflection models the floor as a grid of Lambertian reflector
@@ -177,19 +180,20 @@ func (f FloorReflection) Gain(e Emitter, d Detector) float64 {
 	if err := f.Validate(); err != nil {
 		return 0
 	}
-	nx := int(f.Room.Width*float64(f.Resolution) + 0.5)
-	ny := int(f.Room.Depth*float64(f.Resolution) + 0.5)
+	nx := int(f.Room.Width.M()*float64(f.Resolution) + 0.5)
+	ny := int(f.Room.Depth.M()*float64(f.Resolution) + 0.5)
 	if nx < 1 {
 		nx = 1
 	}
 	if ny < 1 {
 		ny = 1
 	}
-	dx := f.Room.Width / float64(nx)
-	dy := f.Room.Depth / float64(ny)
-	patchArea := dx * dy
+	dx := f.Room.Width.M() / float64(nx)
+	dy := f.Room.Depth.M() / float64(ny)
+	patchArea := units.SquareMeters(dx * dy)
 
 	up := geom.V(0, 0, 1)
+	halfPi := units.Radians(math.Pi / 2)
 	total := 0.0
 	for iy := 0; iy < ny; iy++ {
 		py := (float64(iy) + 0.5) * dy
@@ -203,7 +207,7 @@ func (f FloorReflection) Gain(e Emitter, d Detector) float64 {
 			// patchArea facing up with hemispherical FOV.
 			inc := Gain(e, Detector{
 				Pos: p, Normal: up, Area: patchArea,
-				FOV: math.Pi / 2, OpticsGain: 1,
+				FOV: halfPi, OpticsGain: 1,
 			})
 			if inc == 0 {
 				continue
@@ -221,18 +225,15 @@ func (f FloorReflection) Gain(e Emitter, d Detector) float64 {
 	return total
 }
 
-// PathDelay returns the free-space propagation delay in seconds for the
-// shortest NLOS path from e to d via the floor (down to the specular point
-// and back up). Propagation delay is negligible against the sampling period
-// in the paper's room (≈19 ns vs 1 µs) but the sync simulator accounts for
-// it anyway.
-func (f FloorReflection) PathDelay(e Emitter, d Detector) float64 {
+// PathDelay returns the free-space propagation delay for the shortest NLOS
+// path from e to d via the floor (down to the specular point and back up).
+// Propagation delay is negligible against the sampling period in the
+// paper's room (≈19 ns vs 1 µs) but the sync simulator accounts for it
+// anyway.
+func (f FloorReflection) PathDelay(e Emitter, d Detector) units.Seconds {
 	// Mirror the detector below the floor; the straight line from the
 	// emitter to the image crosses the floor at the specular point, and its
 	// length equals the shortest bounce path.
 	img := geom.V(d.Pos.X, d.Pos.Y, -d.Pos.Z)
-	return e.Pos.Dist(img) / SpeedOfLight
+	return units.Seconds(e.Pos.Dist(img) / units.SpeedOfLight.MPerS())
 }
-
-// SpeedOfLight is c in m/s.
-const SpeedOfLight = 299792458.0

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"densevlc/internal/geom"
+	"densevlc/internal/units"
 )
 
 const (
@@ -126,10 +127,10 @@ func TestGainSymmetry(t *testing.T) {
 func TestIlluminanceAxial(t *testing.T) {
 	// E = Φ(m+1)/(2π d²) on axis.
 	e := paperEmitter(geom.V(0, 0, 2))
-	flux := 200.0
-	want := flux * (e.Order + 1) / (2 * math.Pi * 4)
+	flux := units.Lumens(200)
+	want := flux.Lm() * (e.Order + 1) / (2 * math.Pi * 4)
 	got := Illuminance(e, flux, geom.V(0, 0, 0), geom.V(0, 0, 1))
-	if math.Abs(got-want) > 1e-9*want {
+	if math.Abs(got.Lx()-want) > 1e-9*want {
 		t.Errorf("axial illuminance = %v, want %v", got, want)
 	}
 	// Facing away or behind → 0.
@@ -218,8 +219,8 @@ func TestPathDelay(t *testing.T) {
 	d := Detector{Pos: geom.V(1.5, 1, 2.8), Normal: geom.V(0, 0, -1), Area: apd, FOV: fov90}
 	delay := f.PathDelay(e, d)
 	// Bounce path ≈ down 2.8 and back up with 0.5 lateral: ≈5.62 m → ~19 ns.
-	want := math.Sqrt(0.5*0.5+5.6*5.6) / SpeedOfLight
-	if math.Abs(delay-want) > 1e-12 {
+	want := math.Sqrt(0.5*0.5+5.6*5.6) / units.SpeedOfLight.MPerS()
+	if math.Abs(delay.S()-want) > 1e-12 {
 		t.Errorf("delay = %v, want %v", delay, want)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"densevlc/internal/frame"
+	"densevlc/internal/units"
 )
 
 // PERResult summarises a packet-error-rate run (the iperf measurement of
@@ -15,9 +16,9 @@ type PERResult struct {
 	Corrected int // total Reed–Solomon byte corrections across good frames
 	// PER is the frame error rate in [0, 1].
 	PER float64
-	// Goodput is the application throughput in bit/s given the run's
-	// payload size and per-frame cycle time (air time + ACK turnaround).
-	Goodput float64
+	// Goodput is the application throughput given the run's payload
+	// size and per-frame cycle time (air time + ACK turnaround).
+	Goodput units.BitsPerSecond
 }
 
 // PERConfig parameterises a PER run.
@@ -27,9 +28,9 @@ type PERConfig struct {
 	// Frames is the number of frames to send.
 	Frames int
 	// ACKTurnaround is the dead time per frame cycle: WiFi ACK round trip
-	// plus MAC guard periods, seconds. The prototype's BeagleBone WiFi
-	// uplink measures ≈17 ms.
-	ACKTurnaround float64
+	// plus MAC guard periods. The prototype's BeagleBone WiFi uplink
+	// measures ≈17 ms.
+	ACKTurnaround units.Seconds
 	// OffsetFn draws per-transmitter timing for each frame, or nil for
 	// perfectly aligned transmitters with ideal clocks. It is called once
 	// per frame per transmitter.
@@ -38,8 +39,8 @@ type PERConfig struct {
 
 // TXTiming is the per-frame timing state of one transmitter.
 type TXTiming struct {
-	// Offset is the start-time error in seconds.
-	Offset float64
+	// Offset is the start-time error.
+	Offset units.Seconds
 	// Continuous marks a free-running frame stream (no common trigger).
 	Continuous bool
 	// ClockPPM is the symbol-clock frequency error in ppm.
@@ -49,7 +50,7 @@ type TXTiming struct {
 // MeasurePER sends cfg.Frames random-payload frames through the link with
 // the given transmitter amplitudes and per-frame offsets, and reports the
 // frame error rate and goodput.
-func (l *Link) MeasurePER(cfg PERConfig, amplitudes []float64) (PERResult, error) {
+func (l *Link) MeasurePER(cfg PERConfig, amplitudes []units.Amperes) (PERResult, error) {
 	if cfg.PayloadLen <= 0 {
 		cfg.PayloadLen = 128
 	}
@@ -87,10 +88,10 @@ func (l *Link) MeasurePER(cfg PERConfig, amplitudes []float64) (PERResult, error
 	// Goodput: payload bits delivered per frame cycle. One cycle is the
 	// pilot + preamble + frame air time plus the ACK turnaround.
 	symbols := float64(frame.PilotSymbols + frame.PreambleSymbols + 8*frame.AirLen(cfg.PayloadLen))
-	airTime := symbols / l.cfg.SymbolRate
-	cycle := airTime + cfg.ACKTurnaround
+	airTime := symbols / l.cfg.SymbolRate.Hz()
+	cycle := airTime + cfg.ACKTurnaround.S()
 	if cycle > 0 {
-		res.Goodput = float64(8*cfg.PayloadLen) * (1 - res.PER) / cycle
+		res.Goodput = units.BitsPerSecond(float64(8*cfg.PayloadLen) * (1 - res.PER) / cycle)
 	}
 	return res, nil
 }

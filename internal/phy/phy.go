@@ -19,16 +19,17 @@ import (
 
 	"densevlc/internal/dsp"
 	"densevlc/internal/frame"
+	"densevlc/internal/units"
 )
 
 // TXSignal describes one transmitter's contribution at the receiver.
 type TXSignal struct {
-	// Amplitude is the received photocurrent amplitude in amps:
+	// Amplitude is the received photocurrent amplitude:
 	// R·η·r·(Isw/2)²·H, the quantity Eq. (12) squares into signal power.
-	Amplitude float64
-	// Offset is the transmitter's start-time error in seconds (from the
+	Amplitude units.Amperes
+	// Offset is the transmitter's start-time error (from the
 	// synchronisation method in use). Zero is perfectly aligned.
-	Offset float64
+	Offset units.Seconds
 	// Continuous marks a transmitter that free-runs a back-to-back frame
 	// stream instead of sending one aligned frame — the behaviour of an
 	// unsynchronised BeagleBone in Table 5's second row. Its chip
@@ -46,12 +47,12 @@ type TXSignal struct {
 type Config struct {
 	// SymbolRate is the OOK symbol rate (100 Ksymbols/s in the paper's
 	// iperf evaluation; each symbol is two Manchester chips).
-	SymbolRate float64
+	SymbolRate units.Hertz
 	// SampleRate is the receiver ADC rate (1 Msample/s).
-	SampleRate float64
-	// NoiseStd is the per-sample noise current std in amps
+	SampleRate units.Hertz
+	// NoiseStd is the per-sample noise current std
 	// (sqrt(N0·B) for the paper's parameters).
-	NoiseStd float64
+	NoiseStd units.Amperes
 	// FrontEnd enables the analog front-end chain (AC coupling +
 	// Butterworth anti-aliasing) ahead of the ADC. The paper's receiver
 	// always has it; tests may disable it to isolate effects.
@@ -67,7 +68,7 @@ func (c Config) Validate() error {
 	case c.SymbolRate <= 0:
 		return errors.New("phy: symbol rate must be positive")
 	case c.SampleRate < 2*c.SymbolRate:
-		return fmt.Errorf("phy: sample rate %g below chip rate %g", c.SampleRate, 2*c.SymbolRate)
+		return fmt.Errorf("phy: sample rate %g Hz below chip rate %g Hz", c.SampleRate.Hz(), 2*c.SymbolRate.Hz())
 	case c.NoiseStd < 0:
 		return errors.New("phy: negative noise std")
 	}
@@ -87,8 +88,8 @@ func NewLink(cfg Config, rng *rand.Rand) (*Link, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	chipDur := 1 / (2 * cfg.SymbolRate)
-	spc := int(math.Round(chipDur * cfg.SampleRate))
+	chipDur := 1 / (2 * cfg.SymbolRate.Hz())
+	spc := int(math.Round(chipDur * cfg.SampleRate.Hz()))
 	if spc < 1 {
 		spc = 1
 	}
@@ -125,27 +126,27 @@ func (l *Link) Transmit(mac frame.MAC, txs []TXSignal) ([]float64, int, error) {
 	lead := 24 * l.chipDur
 	maxOff := 0.0
 	for _, tx := range txs {
-		if !tx.Continuous && tx.Offset > maxOff {
-			maxOff = tx.Offset
+		if !tx.Continuous && tx.Offset.S() > maxOff {
+			maxOff = tx.Offset.S()
 		}
 	}
 	dur := lead + float64(len(chips))*l.chipDur + maxOff + 8*l.chipDur
-	n := int(dur * l.cfg.SampleRate)
+	n := int(dur * l.cfg.SampleRate.Hz())
 
-	phase := l.rng.Float64() / l.cfg.SampleRate
+	phase := l.rng.Float64() / l.cfg.SampleRate.Hz()
 	samples := make([]float64, n)
 	for k := range samples {
-		t := phase + float64(k)/l.cfg.SampleRate
+		t := phase + float64(k)/l.cfg.SampleRate.Hz()
 		v := 0.0
 		for _, tx := range txs {
-			ct := t - lead - tx.Offset
+			ct := t - lead - tx.Offset.S()
 			chipDur := l.chipDur * (1 + tx.ClockPPM*1e-6)
 			if tx.Continuous {
 				idx := int(math.Floor(ct/chipDur)) % len(chips)
 				if idx < 0 {
 					idx += len(chips)
 				}
-				v += tx.Amplitude * chips[idx]
+				v += tx.Amplitude.A() * chips[idx]
 				continue
 			}
 			if ct < 0 {
@@ -153,11 +154,11 @@ func (l *Link) Transmit(mac frame.MAC, txs []TXSignal) ([]float64, int, error) {
 			}
 			idx := int(ct / chipDur)
 			if idx < len(chips) {
-				v += tx.Amplitude * chips[idx]
+				v += tx.Amplitude.A() * chips[idx]
 			}
 		}
 		if l.cfg.NoiseStd > 0 {
-			v += l.cfg.NoiseStd * l.rng.NormFloat64()
+			v += l.cfg.NoiseStd.A() * l.rng.NormFloat64()
 		}
 		samples[k] = v
 	}
@@ -166,8 +167,8 @@ func (l *Link) Transmit(mac frame.MAC, txs []TXSignal) ([]float64, int, error) {
 		// AC coupling removes ambient DC; the Butterworth bounds noise
 		// bandwidth ahead of the ADC. Corner frequencies follow the
 		// prototype: 1 kHz high-pass, 400 kHz low-pass at 1 Msps.
-		ac := dsp.NewACCoupler(1e3, l.cfg.SampleRate)
-		lp, err := dsp.ButterworthLowpass(7, 0.4*l.cfg.SampleRate, l.cfg.SampleRate)
+		ac := dsp.NewACCoupler(1e3, l.cfg.SampleRate.Hz())
+		lp, err := dsp.ButterworthLowpass(7, 0.4*l.cfg.SampleRate.Hz(), l.cfg.SampleRate.Hz())
 		if err != nil {
 			return nil, 0, err
 		}
@@ -180,7 +181,7 @@ func (l *Link) Transmit(mac frame.MAC, txs []TXSignal) ([]float64, int, error) {
 		// quantiser models resolution loss, not clipping.
 		fs := 4 * aggregateAmplitude(txs)
 		if fs <= 0 {
-			fs = 4 * l.cfg.NoiseStd
+			fs = 4 * l.cfg.NoiseStd.A()
 		}
 		adc := dsp.ADC{Bits: l.cfg.ADCBits, FullScale: fs}
 		for i, s := range samples {
@@ -193,7 +194,7 @@ func (l *Link) Transmit(mac frame.MAC, txs []TXSignal) ([]float64, int, error) {
 func aggregateAmplitude(txs []TXSignal) float64 {
 	a := 0.0
 	for _, tx := range txs {
-		a += math.Abs(tx.Amplitude)
+		a += math.Abs(tx.Amplitude.A())
 	}
 	return a
 }
@@ -242,10 +243,10 @@ func (l *Link) TransmitReceive(mac frame.MAC, txs []TXSignal) (frame.MAC, int, e
 }
 
 // FrontEndPower is the measured electrical power of the prototype TX
-// front-end (Sec. 7.1), watts.
+// front-end (Sec. 7.1).
 const (
 	// FrontEndPowerIllum is the draw in illumination mode.
-	FrontEndPowerIllum = 2.51
+	FrontEndPowerIllum units.Watts = 2.51
 	// FrontEndPowerComm is the draw in 50% duty-cycled communication mode.
-	FrontEndPowerComm = 3.04
+	FrontEndPowerComm units.Watts = 3.04
 )

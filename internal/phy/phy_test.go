@@ -9,6 +9,7 @@ import (
 	"densevlc/internal/channel"
 	"densevlc/internal/frame"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
 
 // paperLink builds the Table 5 link: 100 Ksymbols/s OOK, 1 Msps ADC, noise
@@ -18,7 +19,7 @@ func paperLink(t *testing.T, seed int64) *Link {
 	l, err := NewLink(Config{
 		SymbolRate: 100e3,
 		SampleRate: 1e6,
-		NoiseStd:   math.Sqrt(7.02e-23 * 1e6),
+		NoiseStd:   units.Amperes(math.Sqrt(7.02e-23 * 1e6)),
 		FrontEnd:   false, // enabled selectively; filters add group delay
 		ADCBits:    0,
 	}, stats.NewRand(seed))
@@ -102,7 +103,7 @@ func TestMisalignedTXsDestroyFrame(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		txs := []TXSignal{
 			{Amplitude: strongAmplitude / 2, Offset: 0, ClockPPM: 10},
-			{Amplitude: strongAmplitude / 2, Offset: 20e-3 * rng.Float64(), Continuous: true, ClockPPM: -15},
+			{Amplitude: strongAmplitude / 2, Offset: units.Seconds(20e-3 * rng.Float64()), Continuous: true, ClockPPM: -15},
 		}
 		got, _, err := l.TransmitReceive(mac, txs)
 		if err == nil && bytes.Equal(got.Payload, mac.Payload) {
@@ -124,7 +125,7 @@ func TestNLOSSyncOffsetsTolerated(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		txs := []TXSignal{
 			{Amplitude: strongAmplitude / 2, Offset: 0},
-			{Amplitude: strongAmplitude / 2, Offset: 0.6e-6 * rng.Float64()},
+			{Amplitude: strongAmplitude / 2, Offset: units.Seconds(0.6e-6 * rng.Float64())},
 		}
 		got, _, err := l.TransmitReceive(mac, txs)
 		if err != nil || !bytes.Equal(got.Payload, mac.Payload) {
@@ -151,7 +152,7 @@ func TestReceiveNoSignal(t *testing.T) {
 func TestFrontEndChainStillDecodes(t *testing.T) {
 	cfg := Config{
 		SymbolRate: 100e3, SampleRate: 1e6,
-		NoiseStd: math.Sqrt(7.02e-23 * 1e6),
+		NoiseStd: units.Amperes(math.Sqrt(7.02e-23 * 1e6)),
 		FrontEnd: true, ADCBits: 12,
 	}
 	l, err := NewLink(cfg, stats.NewRand(7))
@@ -174,8 +175,8 @@ func TestFrontEndChainStillDecodes(t *testing.T) {
 func TestMeasurePERTable5Shape(t *testing.T) {
 	// The three Table 5 rows in one harness. Absolute PERs depend on the
 	// noise draw; the ordering and the collapse without sync must hold.
-	amp2 := []float64{strongAmplitude / 2, strongAmplitude / 2}
-	amp4 := []float64{strongAmplitude / 3, strongAmplitude / 3, strongAmplitude / 3, strongAmplitude / 3}
+	amp2 := []units.Amperes{strongAmplitude / 2, strongAmplitude / 2}
+	amp4 := []units.Amperes{strongAmplitude / 3, strongAmplitude / 3, strongAmplitude / 3, strongAmplitude / 3}
 
 	l := paperLink(t, 8)
 	sameBBB, err := l.MeasurePER(PERConfig{PayloadLen: 64, Frames: 40, ACKTurnaround: 17e-3}, amp2)
@@ -187,7 +188,7 @@ func TestMeasurePERTable5Shape(t *testing.T) {
 	noSync, err := l.MeasurePER(PERConfig{
 		PayloadLen: 64, Frames: 40, ACKTurnaround: 17e-3,
 		OffsetFn: func() func(rng *rand.Rand, tx int) TXTiming {
-			var bbb2Offset float64
+			var bbb2Offset units.Seconds
 			return func(rng *rand.Rand, tx int) TXTiming {
 				if tx < 2 {
 					return TXTiming{ClockPPM: 10} // first BBB's pair
@@ -195,7 +196,7 @@ func TestMeasurePERTable5Shape(t *testing.T) {
 				// Second BBB free-runs its own frame stream: both of its
 				// TXs share one clock, so one offset draw per frame.
 				if tx == 2 {
-					bbb2Offset = 20e-3 * rng.Float64()
+					bbb2Offset = units.Seconds(20e-3 * rng.Float64())
 				}
 				return TXTiming{Offset: bbb2Offset, Continuous: true, ClockPPM: -15}
 			}
@@ -209,7 +210,7 @@ func TestMeasurePERTable5Shape(t *testing.T) {
 	withSync, err := l.MeasurePER(PERConfig{
 		PayloadLen: 64, Frames: 40, ACKTurnaround: 17e-3,
 		OffsetFn: func(rng *rand.Rand, tx int) TXTiming {
-			return TXTiming{Offset: 1.2e-6 * rng.Float64(), ClockPPM: 40*rng.Float64() - 20}
+			return TXTiming{Offset: units.Seconds(1.2e-6 * rng.Float64()), ClockPPM: 40*rng.Float64() - 20}
 		},
 	}, amp4)
 	if err != nil {
@@ -236,7 +237,7 @@ func TestMeasurePERTable5Shape(t *testing.T) {
 
 func TestMeasurePERDefaults(t *testing.T) {
 	l := paperLink(t, 11)
-	res, err := l.MeasurePER(PERConfig{Frames: 2}, []float64{strongAmplitude})
+	res, err := l.MeasurePER(PERConfig{Frames: 2}, []units.Amperes{strongAmplitude})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,12 +270,12 @@ func TestAnalyticPERMatchesWaveform(t *testing.T) {
 	const bt = 5 // 1 MHz noise bandwidth × 5 µs chips
 	for _, sinr := range []float64{0.5, 1.5, 3, 6, 12} {
 		amp := math.Sqrt(sinr) * noise
-		l, err := NewLink(Config{SymbolRate: 100e3, SampleRate: 1e6, NoiseStd: noise},
+		l, err := NewLink(Config{SymbolRate: 100e3, SampleRate: 1e6, NoiseStd: units.Amperes(noise)},
 			stats.NewRand(int64(100*sinr)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := l.MeasurePER(PERConfig{PayloadLen: 64, Frames: 60}, []float64{amp})
+		res, err := l.MeasurePER(PERConfig{PayloadLen: 64, Frames: 60}, []units.Amperes{units.Amperes(amp)})
 		if err != nil {
 			t.Fatal(err)
 		}

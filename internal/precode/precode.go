@@ -26,6 +26,7 @@ import (
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/linalg"
+	"densevlc/internal/units"
 )
 
 // Result describes a zero-forcing solution.
@@ -34,14 +35,15 @@ type Result struct {
 	Weights *linalg.Matrix
 	// Beta is the power scale applied to W.
 	Beta float64
-	// SINR is the per-receiver SINR (equal across receivers under pure ZF).
+	// SINR is the per-receiver linear SINR (equal across receivers under
+	// pure ZF), dimensionless.
 	SINR []float64
-	// Throughput is the per-receiver Shannon throughput, bit/s.
-	Throughput []float64
-	// SumThroughput is the system throughput, bit/s.
-	SumThroughput float64
-	// CommPower is the consumed communication power, W.
-	CommPower float64
+	// Throughput is the per-receiver Shannon throughput.
+	Throughput []units.BitsPerSecond
+	// SumThroughput is the system throughput.
+	SumThroughput units.BitsPerSecond
+	// CommPower is the consumed communication power.
+	CommPower units.Watts
 	// SwingBound reports whether the per-TX swing limit (not the budget)
 	// capped the solution.
 	SwingBound bool
@@ -56,12 +58,12 @@ var (
 
 // ZeroForcing computes the zero-forcing solution for the environment under
 // the given communication power budget.
-func ZeroForcing(env *alloc.Env, budget float64) (Result, error) {
+func ZeroForcing(env *alloc.Env, budget units.Watts) (Result, error) {
 	if err := env.Validate(); err != nil {
 		return Result{}, err
 	}
 	if budget < 0 {
-		return Result{}, fmt.Errorf("precode: negative budget %.3f", budget)
+		return Result{}, fmt.Errorf("precode: negative budget %.3f", budget.W())
 	}
 	n, m := env.N(), env.M()
 
@@ -79,7 +81,7 @@ func ZeroForcing(env *alloc.Env, budget float64) (Result, error) {
 
 	// Power scale: P_tot(β) = β·S with S = Σ_j (Σ_k √|W_jk|)², and the
 	// per-TX swing bound Σ_k |I_jk| = 2·√(β/r)·Σ_k √|W_jk| ≤ Isw,max.
-	r := env.Params.DynamicResistance
+	r := env.Params.DynamicResistance.Ohms()
 	s := 0.0
 	maxRowRoot := 0.0
 	for j := 0; j < n; j++ {
@@ -96,10 +98,10 @@ func ZeroForcing(env *alloc.Env, budget float64) (Result, error) {
 		return Result{}, ErrRankDeficient
 	}
 
-	beta := budget / s
+	beta := budget.W() / s
 	swingBound := false
 	if maxRowRoot > 0 {
-		half := env.LED.MaxSwing / 2
+		half := env.LED.MaxSwing.A() / 2
 		betaCap := r * half * half / (maxRowRoot * maxRowRoot)
 		if beta > betaCap {
 			beta = betaCap
@@ -111,21 +113,21 @@ func ZeroForcing(env *alloc.Env, budget float64) (Result, error) {
 	// term at RX i is R·η·H_ji·q_jk with q_jk = r·(I_jk/2)²; with
 	// Q = β·W and H·W = I the mixture collapses to amplitude R·η·β for
 	// each receiver's own stream and zero for the others.
-	amp := env.Params.Responsivity * env.Params.WallPlugEfficiency * beta
-	noise := env.Params.NoisePower()
+	amp := env.Params.Responsivity.APerW() * env.Params.WallPlugEfficiency * beta
+	noise := env.Params.NoisePower().A2()
 	sinr := amp * amp / noise
 
 	res := Result{
 		Weights:    w,
 		Beta:       beta,
 		SINR:       make([]float64, m),
-		Throughput: make([]float64, m),
-		CommPower:  beta * s,
+		Throughput: make([]units.BitsPerSecond, m),
+		CommPower:  units.Watts(beta * s),
 		SwingBound: swingBound,
 	}
 	for i := 0; i < m; i++ {
 		res.SINR[i] = sinr
-		res.Throughput[i] = env.Params.Bandwidth * math.Log2(1+sinr)
+		res.Throughput[i] = units.BitsPerSecond(env.Params.Bandwidth.Hz() * math.Log2(1+sinr))
 		res.SumThroughput += res.Throughput[i]
 	}
 	return res, nil

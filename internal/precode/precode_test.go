@@ -10,6 +10,7 @@ import (
 	"densevlc/internal/led"
 	"densevlc/internal/linalg"
 	"densevlc/internal/scenario"
+	"densevlc/internal/units"
 )
 
 func paperEnv(rx []geom.Vec) *alloc.Env {
@@ -55,12 +56,12 @@ func TestZeroForcingBudgetAndFairness(t *testing.T) {
 	if res.CommPower > 1.19+1e-9 {
 		t.Errorf("power %v over budget", res.CommPower)
 	}
-	if !res.SwingBound && math.Abs(res.CommPower-1.19) > 1e-6 {
+	if !res.SwingBound && math.Abs(res.CommPower.W()-1.19) > 1e-6 {
 		t.Errorf("unbounded solution should exhaust the budget: %v", res.CommPower)
 	}
 	// Pure ZF with equal gains is perfectly fair.
 	for i := 1; i < env.M(); i++ {
-		if math.Abs(res.Throughput[i]-res.Throughput[0]) > 1e-6 {
+		if math.Abs((res.Throughput[i] - res.Throughput[0]).Bps()) > 1e-6 {
 			t.Errorf("unequal throughputs: %v", res.Throughput)
 		}
 	}
@@ -71,8 +72,8 @@ func TestZeroForcingBudgetAndFairness(t *testing.T) {
 
 func TestZeroForcingMonotoneInBudget(t *testing.T) {
 	env := paperEnv(scenario.Scenario2.RXPositions())
-	prev := 0.0
-	for _, b := range []float64{0.1, 0.3, 0.6, 1.2, 2.4} {
+	prev := units.BitsPerSecond(0)
+	for _, b := range []units.Watts{0.1, 0.3, 0.6, 1.2, 2.4} {
 		res, err := ZeroForcing(env, b)
 		if err != nil {
 			t.Fatal(err)
@@ -121,7 +122,7 @@ func TestZeroForcingVsHeuristicRegimes(t *testing.T) {
 	// Noise-limited regime (well-separated receivers, low budget): the
 	// heuristic beats ZF, which burns power steering nulls nobody needs.
 	env := paperEnv(scenario.Scenario1.RXPositions())
-	budget := 0.3
+	budget := units.Watts(0.3)
 	zf, err := ZeroForcing(env, budget)
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +156,7 @@ func tinyEnv() *alloc.Env {
 
 func TestZeroForcingTinyClosedForm(t *testing.T) {
 	env := tinyEnv()
-	budget := 0.05
+	budget := units.Watts(0.05)
 	res, err := ZeroForcing(env, budget)
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +165,7 @@ func TestZeroForcingTinyClosedForm(t *testing.T) {
 	if res.SwingBound {
 		t.Fatal("swing bound unexpectedly active")
 	}
-	if math.Abs(res.CommPower-budget) > 1e-9 {
+	if math.Abs((res.CommPower - budget).W()) > 1e-9 {
 		t.Errorf("power = %v", res.CommPower)
 	}
 	// SINR = (R·η·β)²/N0B.
@@ -182,7 +183,7 @@ func TestZeroForcingEdgeGeometry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.IsNaN(res.SumThroughput) || math.IsInf(res.SumThroughput, 0) {
+	if math.IsNaN(res.SumThroughput.Bps()) || math.IsInf(res.SumThroughput.Bps(), 0) {
 		t.Error("non-finite throughput")
 	}
 }

@@ -17,14 +17,15 @@ import (
 	"densevlc/internal/geom"
 	"densevlc/internal/led"
 	"densevlc/internal/optics"
+	"densevlc/internal/units"
 )
 
 // Receiver optics of Table 1 (Hamamatsu S5971 photodiode).
 const (
-	// PhotodiodeArea is A_pd in m².
-	PhotodiodeArea = 1.1e-6
-	// ReceiverFOV is Ψc in radians (90°).
-	ReceiverFOV = 1.5707963267948966
+	// PhotodiodeArea is A_pd.
+	PhotodiodeArea units.SquareMeters = 1.1e-6
+	// ReceiverFOV is Ψc (90°).
+	ReceiverFOV units.Radians = 1.5707963267948966
 )
 
 // Setup is the physical deployment: room, transmitter grid and device
@@ -37,7 +38,7 @@ type Setup struct {
 	Params channel.Params
 	// RXPlaneZ is the height of the receiver plane: 0.8 m (table) in the
 	// simulation setup of Sec. 4, 0 m (floor) in the testbed of Sec. 8.
-	RXPlaneZ float64
+	RXPlaneZ units.Meters
 }
 
 // Default returns the simulation setup of Sec. 4: 36 TXs in a 6×6 grid with
@@ -93,7 +94,7 @@ func (s Setup) Emitters() []optics.Emitter {
 func (s Setup) Detectors(xy []geom.Vec) []optics.Detector {
 	out := make([]optics.Detector, len(xy))
 	for i, p := range xy {
-		out[i] = optics.NewUpwardDetector(geom.V(p.X, p.Y, s.RXPlaneZ), PhotodiodeArea, ReceiverFOV)
+		out[i] = optics.NewUpwardDetector(geom.V(p.X, p.Y, s.RXPlaneZ.M()), PhotodiodeArea, ReceiverFOV)
 	}
 	return out
 }
@@ -190,7 +191,7 @@ func (s Setup) RandomInstance(rng *rand.Rand) []geom.Vec {
 		p := s.Grid.Pos(tx)
 		x := p.X + (rng.Float64()*2-1)*InstanceJitter
 		y := p.Y + (rng.Float64()*2-1)*InstanceJitter
-		q := s.Room.Clamp(geom.V(x, y, s.RXPlaneZ))
+		q := s.Room.Clamp(geom.V(x, y, s.RXPlaneZ.M()))
 		out[i] = geom.V(q.X, q.Y, 0)
 	}
 	return out

@@ -27,6 +27,7 @@ import (
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
 	"densevlc/internal/transport"
+	"densevlc/internal/units"
 )
 
 // Config parameterises a system run.
@@ -37,15 +38,15 @@ type Config struct {
 	Trajectories []mobility.Trajectory
 	// Policy and Budget configure the controller's decision logic.
 	Policy alloc.Policy
-	Budget float64
+	Budget units.Watts
 	// Sync selects how beamspot transmitters are synchronised in the
 	// waveform data phase.
 	Sync clock.Method
 	// Rounds is the number of measure→decide→transmit rounds.
 	Rounds int
-	// RoundDuration is the wall-clock length of one round in seconds
-	// (sets how far receivers move between decisions).
-	RoundDuration float64
+	// RoundDuration is the wall-clock length of one round (sets how far
+	// receivers move between decisions).
+	RoundDuration units.Seconds
 	// MeasurementNoise is the relative standard deviation of the
 	// receivers' channel estimates (M2M4 estimation error; ~2% typical).
 	MeasurementNoise float64
@@ -99,15 +100,15 @@ func (c *Config) withDefaults() error {
 // RoundMetrics records one round's outcome.
 type RoundMetrics struct {
 	Round       int
-	Time        float64
+	Time        units.Seconds
 	RXPositions []geom.Vec
 	// Eval scores the commanded allocation against the true channel.
 	Eval alloc.Evaluation
 	// PER per receiver: waveform-measured when WaveformPHY is on, the
 	// analytic channel.FramePER model otherwise.
 	PER []float64
-	// Goodput per receiver in bit/s (waveform runs only).
-	Goodput []float64
+	// Goodput per receiver (waveform runs only).
+	Goodput []units.BitsPerSecond
 	// ActiveTXs is the number of communicating transmitters.
 	ActiveTXs int
 }
@@ -116,10 +117,10 @@ type RoundMetrics struct {
 type Result struct {
 	Rounds []RoundMetrics
 	// MeanSystemThroughput averages the analytic system throughput over
-	// rounds, bit/s.
-	MeanSystemThroughput float64
-	// MeanCommPower averages the consumed communication power, W.
-	MeanCommPower float64
+	// rounds.
+	MeanSystemThroughput units.BitsPerSecond
+	// MeanCommPower averages the consumed communication power.
+	MeanCommPower units.Watts
 }
 
 // Run executes the simulation.
@@ -169,7 +170,7 @@ func Run(cfg Config) (*Result, error) {
 	emitters := cfg.Setup.Emitters()
 
 	for round := 0; round < cfg.Rounds; round++ {
-		t := float64(round) * cfg.RoundDuration
+		t := units.Seconds(float64(round) * cfg.RoundDuration.S())
 
 		// Receiver positions for this round.
 		pos := make([]geom.Vec, m)
@@ -321,12 +322,12 @@ func Run(cfg Config) (*Result, error) {
 			// the matching goodput at the Table 5 frame cycle.
 			const bt = 5
 			rm.PER = make([]float64, m)
-			rm.Goodput = make([]float64, m)
+			rm.Goodput = make([]units.BitsPerSecond, m)
 			symbols := float64(frame.PilotSymbols + frame.PreambleSymbols + 8*frame.AirLen(cfg.PayloadLen))
 			cycle := symbols/100e3 + 17e-3
 			for i, sinr := range rm.Eval.SINR {
 				rm.PER[i] = channel.FramePER(sinr, cfg.PayloadLen, bt)
-				rm.Goodput[i] = float64(8*cfg.PayloadLen) * (1 - rm.PER[i]) / cycle
+				rm.Goodput[i] = units.BitsPerSecond(float64(8*cfg.PayloadLen) * (1 - rm.PER[i]) / cycle)
 			}
 		}
 		res.Rounds = append(res.Rounds, rm)
@@ -334,22 +335,22 @@ func Run(cfg Config) (*Result, error) {
 		res.MeanCommPower += rm.Eval.CommPower
 	}
 
-	res.MeanSystemThroughput /= float64(len(res.Rounds))
-	res.MeanCommPower /= float64(len(res.Rounds))
+	res.MeanSystemThroughput /= units.BitsPerSecond(len(res.Rounds))
+	res.MeanCommPower /= units.Watts(len(res.Rounds))
 	return res, nil
 }
 
 // dataPhase runs the waveform-level frame exchange for each beamspot.
 func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
-	txNodes []*mac.TXNode, trueH *channel.Matrix) (per, goodput []float64, err error) {
+	txNodes []*mac.TXNode, trueH *channel.Matrix) (per []float64, goodput []units.BitsPerSecond, err error) {
 
 	p := cfg.Setup.Params
-	scale := p.Responsivity * p.WallPlugEfficiency * p.DynamicResistance
-	noiseStd := math.Sqrt(p.NoisePower())
+	scale := p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms()
+	noiseStd := units.Amperes(math.Sqrt(p.NoisePower().A2()))
 
 	m := trueH.M
 	per = make([]float64, m)
-	goodput = make([]float64, m)
+	goodput = make([]units.BitsPerSecond, m)
 
 	for rx := 0; rx < m; rx++ {
 		if len(plan.ServedBy[rx]) == 0 {
@@ -367,26 +368,26 @@ func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
 
 		// Amplitudes: the beamspot's members at their commanded swings,
 		// plus every other beamspot as continuous interference.
-		var amps []float64
+		var amps []units.Amperes
 		var members []int
 		for _, tx := range plan.ServedBy[rx] {
-			a := scale * trueH.Gain(tx, rx) * sq(txNodes[tx].Swing()/2)
+			a := units.Amperes(scale * trueH.Gain(tx, rx) * sq(txNodes[tx].Swing().A()/2))
 			amps = append(amps, a)
 			members = append(members, tx)
 		}
-		var interferers []float64
+		var interferers []units.Amperes
 		for j, node := range txNodes {
 			if !node.Communicating() || node.Cmd.RX == rx {
 				continue
 			}
-			a := scale * trueH.Gain(j, rx) * sq(node.Swing()/2)
+			a := units.Amperes(scale * trueH.Gain(j, rx) * sq(node.Swing().A()/2))
 			if a > 0 {
 				interferers = append(interferers, a)
 			}
 		}
 
 		leader := plan.Leader[rx]
-		all := append([]float64(nil), amps...)
+		all := append([]units.Amperes(nil), amps...)
 		all = append(all, interferers...)
 		cfgPER := phy.PERConfig{
 			PayloadLen:    cfg.PayloadLen,
@@ -396,7 +397,7 @@ func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
 				ppm := 40*r.Float64() - 20 // per-board crystal tolerance
 				if idx >= len(amps) {
 					// Other beamspots free-run relative to this one.
-					return phy.TXTiming{Offset: r.Float64() * 10e-3, Continuous: true, ClockPPM: ppm}
+					return phy.TXTiming{Offset: units.Seconds(r.Float64() * 10e-3), Continuous: true, ClockPPM: ppm}
 				}
 				tx := members[idx]
 				if tx == leader {
@@ -406,12 +407,12 @@ func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
 				case clock.MethodNLOSVLC:
 					// Sampling-phase quantisation at 1 Msps plus noise
 					// wobble (the vlcsync-measured ≈0.6 µs scale).
-					return phy.TXTiming{Offset: r.Float64() * 1.2e-6, ClockPPM: ppm}
+					return phy.TXTiming{Offset: units.Seconds(r.Float64() * 1.2e-6), ClockPPM: ppm}
 				case clock.MethodNTPPTP:
-					return phy.TXTiming{Offset: math.Abs(clock.TriggerError(r, clock.MethodNTPPTP, 100e3)), ClockPPM: ppm}
+					return phy.TXTiming{Offset: units.Seconds(math.Abs(clock.TriggerError(r, clock.MethodNTPPTP, 100e3).S())), ClockPPM: ppm}
 				default:
 					// Unsynchronised boards free-run entirely.
-					return phy.TXTiming{Offset: 20e-3 * r.Float64(), Continuous: true, ClockPPM: ppm}
+					return phy.TXTiming{Offset: units.Seconds(20e-3 * r.Float64()), Continuous: true, ClockPPM: ppm}
 				}
 			},
 		}

@@ -1,0 +1,268 @@
+// Package units defines the typed physical quantities the DenseVLC
+// simulator core computes with, and the named conversions between them.
+//
+// Every quantity is a distinct defined type over float64, so the compiler
+// rejects accidental cross-dimension arithmetic (Meters + Watts does not
+// compile) and the vlclint unitsafety rule rejects the two remaining escape
+// hatches that do compile:
+//
+//   - a direct conversion between two unit types (Radians(deg) silently
+//     rebrands degrees as radians — the classic Eq. (2) Lambertian-order
+//     bug), and
+//   - laundering a typed quantity through a bare float64(...) conversion
+//     inside a simulation package.
+//
+// The sanctioned crossings are the named conversion functions in this
+// package (DegreesToRadians, MilliwattsToWatts, WattsToDBm, ...) and the
+// accessor methods (Meters.M, Watts.W, ...) that hand raw float64 values to
+// dimensionless formula internals. Constructing a quantity from a float64 —
+// units.Watts(0.074) — is always legal: it is how raw numbers enter the
+// typed world.
+//
+// Values print with standard fmt float verbs (%g, %.3f) because fmt treats
+// any float64-underlying type as a float.
+package units
+
+import "math"
+
+// Geometric quantities.
+type (
+	// Meters is a length or distance.
+	Meters float64
+	// SquareMeters is an area (photodiode collection area, floor patches).
+	SquareMeters float64
+	// MetersPerSecond is a speed (receiver mobility, speed of light).
+	MetersPerSecond float64
+	// Radians is a plane angle. All trigonometry in the simulator takes
+	// radians; degrees exist only at configuration and display boundaries.
+	Radians float64
+	// Degrees is a plane angle in degrees.
+	Degrees float64
+)
+
+// Electrical quantities.
+type (
+	// Watts is an electrical or optical power.
+	Watts float64
+	// Milliwatts is a power in mW, the unit the paper quotes per-TX
+	// communication power in (74.42 mW).
+	Milliwatts float64
+	// Amperes is an electrical current (bias and swing currents).
+	Amperes float64
+	// Milliamperes is a current in mA, the wire encoding of swing commands.
+	Milliamperes float64
+	// Volts is an electrical potential (thermal voltage, forward voltage).
+	Volts float64
+	// Ohms is a resistance (series and dynamic LED resistance).
+	Ohms float64
+	// SquareAmperes is a squared photocurrent — receiver noise power N0·B
+	// and electrical signal power at the photodiode live in A².
+	SquareAmperes float64
+	// SquareAmperesPerHertz is a noise spectral density N0 in A²/Hz.
+	SquareAmperesPerHertz float64
+	// AmperesPerWatt is a photodiode responsivity R.
+	AmperesPerWatt float64
+)
+
+// Photometric quantities.
+type (
+	// Lumens is a luminous flux.
+	Lumens float64
+	// Lux is an illuminance (lm/m²).
+	Lux float64
+	// Candelas is a luminous intensity (lm/sr).
+	Candelas float64
+	// LumensPerWatt is a luminous efficacy.
+	LumensPerWatt float64
+)
+
+// Temporal and rate quantities.
+type (
+	// Hertz is a frequency or bandwidth.
+	Hertz float64
+	// Seconds is a duration or point in simulated time.
+	Seconds float64
+	// BitsPerSecond is a data rate (Shannon throughput, goodput).
+	BitsPerSecond float64
+	// BitsPerJoule is an energy efficiency — throughput per watt of
+	// communication power, the Sec. 8.3 figure of merit.
+	BitsPerJoule float64
+	// Decibels is a logarithmic ratio (SNR in dB, power in dBm).
+	Decibels float64
+)
+
+// Accessor methods: the named way to hand a quantity's magnitude to
+// dimensionless math (math.Pow, slice indices, printing scale factors).
+// unitsafety treats these as sanctioned crossings; a bare float64(x)
+// conversion in a simulation package is not.
+
+// M returns the length in metres.
+func (v Meters) M() float64 { return float64(v) }
+
+// M2 returns the area in square metres.
+func (v SquareMeters) M2() float64 { return float64(v) }
+
+// MPerS returns the speed in metres per second.
+func (v MetersPerSecond) MPerS() float64 { return float64(v) }
+
+// Rad returns the angle in radians.
+func (v Radians) Rad() float64 { return float64(v) }
+
+// Cos returns the cosine of the angle.
+func (v Radians) Cos() float64 { return math.Cos(float64(v)) }
+
+// Sin returns the sine of the angle.
+func (v Radians) Sin() float64 { return math.Sin(float64(v)) }
+
+// Deg returns the angle in degrees.
+func (v Degrees) Deg() float64 { return float64(v) }
+
+// W returns the power in watts.
+func (v Watts) W() float64 { return float64(v) }
+
+// MW returns the power in milliwatts.
+func (v Milliwatts) MW() float64 { return float64(v) }
+
+// A returns the current in amperes.
+func (v Amperes) A() float64 { return float64(v) }
+
+// MA returns the current in milliamperes.
+func (v Milliamperes) MA() float64 { return float64(v) }
+
+// V returns the potential in volts.
+func (v Volts) V() float64 { return float64(v) }
+
+// Ohms returns the resistance in ohms.
+func (v Ohms) Ohms() float64 { return float64(v) }
+
+// A2 returns the squared current in square amperes.
+func (v SquareAmperes) A2() float64 { return float64(v) }
+
+// A2PerHz returns the noise density in square amperes per hertz.
+func (v SquareAmperesPerHertz) A2PerHz() float64 { return float64(v) }
+
+// APerW returns the responsivity in amperes per watt.
+func (v AmperesPerWatt) APerW() float64 { return float64(v) }
+
+// Lm returns the luminous flux in lumens.
+func (v Lumens) Lm() float64 { return float64(v) }
+
+// Lx returns the illuminance in lux.
+func (v Lux) Lx() float64 { return float64(v) }
+
+// Cd returns the luminous intensity in candelas.
+func (v Candelas) Cd() float64 { return float64(v) }
+
+// LmPerW returns the efficacy in lumens per watt.
+func (v LumensPerWatt) LmPerW() float64 { return float64(v) }
+
+// Hz returns the frequency in hertz.
+func (v Hertz) Hz() float64 { return float64(v) }
+
+// S returns the duration in seconds.
+func (v Seconds) S() float64 { return float64(v) }
+
+// Micros returns the duration in microseconds, for display.
+func (v Seconds) Micros() float64 { return float64(v) * 1e6 }
+
+// Millis returns the duration in milliseconds, for display.
+func (v Seconds) Millis() float64 { return float64(v) * 1e3 }
+
+// Bps returns the rate in bits per second.
+func (v BitsPerSecond) Bps() float64 { return float64(v) }
+
+// Mbps returns the rate in megabits per second, for display.
+func (v BitsPerSecond) Mbps() float64 { return float64(v) / 1e6 }
+
+// BitsPerJ returns the efficiency in bits per joule (bit/s per watt).
+func (v BitsPerJoule) BitsPerJ() float64 { return float64(v) }
+
+// DB returns the ratio in decibels.
+func (v Decibels) DB() float64 { return float64(v) }
+
+// Named conversions: the only sanctioned way to move a magnitude between
+// two unit types. A direct cross-type conversion (Radians(Degrees(15))) is
+// a unitsafety finding everywhere outside this package.
+
+// DegreesToRadians converts a plane angle from degrees to radians.
+func DegreesToRadians(d Degrees) Radians { return Radians(float64(d) * math.Pi / 180) }
+
+// RadiansToDegrees converts a plane angle from radians to degrees.
+func RadiansToDegrees(r Radians) Degrees { return Degrees(float64(r) * 180 / math.Pi) }
+
+// WattsToMilliwatts rescales a power from W to mW.
+func WattsToMilliwatts(w Watts) Milliwatts { return Milliwatts(float64(w) * 1e3) }
+
+// MilliwattsToWatts rescales a power from mW to W.
+func MilliwattsToWatts(mw Milliwatts) Watts { return Watts(float64(mw) / 1e3) }
+
+// AmperesToMilliamperes rescales a current from A to mA.
+func AmperesToMilliamperes(a Amperes) Milliamperes { return Milliamperes(float64(a) * 1e3) }
+
+// MilliamperesToAmperes rescales a current from mA to A.
+func MilliamperesToAmperes(ma Milliamperes) Amperes { return Amperes(float64(ma) / 1e3) }
+
+// WattsToDBm converts a power to dB-milliwatts. Non-positive powers map to
+// -Inf, keeping downstream comparisons well defined.
+func WattsToDBm(w Watts) Decibels {
+	if w <= 0 {
+		return Decibels(math.Inf(-1))
+	}
+	return Decibels(10 * math.Log10(float64(w)/1e-3))
+}
+
+// DBmToWatts converts a dB-milliwatt power back to watts.
+func DBmToWatts(db Decibels) Watts { return Watts(1e-3 * math.Pow(10, float64(db)/10)) }
+
+// LinearToDecibels converts a linear power ratio (e.g. SNR) to decibels.
+// Non-positive ratios map to -Inf.
+func LinearToDecibels(ratio float64) Decibels {
+	if ratio <= 0 {
+		return Decibels(math.Inf(-1))
+	}
+	return Decibels(10 * math.Log10(ratio))
+}
+
+// DecibelsToLinear converts a decibel ratio to a linear power ratio.
+func DecibelsToLinear(db Decibels) float64 { return math.Pow(10, float64(db)/10) }
+
+// EfficacyOf returns the luminous efficacy of a source emitting the given
+// flux while drawing the given power. Zero power yields zero.
+func EfficacyOf(flux Lumens, p Watts) LumensPerWatt {
+	if p == 0 {
+		return 0
+	}
+	return LumensPerWatt(float64(flux) / float64(p))
+}
+
+// FluxAt returns the luminous flux a source of the given efficacy emits at
+// the given power draw.
+func FluxAt(eff LumensPerWatt, p Watts) Lumens { return Lumens(float64(eff) * float64(p)) }
+
+// Period returns the duration of one cycle of the given frequency. Zero
+// frequency yields zero (an unset rate has no period).
+func Period(f Hertz) Seconds {
+	if f == 0 {
+		return 0
+	}
+	return Seconds(1 / float64(f))
+}
+
+// Frequency returns the repetition rate of the given period. Zero duration
+// yields zero.
+func Frequency(t Seconds) Hertz {
+	if t == 0 {
+		return 0
+	}
+	return Hertz(1 / float64(t))
+}
+
+// LuminousIntensity returns the axial intensity of a Lambertian source of
+// the given order radiating the given total flux: I₀ = Φ·(m+1)/(2π).
+func LuminousIntensity(flux Lumens, order float64) Candelas {
+	return Candelas(float64(flux) * (order + 1) / (2 * math.Pi))
+}
+
+// SpeedOfLight is c, the free-space propagation speed of the optical
+// carrier.
+const SpeedOfLight MetersPerSecond = 299792458

@@ -1,0 +1,131 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func close(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAngleConversionsRoundTrip(t *testing.T) {
+	if got := DegreesToRadians(180).Rad(); !close(got, math.Pi, 1e-15) {
+		t.Errorf("DegreesToRadians(180) = %v rad, want pi", got)
+	}
+	if got := RadiansToDegrees(math.Pi / 2).Deg(); !close(got, 90, 1e-12) {
+		t.Errorf("RadiansToDegrees(pi/2) = %v deg, want 90", got)
+	}
+	for _, d := range []Degrees{-270, -15, 0, 15, 60, 359.5} {
+		back := RadiansToDegrees(DegreesToRadians(d))
+		if !close(back.Deg(), d.Deg(), 1e-10) {
+			t.Errorf("deg->rad->deg(%v) = %v", d, back)
+		}
+	}
+}
+
+func TestPowerAndCurrentScaling(t *testing.T) {
+	if got := WattsToMilliwatts(0.07442).MW(); !close(got, 74.42, 1e-9) {
+		t.Errorf("WattsToMilliwatts(0.07442) = %v mW, want 74.42", got)
+	}
+	if got := MilliwattsToWatts(74.42).W(); !close(got, 0.07442, 1e-12) {
+		t.Errorf("MilliwattsToWatts(74.42) = %v W, want 0.07442", got)
+	}
+	if got := AmperesToMilliamperes(0.45).MA(); !close(got, 450, 1e-9) {
+		t.Errorf("AmperesToMilliamperes(0.45) = %v mA, want 450", got)
+	}
+	if got := MilliamperesToAmperes(900).A(); !close(got, 0.9, 1e-12) {
+		t.Errorf("MilliamperesToAmperes(900) = %v A, want 0.9", got)
+	}
+}
+
+func TestDecibelConversions(t *testing.T) {
+	if got := WattsToDBm(1e-3).DB(); !close(got, 0, 1e-12) {
+		t.Errorf("WattsToDBm(1 mW) = %v dBm, want 0", got)
+	}
+	if got := WattsToDBm(1).DB(); !close(got, 30, 1e-12) {
+		t.Errorf("WattsToDBm(1 W) = %v dBm, want 30", got)
+	}
+	if got := WattsToDBm(0); !math.IsInf(got.DB(), -1) {
+		t.Errorf("WattsToDBm(0) = %v, want -Inf", got)
+	}
+	if got := DBmToWatts(30).W(); !close(got, 1, 1e-12) {
+		t.Errorf("DBmToWatts(30) = %v W, want 1", got)
+	}
+	if got := LinearToDecibels(100).DB(); !close(got, 20, 1e-12) {
+		t.Errorf("LinearToDecibels(100) = %v dB, want 20", got)
+	}
+	if got := LinearToDecibels(0); !math.IsInf(got.DB(), -1) {
+		t.Errorf("LinearToDecibels(0) = %v, want -Inf", got)
+	}
+	if got := DecibelsToLinear(3); !close(got, 1.9952623149688795, 1e-12) {
+		t.Errorf("DecibelsToLinear(3) = %v", got)
+	}
+}
+
+func TestPhotometricHelpers(t *testing.T) {
+	eff := EfficacyOf(153, 1.53)
+	if !close(eff.LmPerW(), 100, 1e-9) {
+		t.Errorf("EfficacyOf(153 lm, 1.53 W) = %v lm/W, want 100", eff)
+	}
+	if got := FluxAt(eff, 0.5).Lm(); !close(got, 50, 1e-9) {
+		t.Errorf("FluxAt(100 lm/W, 0.5 W) = %v lm, want 50", got)
+	}
+	if got := EfficacyOf(153, 0); got != 0 {
+		t.Errorf("EfficacyOf(_, 0) = %v, want 0", got)
+	}
+	// Ideal Lambertian (order 1): I0 = flux/pi.
+	if got := LuminousIntensity(math.Pi, 1).Cd(); !close(got, 1, 1e-12) {
+		t.Errorf("LuminousIntensity(pi lm, order 1) = %v cd, want 1", got)
+	}
+}
+
+func TestPeriodFrequency(t *testing.T) {
+	if got := Period(1e6).S(); !close(got, 1e-6, 1e-18) {
+		t.Errorf("Period(1 MHz) = %v s, want 1 us", got)
+	}
+	if got := Frequency(5e-6).Hz(); !close(got, 200e3, 1e-6) {
+		t.Errorf("Frequency(5 us) = %v Hz, want 200 kHz", got)
+	}
+	if Period(0) != 0 || Frequency(0) != 0 {
+		t.Error("zero-valued Period/Frequency inputs must map to zero")
+	}
+}
+
+func TestDisplayAccessors(t *testing.T) {
+	if got := Seconds(1.5e-6).Micros(); !close(got, 1.5, 1e-12) {
+		t.Errorf("Micros = %v, want 1.5", got)
+	}
+	if got := Seconds(0.017).Millis(); !close(got, 17, 1e-12) {
+		t.Errorf("Millis = %v, want 17", got)
+	}
+	if got := BitsPerSecond(2.5e6).Mbps(); !close(got, 2.5, 1e-12) {
+		t.Errorf("Mbps = %v, want 2.5", got)
+	}
+}
+
+func TestTrigAccessors(t *testing.T) {
+	a := DegreesToRadians(60)
+	if !close(a.Cos(), 0.5, 1e-12) {
+		t.Errorf("cos(60 deg) = %v, want 0.5", a.Cos())
+	}
+	if !close(a.Sin(), math.Sqrt(3)/2, 1e-12) {
+		t.Errorf("sin(60 deg) = %v", a.Sin())
+	}
+}
+
+// Typed quantities must keep printing like plain floats, so experiment
+// tables and CLI output need no churn.
+func TestFmtCompatibility(t *testing.T) {
+	if s := fmt.Sprintf("%.2f", Watts(1.19)); s != "1.19" {
+		t.Errorf("Sprintf %%f on Watts = %q", s)
+	}
+	if s := fmt.Sprintf("%g", Meters(0.5)); s != "0.5" {
+		t.Errorf("Sprintf %%g on Meters = %q", s)
+	}
+}
+
+func TestSpeedOfLight(t *testing.T) {
+	if SpeedOfLight.MPerS() != 299792458 {
+		t.Errorf("SpeedOfLight = %v", SpeedOfLight)
+	}
+}

@@ -22,21 +22,22 @@ import (
 
 	"densevlc/internal/dsp"
 	"densevlc/internal/frame"
+	"densevlc/internal/units"
 )
 
 // Config parameterises one synchronisation exchange.
 type Config struct {
 	// LeaderID is the identifier the leader embeds in its pilot.
 	LeaderID byte
-	// SymbolRate is the leader's pilot symbol rate f_tx in symbols/s
+	// SymbolRate is the leader's pilot symbol rate f_tx
 	// (100 Ksymbols/s in the paper's evaluation).
-	SymbolRate float64
-	// SampleRate is the followers' sampling rate f_rx in samples/s
+	SymbolRate units.Hertz
+	// SampleRate is the followers' sampling rate f_rx
 	// (1 Msample/s: the PRU-driven ADC). Must exceed 2·SymbolRate.
-	SampleRate float64
+	SampleRate units.Hertz
 	// GuardTime is the pre-defined delay between the pilot end and the
-	// synchronised transmission start, seconds.
-	GuardTime float64
+	// synchronised transmission start.
+	GuardTime units.Seconds
 	// DetectionThreshold is the minimum normalised correlation for a
 	// pilot detection (0..1). Zero selects 0.6.
 	DetectionThreshold float64
@@ -48,7 +49,7 @@ func (c Config) Validate() error {
 	case c.SymbolRate <= 0:
 		return errors.New("vlcsync: symbol rate must be positive")
 	case c.SampleRate < 2*c.SymbolRate:
-		return fmt.Errorf("vlcsync: sample rate %g below chip rate %g", c.SampleRate, 2*c.SymbolRate)
+		return fmt.Errorf("vlcsync: sample rate %g Hz below chip rate %g Hz", c.SampleRate.Hz(), 2*c.SymbolRate.Hz())
 	case c.GuardTime < 0:
 		return errors.New("vlcsync: negative guard time")
 	}
@@ -69,9 +70,9 @@ type Follower struct {
 	// dB): pilot amplitude / noise std. Derived from the floor-reflection
 	// gain by the caller (see SNRFromGain).
 	SNR float64
-	// PathDelay is the optical propagation delay of the bounce path,
-	// seconds (≈19 ns in the paper's room; negligible but modelled).
-	PathDelay float64
+	// PathDelay is the optical propagation delay of the bounce path
+	// (≈19 ns in the paper's room; negligible but modelled).
+	PathDelay units.Seconds
 }
 
 // Result is one follower's synchronisation outcome.
@@ -81,7 +82,7 @@ type Result struct {
 	Detected bool
 	// TriggerTime is the follower's transmission start in true time,
 	// relative to the leader's pilot start (only valid when Detected).
-	TriggerTime float64
+	TriggerTime units.Seconds
 	// Correlation is the peak normalised correlation observed.
 	Correlation float64
 }
@@ -101,9 +102,9 @@ func NewSession(cfg Config, rng *rand.Rand) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	chipDur := 1 / (2 * cfg.SymbolRate)
+	chipDur := 1 / (2 * cfg.SymbolRate.Hz())
 	pilot := frame.PilotChips(cfg.LeaderID)
-	samplesPerChip := int(math.Round(chipDur * cfg.SampleRate))
+	samplesPerChip := int(math.Round(chipDur * cfg.SampleRate.Hz()))
 	if samplesPerChip < 1 {
 		samplesPerChip = 1
 	}
@@ -117,13 +118,13 @@ func NewSession(cfg Config, rng *rand.Rand) (*Session, error) {
 	}, nil
 }
 
-// PilotDuration returns the pilot's on-air duration in seconds.
-func (s *Session) PilotDuration() float64 { return s.pilotDur }
+// PilotDuration returns the pilot's on-air duration.
+func (s *Session) PilotDuration() units.Seconds { return units.Seconds(s.pilotDur) }
 
 // IdealTrigger returns the leader's own transmission start relative to its
 // pilot start: pilot duration plus the guard period. A perfect follower
 // triggers at exactly this instant.
-func (s *Session) IdealTrigger() float64 { return s.pilotDur + s.cfg.GuardTime }
+func (s *Session) IdealTrigger() units.Seconds { return units.Seconds(s.pilotDur) + s.cfg.GuardTime }
 
 // Synchronize runs one exchange for a single follower and returns its
 // outcome. The follower samples a window around the pilot with a random
@@ -135,15 +136,15 @@ func (s *Session) Synchronize(f Follower) Result {
 	lead := float64(leadChips) * s.chipDur
 	window := lead + s.pilotDur + 8*s.chipDur
 
-	phase := s.rng.Float64() / s.cfg.SampleRate
-	n := int((window - phase) * s.cfg.SampleRate)
+	phase := s.rng.Float64() / s.cfg.SampleRate.Hz()
+	n := int((window - phase) * s.cfg.SampleRate.Hz())
 	samples := make([]float64, n)
 	noiseStd := 1.0
 	amp := f.SNR
 	for k := range samples {
-		t := phase + float64(k)/s.cfg.SampleRate
+		t := phase + float64(k)/s.cfg.SampleRate.Hz()
 		// Chip on air at time t (accounting for the bounce delay).
-		ct := t - lead - f.PathDelay
+		ct := t - lead - f.PathDelay.S()
 		v := 0.0
 		if ct >= 0 {
 			idx := int(ct / s.chipDur)
@@ -170,16 +171,16 @@ func (s *Session) Synchronize(f Follower) Result {
 
 	// The follower believes the pilot started at its detection timestamp;
 	// it triggers a guard period after the (known-length) pilot ends.
-	detected := phase + float64(peak)/s.cfg.SampleRate
-	trigger := detected + s.pilotDur + s.cfg.GuardTime - lead
-	return Result{Detected: true, TriggerTime: trigger, Correlation: peakV}
+	detected := phase + float64(peak)/s.cfg.SampleRate.Hz()
+	trigger := detected + s.pilotDur + s.cfg.GuardTime.S() - lead
+	return Result{Detected: true, TriggerTime: units.Seconds(trigger), Correlation: peakV}
 }
 
 // PairwiseDelays runs n independent exchanges for two followers and returns
 // the |Δtrigger| of each exchange where both detected the pilot — the
 // quantity Table 4 reports the median of.
-func (s *Session) PairwiseDelays(a, b Follower, n int) []float64 {
-	var out []float64
+func (s *Session) PairwiseDelays(a, b Follower, n int) []units.Seconds {
+	var out []units.Seconds
 	for i := 0; i < n; i++ {
 		ra := s.Synchronize(a)
 		rb := s.Synchronize(b)
@@ -197,9 +198,9 @@ func (s *Session) PairwiseDelays(a, b Follower, n int) []float64 {
 
 // TriggerErrors runs n exchanges for one follower and returns the signed
 // trigger error against the leader's ideal start for each detection.
-func (s *Session) TriggerErrors(f Follower, n int) []float64 {
+func (s *Session) TriggerErrors(f Follower, n int) []units.Seconds {
 	ideal := s.IdealTrigger()
-	var out []float64
+	var out []units.Seconds
 	for i := 0; i < n; i++ {
 		r := s.Synchronize(f)
 		if r.Detected {
@@ -210,14 +211,14 @@ func (s *Session) TriggerErrors(f Follower, n int) []float64 {
 }
 
 // SNRFromGain converts an NLOS channel gain into the follower's per-sample
-// amplitude SNR given the transmit optical signal amplitude (W), photodiode
-// responsivity (A/W) and input-referred noise current std (A). It is a thin
-// helper so callers can feed optics.FloorReflection gains straight in.
-func SNRFromGain(gain, txOpticalPower, responsivity, noiseStd float64) float64 {
+// amplitude SNR given the transmit optical signal amplitude, photodiode
+// responsivity and input-referred noise current std. It is a thin helper so
+// callers can feed optics.FloorReflection gains straight in.
+func SNRFromGain(gain float64, txOpticalPower units.Watts, responsivity units.AmperesPerWatt, noiseStd units.Amperes) float64 {
 	if noiseStd <= 0 {
 		return 0
 	}
-	return gain * txOpticalPower * responsivity / noiseStd
+	return gain * txOpticalPower.W() * responsivity.APerW() / noiseStd.A()
 }
 
 // BeamspotResult summarises the synchronisation of a whole beamspot.
@@ -227,9 +228,9 @@ type BeamspotResult struct {
 	// Synchronized counts followers that detected and matched the leader.
 	Synchronized int
 	// MaxSpread is the largest pairwise trigger-time difference among the
-	// synchronised followers (plus the leader's ideal trigger), seconds —
-	// the misalignment the receiver's PHY will see.
-	MaxSpread float64
+	// synchronised followers (plus the leader's ideal trigger) — the
+	// misalignment the receiver's PHY will see.
+	MaxSpread units.Seconds
 }
 
 // SynchronizeBeamspot runs one pilot exchange for every follower of a
@@ -237,7 +238,7 @@ type BeamspotResult struct {
 // spread that bounds the symbol rate per the 10%-overlap criterion.
 func (s *Session) SynchronizeBeamspot(followers []Follower) BeamspotResult {
 	br := BeamspotResult{Results: make([]Result, len(followers))}
-	triggers := []float64{s.IdealTrigger()} // the leader itself
+	triggers := []units.Seconds{s.IdealTrigger()} // the leader itself
 	for i, f := range followers {
 		r := s.Synchronize(f)
 		br.Results[i] = r

@@ -7,7 +7,17 @@ import (
 	"densevlc/internal/geom"
 	"densevlc/internal/optics"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 )
+
+// secs flattens typed delays to raw seconds for the stats helpers.
+func secs(xs []units.Seconds) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x.S()
+	}
+	return out
+}
 
 // paperConfig is the evaluation setup of Sec. 8.1: f_tx = 100 Ksymbols/s,
 // f_rx = 1 Msample/s.
@@ -45,10 +55,10 @@ func TestPilotDuration(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 64 chips at 5 µs each = 320 µs.
-	if math.Abs(s.PilotDuration()-320e-6) > 1e-9 {
+	if math.Abs(s.PilotDuration().S()-320e-6) > 1e-9 {
 		t.Errorf("pilot duration = %v", s.PilotDuration())
 	}
-	if math.Abs(s.IdealTrigger()-(320e-6+50e-6)) > 1e-12 {
+	if math.Abs(s.IdealTrigger().S()-(320e-6+50e-6)) > 1e-12 {
 		t.Errorf("ideal trigger = %v", s.IdealTrigger())
 	}
 }
@@ -132,7 +142,7 @@ func TestTable4NLOSMedian(t *testing.T) {
 	if len(delays) < 350 {
 		t.Fatalf("only %d/400 exchanges synchronised", len(delays))
 	}
-	med := stats.Median(delays)
+	med := stats.Median(secs(delays))
 	if med < 0.2e-6 || med > 1.2e-6 {
 		t.Errorf("NLOS median = %.3f µs, paper reports 0.575 µs", med*1e6)
 	}
@@ -146,7 +156,7 @@ func TestNLOSOrderOfMagnitudeBetterThanPTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	delays := s.PairwiseDelays(Follower{SNR: 4}, Follower{SNR: 4}, 300)
-	med := stats.Median(delays)
+	med := stats.Median(secs(delays))
 	if med > 4.565e-6/3 {
 		t.Errorf("NLOS median %v µs not clearly better than NTP/PTP's 4.565 µs", med*1e6)
 	}
@@ -168,8 +178,8 @@ func TestHigherSamplingRateImprovesGranularity(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := Follower{SNR: 5}, Follower{SNR: 5}
-	medBase := stats.Median(sBase.PairwiseDelays(a, b, 300))
-	medFast := stats.Median(sFast.PairwiseDelays(a, b, 300))
+	medBase := stats.Median(secs(sBase.PairwiseDelays(a, b, 300)))
+	medFast := stats.Median(secs(sFast.PairwiseDelays(a, b, 300)))
 	if medFast >= medBase {
 		t.Errorf("4 Msps median %v not better than 1 Msps %v", medFast, medBase)
 	}
@@ -187,12 +197,12 @@ func TestTriggerErrorsCentered(t *testing.T) {
 	if len(errs) < 250 {
 		t.Fatalf("too few detections: %d", len(errs))
 	}
-	mean := stats.Mean(errs)
+	mean := stats.Mean(secs(errs))
 	if math.Abs(mean) > 1.5e-6 {
 		t.Errorf("trigger bias = %v µs", mean*1e6)
 	}
-	if stats.StdDev(errs) > 1.5e-6 {
-		t.Errorf("trigger spread = %v µs", stats.StdDev(errs)*1e6)
+	if sd := stats.StdDev(secs(errs)); sd > 1.5e-6 {
+		t.Errorf("trigger spread = %v µs", sd*1e6)
 	}
 }
 

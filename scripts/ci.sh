@@ -8,7 +8,8 @@
 #   2. go vet       — standard static checks
 #   3. go build     — everything compiles
 #   4. vlclint      — domain invariants: determinism, maporder, floatcmp,
-#                     errdrop, apipanic (see DESIGN.md "Static analysis")
+#                     errdrop, apipanic, unitsafety (see DESIGN.md
+#                     "Static analysis" and "Typed physical quantities")
 #   5. go test      — the full unit/integration/property suite
 #   6. go test -race — the concurrent runtime and transports, as README
 #                     claims race-cleanliness for them
@@ -31,7 +32,13 @@ echo "==> go build ./..."
 go build ./...
 
 echo "==> vlclint ./..."
-go run ./cmd/vlclint ./...
+if ! go run ./cmd/vlclint ./...; then
+    # Re-emit the findings as JSON so CI can publish them as an artifact
+    # (.github/workflows/ci.yml uploads vlclint-findings.json on failure).
+    go run ./cmd/vlclint -json ./... > vlclint-findings.json || true
+    echo "vlclint: findings written to vlclint-findings.json" >&2
+    exit 1
+fi
 
 echo "==> go test ./..."
 go test ./...
