@@ -11,6 +11,7 @@
 package densevlc
 
 import (
+	"context"
 	"testing"
 
 	"densevlc/internal/alloc"
@@ -23,17 +24,24 @@ import (
 )
 
 // benchOpts shrinks the experiment workloads so a full -bench=. pass stays
-// in CI territory; cmd/experiments runs the paper-scale versions.
-func benchOpts() experiments.Options { return experiments.Options{Seed: 1, Quick: true} }
+// in CI territory; cmd/experiments runs the paper-scale versions. Workers is
+// pinned to 1 so the per-artefact benchmarks stay serial baselines; the
+// *Parallel twins below measure the fan-out.
+func benchOpts() experiments.Options { return experiments.Options{Seed: 1, Quick: true, Workers: 1} }
 
 func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	benchExperimentOpts(b, name, benchOpts())
+}
+
+func benchExperimentOpts(b *testing.B, name string, opts experiments.Options) {
 	b.Helper()
 	g, ok := experiments.Lookup(name)
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)
 	}
 	for i := 0; i < b.N; i++ {
-		if tab := g.Run(benchOpts()); len(tab.Rows) == 0 {
+		if tab := g.Run(opts); len(tab.Rows) == 0 {
 			b.Fatalf("%s produced no rows", name)
 		}
 	}
@@ -74,6 +82,60 @@ func BenchmarkSec71FrontEnd(b *testing.B)        { benchExperiment(b, "frontend"
 func BenchmarkExtBlockage(b *testing.B)          { benchExperiment(b, "blockage") }
 func BenchmarkExtAdaptiveKappa(b *testing.B)     { benchExperiment(b, "adaptivekappa") }
 func BenchmarkExtRXOrientation(b *testing.B)     { benchExperiment(b, "orientation") }
+
+// Serial-vs-parallel pairs for the Monte-Carlo workloads: identical
+// workload, Workers 1 vs 4. scripts/bench.sh runs these pairs and records
+// the speedups in BENCH_pr3.json; the exported tables are byte-identical
+// between the pair members (see TestParallelDeterminism).
+
+// parallelWorkers is the worker count the *Parallel twins run with.
+const parallelWorkers = 4
+
+// fig6PairOpts runs Fig. 6 at paper scale (100 instances) so the
+// per-instance channel-matrix work dominates the pool overhead.
+func fig6PairOpts(workers int) experiments.Options {
+	return experiments.Options{Seed: 1, Instances: 100, Quick: false, Workers: workers}
+}
+
+func BenchmarkFig06RandomInstancesSerial(b *testing.B) {
+	benchExperimentOpts(b, "fig6", fig6PairOpts(1))
+}
+
+func BenchmarkFig06RandomInstancesParallel(b *testing.B) {
+	benchExperimentOpts(b, "fig6", fig6PairOpts(parallelWorkers))
+}
+
+func BenchmarkFig11HeuristicVsOptimalParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = parallelWorkers
+	benchExperimentOpts(b, "fig11", opts)
+}
+
+func BenchmarkExtAdaptationParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = parallelWorkers
+	benchExperimentOpts(b, "adaptation", opts)
+}
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	env := paperEnv()
+	budgets := alloc.BudgetGrid(3.0, 24)
+	policy := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := alloc.SweepParallel(context.Background(), env, policy, budgets, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(budgets) {
+			b.Fatalf("%d points", len(pts))
+		}
+	}
+}
+
+func BenchmarkAllocSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkAllocSweepParallel(b *testing.B) { benchSweep(b, parallelWorkers) }
 
 // Micro-benchmarks of the per-decision hot paths.
 

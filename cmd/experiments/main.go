@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-quick] [-seed N] [-instances N] [name ...]
+//	experiments [-quick] [-seed N] [-instances N] [-workers N] [name ...]
 //
 // With no names, every experiment runs in paper order. Names follow the
 // registry (table1, fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11,
@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	instances := flag.Int("instances", 0, "random instances for Fig. 6-based studies (0 = paper's 100)")
 	formatName := flag.String("format", "text", "output format: text, csv or json")
+	workers := flag.Int("workers", 0, "worker goroutines for the Monte-Carlo fan-out (0 = all cores, 1 = serial; results are identical for every value)")
 	flag.Parse()
 
 	format, err := experiments.ParseFormat(*formatName)
@@ -41,7 +42,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Instances: *instances, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Instances: *instances, Quick: *quick, Workers: *workers}
 
 	names := flag.Args()
 	if len(names) == 0 {

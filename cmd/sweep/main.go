@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N]
+//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ func main() {
 	max := flag.Float64("max", 3.0, "largest communication power budget in watts")
 	withOptimal := flag.Bool("optimal", false, "include the optimal policy (slow)")
 	seed := flag.Int64("seed", 1, "random seed (unused by the deterministic sweeps, kept for symmetry)")
+	workers := flag.Int("workers", 0, "worker goroutines per policy sweep (0 = all cores, 1 = serial; output is identical for every value)")
 	flag.Parse()
 	_ = seed
 
@@ -57,7 +59,7 @@ func main() {
 
 	results := make([][]alloc.SweepPoint, len(policies))
 	for i, p := range policies {
-		pts, err := alloc.Sweep(env, p, budgets)
+		pts, err := alloc.SweepParallel(context.Background(), env, p, budgets, *workers)
 		if err != nil {
 			log.Fatalf("%s: %v", p.Name(), err)
 		}

@@ -1,8 +1,10 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 
+	"densevlc/internal/parallel"
 	"densevlc/internal/units"
 )
 
@@ -14,22 +16,40 @@ type SweepPoint struct {
 }
 
 // Sweep evaluates a policy across a list of power budgets, the x-axis of
-// Figs. 8, 11, 18–21.
+// Figs. 8, 11, 18–21. It runs the points serially; SweepParallel fans them
+// out.
 func Sweep(env *Env, policy Policy, budgets []units.Watts) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(budgets))
-	for _, b := range budgets {
+	return SweepParallel(context.Background(), env, policy, budgets, 1)
+}
+
+// SweepParallel evaluates the budget points on at most workers goroutines
+// (workers ≤ 0 selects runtime.GOMAXPROCS(0)). Budget points are
+// independent — policies are pure functions of (env, budget) — so the
+// returned points are identical to Sweep's for every worker count, ordered
+// by budget index. Errors keep their per-budget context (policy name,
+// budget index and value) even when points fail concurrently; the
+// lowest-indexed failure is reported, as in a serial run.
+func SweepParallel(ctx context.Context, env *Env, policy Policy, budgets []units.Watts, workers int) ([]SweepPoint, error) {
+	return parallel.Map(ctx, workers, len(budgets), func(i int) (SweepPoint, error) {
+		b := budgets[i]
 		s, err := policy.Allocate(env, b)
 		if err != nil {
-			return nil, fmt.Errorf("alloc: %s at %.3f W: %w", policy.Name(), b.W(), err)
+			return SweepPoint{}, fmt.Errorf("alloc: %s at budget %d/%d (%.3f W): %w",
+				policy.Name(), i+1, len(budgets), b.W(), err)
 		}
 		ev := Evaluate(env, s)
-		out = append(out, SweepPoint{Budget: b, Eval: ev, Throughput: ev.Throughput})
-	}
-	return out, nil
+		return SweepPoint{Budget: b, Eval: ev, Throughput: ev.Throughput}, nil
+	})
 }
 
 // BudgetGrid returns count budgets evenly spaced over (0, max], excluding
 // zero (where every policy trivially delivers nothing).
+//
+// Contract for degenerate requests: a count below one returns nil — an
+// empty sweep, not an error — so callers composing grids can pass a
+// computed count straight through; Sweep of an empty grid yields zero
+// points. A negative or zero max is not rejected either: the grid is then
+// non-positive and policies fail per point with their usual budget errors.
 func BudgetGrid(max units.Watts, count int) []units.Watts {
 	if count < 1 {
 		return nil

@@ -1,0 +1,107 @@
+package alloc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/units"
+)
+
+// failingPolicy errors on every budget at or above failAt.
+type failingPolicy struct {
+	failAt units.Watts
+}
+
+func (failingPolicy) Name() string { return "failing" }
+
+func (p failingPolicy) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
+	if budget >= p.failAt {
+		return nil, errors.New("synthetic failure")
+	}
+	return Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, budget)
+}
+
+func TestBudgetGridDegenerateCounts(t *testing.T) {
+	// The contract: a count below one returns nil, an empty sweep.
+	for _, count := range []int{0, -1, -100} {
+		if got := BudgetGrid(3.0, count); got != nil {
+			t.Errorf("BudgetGrid(3.0, %d) = %v, want nil", count, got)
+		}
+	}
+	// And an empty grid sweeps to zero points without error.
+	env := testEnv(fig7RX())
+	pts, err := Sweep(env, Heuristic{Kappa: 1.3}, BudgetGrid(3.0, 0))
+	if err != nil {
+		t.Fatalf("empty sweep errored: %v", err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("empty sweep returned %d points", len(pts))
+	}
+}
+
+func TestBudgetGridExcludesZeroIncludesMax(t *testing.T) {
+	g := BudgetGrid(3.0, 4)
+	if len(g) != 4 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0] <= 0 {
+		t.Errorf("grid includes a non-positive budget: %v", g[0])
+	}
+	if g[len(g)-1] != 3.0 {
+		t.Errorf("grid must end at max: %v", g[len(g)-1])
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	env := testEnv(fig7RX())
+	budgets := BudgetGrid(3.0, 12)
+	policy := Heuristic{Kappa: 1.3, AllowPartial: true}
+
+	serial, err := Sweep(env, policy, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := SweepParallel(context.Background(), env, policy, budgets, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: sweep points diverged from serial", workers)
+		}
+	}
+}
+
+func TestSweepErrorKeepsPerBudgetContext(t *testing.T) {
+	env := testEnv(fig7RX())
+	budgets := BudgetGrid(3.0, 6) // 0.5, 1.0, ..., 3.0
+	policy := failingPolicy{failAt: 2.0}
+
+	for _, workers := range []int{1, 4} {
+		_, err := SweepParallel(context.Background(), env, policy, budgets, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		msg := err.Error()
+		// The failing budget is point 4/6 at 2.000 W — the lowest failing
+		// point, whatever the worker count.
+		for _, want := range []string{"failing", "4/6", "2.000 W", "synthetic failure"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("workers=%d: error %q missing %q", workers, msg, want)
+			}
+		}
+	}
+}
+
+func TestSweepParallelCancellation(t *testing.T) {
+	env := testEnv(fig7RX())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepParallel(ctx, env, Heuristic{Kappa: 1.3}, BudgetGrid(3.0, 8), 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}

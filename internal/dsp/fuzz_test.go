@@ -1,0 +1,98 @@
+package dsp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzManchesterRoundTrip feeds arbitrary bytes through the full Manchester
+// path — unpack to bits, encode to chips, upsample to a waveform, matched-
+// filter back down, decode — and requires the exact input back with zero
+// ties. This is the noise-free fixed point every demodulator property rests
+// on.
+func FuzzManchesterRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0x00, 0xFF, 0xA5}, uint8(4))
+	f.Add([]byte("DenseVLC"), uint8(10))
+
+	f.Fuzz(func(t *testing.T, data []byte, sps uint8) {
+		samplesPerChip := int(sps%16) + 1 // 1..16, the realistic DAC range
+		bits := BytesToBits(data)
+		chips := ManchesterEncode(bits)
+		if len(chips) != 2*len(bits) {
+			t.Fatalf("encode produced %d chips for %d bits", len(chips), len(bits))
+		}
+		wave := Upsample(chips, samplesPerChip)
+		soft := Downsample(wave, samplesPerChip, 0)
+		if len(data) == 0 {
+			return // Downsample returns nil for an empty capture
+		}
+		got, ties, err := ManchesterDecode(soft)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if ties != 0 {
+			t.Fatalf("%d ties on a noise-free waveform", ties)
+		}
+		if !bytes.Equal(got, bits) {
+			t.Fatal("bit stream mutated through encode→decode")
+		}
+		back, err := BitsToBytes(got)
+		if err != nil {
+			t.Fatalf("repack: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("byte stream mutated through the full path")
+		}
+	})
+}
+
+// FuzzManchesterDecode hands the demodulator arbitrary soft chip values
+// (including NaN, ±Inf and denormals smuggled in through raw bytes): it must
+// never panic, reject odd-length streams, and otherwise account for every
+// bit period as a 0, a 1, or a tie.
+func FuzzManchesterDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x7F, 0x80, 0xFF, 0x00, 0x3A, 0xC2})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Each input byte becomes one soft chip; 8 reserved byte values map
+		// to the IEEE754 specials so the parser meets them often.
+		chips := make([]float64, len(raw))
+		for i, b := range raw {
+			switch b {
+			case 0:
+				chips[i] = math.NaN()
+			case 1:
+				chips[i] = math.Inf(1)
+			case 2:
+				chips[i] = math.Inf(-1)
+			default:
+				chips[i] = float64(b)/127.5 - 1
+			}
+		}
+		bits, ties, err := ManchesterDecode(chips)
+		if len(chips)%2 != 0 {
+			if err == nil {
+				t.Fatal("odd chip stream accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("even chip stream rejected: %v", err)
+		}
+		if len(bits) != len(chips)/2 {
+			t.Fatalf("%d bits from %d chips", len(bits), len(chips))
+		}
+		if ties < 0 || ties > len(bits) {
+			t.Fatalf("tie count %d out of range", ties)
+		}
+		for i, b := range bits {
+			if b > 1 {
+				t.Fatalf("bit %d = %d", i, b)
+			}
+		}
+	})
+}

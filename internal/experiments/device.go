@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"math"
+
+	"densevlc/internal/channel"
 	"densevlc/internal/illum"
 	"densevlc/internal/led"
 	"densevlc/internal/scenario"
@@ -93,16 +96,38 @@ func Fig05(Options) Table {
 }
 
 // Fig06 summarises the random-instance workload generator: 100 receiver
-// placements jittered around the anchor transmitters.
+// placements jittered around the anchor transmitters, each scored by the
+// strongest LOS channel gain its receivers see (the quantity the allocation
+// policies rank on).
 func Fig06(opts Options) Table {
 	set := scenario.Default()
 	rng := stats.NewRand(opts.Seed)
+	// The whole instance set is drawn from one stream BEFORE the fan-out, so
+	// the workload is identical for every worker count.
 	insts := set.RandomInstances(rng, opts.instances())
+	emitters := set.Emitters()
+
+	// One task per instance: build its 36×4 channel matrix and record the
+	// best gain each receiver sees.
+	nRX := len(scenario.AnchorTXs)
+	best := fanOut(opts, len(insts), func(ii int) []float64 {
+		dets := set.Detectors(insts[ii])
+		h := channel.BuildMatrix(emitters, dets, nil)
+		out := make([]float64, nRX)
+		for rx := 0; rx < h.M && rx < nRX; rx++ {
+			for tx := 0; tx < h.N; tx++ {
+				if g := h.Gain(tx, rx); g > out[rx] {
+					out[rx] = g
+				}
+			}
+		}
+		return out
+	})
 
 	t := Table{
 		ID:     "Fig. 6",
 		Title:  f("%d random receiver instances around the anchor TXs", len(insts)),
-		Header: []string{"RX", "anchor TX", "anchor pos", "x range [m]", "y range [m]"},
+		Header: []string{"RX", "anchor TX", "anchor pos", "x range [m]", "y range [m]", "best gain [dB]"},
 	}
 	for i, tx := range scenario.AnchorTXs {
 		minX, maxX := 99.0, -99.0
@@ -122,6 +147,15 @@ func Fig06(opts Options) Table {
 				maxY = p.Y
 			}
 		}
+		minG, maxG := math.Inf(1), math.Inf(-1)
+		for _, b := range best {
+			if b[i] < minG {
+				minG = b[i]
+			}
+			if b[i] > maxG {
+				maxG = b[i]
+			}
+		}
 		a := set.Grid.Pos(tx)
 		t.Rows = append(t.Rows, []string{
 			f("RX%d", i+1),
@@ -129,6 +163,7 @@ func Fig06(opts Options) Table {
 			f("(%.2f, %.2f)", a.X, a.Y),
 			f("%.2f–%.2f", minX, maxX),
 			f("%.2f–%.2f", minY, maxY),
+			f("%.1f–%.1f", 10*math.Log10(minG), 10*math.Log10(maxG)),
 		})
 	}
 	t.Notes = append(t.Notes, f("jitter: uniform ±%.2f m around each anchor", scenario.InstanceJitter))

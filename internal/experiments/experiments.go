@@ -7,8 +7,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+
+	"densevlc/internal/parallel"
 )
 
 // Table is one regenerated result.
@@ -78,6 +82,34 @@ type Options struct {
 	Trials int
 	// Quick shrinks every workload for smoke tests and benchmarks.
 	Quick bool
+	// Workers bounds the worker pool the Monte-Carlo generators fan out
+	// on (internal/parallel). Zero selects runtime.GOMAXPROCS(0); one
+	// forces a serial run. Results are bit-identical for every worker
+	// count: instances and random streams are derived before the fan-out
+	// and results are collected in task order.
+	Workers int
+}
+
+func (o Options) workers() int { return parallel.Workers(o.Workers) }
+
+// fanOut runs fn(0) … fn(n-1) on the option's worker pool, collecting
+// results in index order. Generators are infallible (they encode failures
+// as table cells), so task errors can only be captured panics — those
+// resurface on the calling goroutine, exactly like a serial run.
+func fanOut[T any](o Options, n int, fn func(i int) T) []T {
+	out, err := parallel.Map(context.Background(), o.workers(), n, func(i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		var pe *parallel.PanicError
+		if errors.As(err, &pe) {
+			//lint:ignore apipanic re-raising a worker panic on the calling goroutine, as a serial loop would
+			panic(fmt.Sprintf("%v\n%s", pe.Value, pe.Stack))
+		}
+		//lint:ignore apipanic unreachable: tasks return nil errors and the context is Background
+		panic(err)
+	}
+	return out
 }
 
 func (o Options) instances() int {

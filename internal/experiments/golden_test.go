@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+// update re-blesses the golden artefacts:
+//
+//	go test ./internal/experiments -run TestGoldenArtefacts -update
+//
+// Only do this when a change to the numbers is intended and reviewed — the
+// goldens exist precisely so perf work cannot silently move paper results.
+var update = flag.Bool("update", false, "rewrite testdata/golden/*.csv from the current output")
+
+// goldenOpts is the configuration every golden artefact is recorded under.
+// Workers is left at the default so CI exercises the parallel engine against
+// goldens that any worker count must reproduce.
+func goldenOpts() Options { return Options{Seed: 1, Quick: true} }
+
+// TestGoldenArtefacts regenerates every registry experiment and diffs its
+// exported CSV against the committed golden copy, byte for byte. The
+// stopwatch is pinned so the timing-valued cells (Sec. 5 speedup) export
+// stable bytes; everything else is deterministic by the RNG discipline
+// (seeded streams split before any fan-out).
+func TestGoldenArtefacts(t *testing.T) {
+	restore := stats.PinElapsed(time.Millisecond)
+	defer restore()
+
+	for _, g := range All() {
+		t.Run(g.Name, func(t *testing.T) {
+			got := exportCSV(t, g, goldenOpts())
+			path := filepath.Join("testdata", "golden", g.Name+".csv")
+
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden artefact (re-bless with -update): %v", err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("output diverged from %s: %s\n--- golden ---\n%s\n--- regenerated ---\n%s",
+					path, firstDiff(want, got), want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenBitExact pins the raw float64 bits of the allocation pipeline
+// the formatted tables are printed from. The table goldens round to the
+// paper's display precision, so a sub-display-precision drift (a reordered
+// reduction, a fused multiply-add, a "harmless" refactor) slips past them;
+// this artefact encodes every value as a hex float, where a single-ULP
+// perturbation anywhere in the pipeline is a failure.
+func TestGoldenBitExact(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+
+	var buf bytes.Buffer
+	buf.WriteString("# bit-exact allocation pipeline: hex-float throughputs, Fig. 7 instance\n")
+	buf.WriteString("policy,budget_w,sum_bps,rx1_bps,rx2_bps,rx3_bps,rx4_bps\n")
+	budgets := alloc.BudgetGrid(3.0, 8)
+	for _, policy := range []alloc.Policy{
+		alloc.Heuristic{Kappa: 1.3, AllowPartial: true},
+		alloc.AdaptiveKappa{AllowPartial: true},
+	} {
+		pts, err := alloc.Sweep(env, policy, budgets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&buf, "%s,%x,%x", policy.Name(), p.Budget.W(), p.Eval.SumThroughput.Bps())
+			for _, tp := range p.Throughput {
+				fmt.Fprintf(&buf, ",%x", tp.Bps())
+			}
+			buf.WriteByte('\n')
+		}
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "bitexact.golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing bit-exact golden (re-bless with -update): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("allocation pipeline drifted at the bit level: %s", firstDiff(want, got))
+	}
+}
+
+// TestGoldenCoversRegistry fails when an experiment is added without
+// committing its golden artefact (or a stale golden lingers after a rename).
+func TestGoldenCoversRegistry(t *testing.T) {
+	if *update {
+		t.Skip("re-blessing")
+	}
+	dir := filepath.Join("testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("missing golden directory (re-bless with -update): %v", err)
+	}
+	onDisk := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		onDisk[e.Name()] = true
+	}
+	for _, g := range All() {
+		name := g.Name + ".csv"
+		if !onDisk[name] {
+			t.Errorf("registry experiment %q has no golden artefact %s", g.Name, name)
+		}
+		delete(onDisk, name)
+	}
+	for stale := range onDisk {
+		t.Errorf("stale golden artefact %s matches no registry experiment", stale)
+	}
+}

@@ -60,8 +60,14 @@ func MobilityStudy(opts Options) Table {
 		periods = []units.Seconds{1, 4, 1e9}
 	}
 
-	var baselineSys float64
-	for pi, period := range periods {
+	// Each refresh period replays the whole crossing independently, so the
+	// periods fan out; the relative column needs the fastest period's mean,
+	// so rows are assembled serially afterwards.
+	type periodResult struct {
+		meanSys, meanMov float64
+	}
+	results := fanOut(opts, len(periods), func(pi int) periodResult {
+		period := periods[pi]
 		var sys, mov []float64
 		var swings channel.Swings
 		lastRefresh := units.Seconds(-1e18)
@@ -78,17 +84,18 @@ func MobilityStudy(opts Options) Table {
 			sys = append(sys, ev.SumThroughput.Bps()/1e6)
 			mov = append(mov, ev.Throughput[0].Bps()/1e6)
 		}
-		meanSys := stats.Mean(sys)
-		if pi == 0 {
-			baselineSys = meanSys
-		}
+		return periodResult{meanSys: stats.Mean(sys), meanMov: stats.Mean(mov)}
+	})
+
+	baselineSys := results[0].meanSys
+	for pi, period := range periods {
 		label := f("%.1f", period)
 		if period > 1e6 {
 			label = "never"
 		}
 		rel := "-"
 		if baselineSys > 0 {
-			rel = f("%.0f%%", 100*meanSys/baselineSys)
+			rel = f("%.0f%%", 100*results[pi].meanSys/baselineSys)
 		}
 		overhead := 0.0
 		if period < 1e6 {
@@ -98,8 +105,8 @@ func MobilityStudy(opts Options) Table {
 			}
 		}
 		tbl.Rows = append(tbl.Rows, []string{
-			label, f("%.2f", meanSys), f("%.2f", stats.Mean(mov)), rel,
-			f("%.2f", meanSys*(1-overhead)),
+			label, f("%.2f", results[pi].meanSys), f("%.2f", results[pi].meanMov), rel,
+			f("%.2f", results[pi].meanSys*(1-overhead)),
 		})
 	}
 	tbl.Notes = append(tbl.Notes,

@@ -1,0 +1,185 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based tests for the projection machinery: the optimal-policy
+// solver is only correct if every point the projector emits is feasible and
+// projecting is a fixed point. Randomized inputs sweep the space far wider
+// than the hand-picked cases in optimize_test.go.
+
+const (
+	feasEps  = 1e-9 // float slack for feasibility checks
+	fixedEps = 1e-9 // slack for the idempotence fixed point
+	trials   = 500  // randomized instances per property
+	maxDim   = 12   // up to 12 coordinates (3 TXs × 4 RXs-scale)
+	maxMag   = 5.0  // coordinate magnitudes in [-5, 5]
+)
+
+func randVec(rng *rand.Rand) []float64 {
+	x := make([]float64, 1+rng.Intn(maxDim))
+	for i := range x {
+		x[i] = maxMag * (2*rng.Float64() - 1)
+	}
+	return x
+}
+
+func checkCappedSimplexFeasible(t *testing.T, x []float64, cap float64) {
+	t.Helper()
+	sum := 0.0
+	for i, v := range x {
+		if v < 0 {
+			t.Fatalf("coordinate %d negative after projection: %v", i, v)
+		}
+		sum += v
+	}
+	if sum > cap+feasEps {
+		t.Fatalf("projected sum %v exceeds cap %v", sum, cap)
+	}
+}
+
+func TestProjectCappedSimplexFeasibleForRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		x := randVec(rng)
+		cap := 3 * rng.Float64()
+
+		// The budget the projection must meet when the positive mass of the
+		// input exceeds the cap: the projection lands ON the budget surface.
+		posSum := 0.0
+		for _, v := range x {
+			if v > 0 {
+				posSum += v
+			}
+		}
+
+		ProjectCappedSimplex(x, cap)
+		checkCappedSimplexFeasible(t, x, cap)
+
+		if posSum > cap {
+			got := 0.0
+			for _, v := range x {
+				got += v
+			}
+			if math.Abs(got-cap) > 1e-6 {
+				t.Fatalf("trial %d: over-budget input projected to sum %v, want the cap %v", trial, got, cap)
+			}
+		}
+	}
+}
+
+func TestProjectCappedSimplexIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < trials; trial++ {
+		x := randVec(rng)
+		cap := 3 * rng.Float64()
+
+		ProjectCappedSimplex(x, cap)
+		once := append([]float64(nil), x...)
+		ProjectCappedSimplex(x, cap)
+		for i := range x {
+			if math.Abs(x[i]-once[i]) > fixedEps {
+				t.Fatalf("trial %d: projection not idempotent at %d: %v then %v", trial, i, once[i], x[i])
+			}
+		}
+	}
+}
+
+func TestProjectCappedSimplexNegativeCapClampsToZero(t *testing.T) {
+	x := []float64{1, -2, 3}
+	ProjectCappedSimplex(x, -1)
+	for i, v := range x {
+		if v != 0 {
+			t.Errorf("coordinate %d = %v under a negative cap, want 0", i, v)
+		}
+	}
+}
+
+// guardedProjector wraps ProjectCappedSimplex and records the feasible set
+// so the objective can verify every point the solver evaluates.
+type guardedProjector struct {
+	cap       float64
+	t         *testing.T
+	evaluated int
+}
+
+func (g *guardedProjector) Project(x []float64) { ProjectCappedSimplex(x, g.cap) }
+
+func (g *guardedProjector) check(x []float64) {
+	g.t.Helper()
+	g.evaluated++
+	checkCappedSimplexFeasible(g.t, x, g.cap)
+}
+
+// guardedQuadratic is the concave objective −Σ(x−c)² that asserts, on every
+// evaluation, that the solver stayed inside the projector's feasible set.
+type guardedQuadratic struct {
+	c     []float64
+	guard *guardedProjector
+}
+
+func (q guardedQuadratic) Value(x []float64) float64 {
+	q.guard.check(x)
+	v := 0.0
+	for i, xi := range x {
+		d := xi - q.c[i]
+		v -= d * d
+	}
+	return v
+}
+
+func (q guardedQuadratic) Gradient(x, grad []float64) {
+	q.guard.check(x)
+	for i, xi := range x {
+		grad[i] = -2 * (xi - q.c[i])
+	}
+}
+
+func TestMaximizeNeverLeavesFeasibleSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		guard := &guardedProjector{cap: 0.5 + 2*rng.Float64(), t: t}
+		obj := guardedQuadratic{c: randVec(rng), guard: guard}
+		x0 := make([]float64, len(obj.c))
+		for i := range x0 {
+			x0[i] = maxMag * (2*rng.Float64() - 1) // often infeasible on purpose
+		}
+		res, err := Maximize(obj, guard, x0, Options{MaxIterations: 200})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkCappedSimplexFeasible(t, res.X, guard.cap)
+		if guard.evaluated == 0 {
+			t.Fatal("objective never evaluated")
+		}
+	}
+}
+
+func TestNelderMeadNeverLeavesFeasibleSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		guard := &guardedProjector{cap: 0.5 + 2*rng.Float64(), t: t}
+		c := randVec(rng)
+		f := func(x []float64) float64 {
+			guard.check(x)
+			v := 0.0
+			for i, xi := range x {
+				d := xi - c[i]
+				v -= d * d
+			}
+			return v
+		}
+		x0 := make([]float64, len(c))
+		for i := range x0 {
+			x0[i] = maxMag * (2*rng.Float64() - 1)
+		}
+		res := NelderMead(f, guard, x0, 1.0, 400)
+		checkCappedSimplexFeasible(t, res.X, guard.cap)
+		if guard.evaluated == 0 {
+			t.Fatal("objective never evaluated")
+		}
+	}
+}

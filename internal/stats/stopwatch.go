@@ -1,6 +1,9 @@
 package stats
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Stopwatch measures elapsed wall time through the runtime's monotonic
 // clock. It is the single audited wall-clock crossing for measurement code:
@@ -19,10 +22,29 @@ func StartStopwatch() Stopwatch {
 
 // Seconds returns the monotonic time elapsed since the stopwatch started.
 func (s Stopwatch) Seconds() float64 {
-	return time.Since(s.start).Seconds()
+	return s.Elapsed().Seconds()
 }
 
 // Elapsed returns the monotonic time elapsed since the stopwatch started.
 func (s Stopwatch) Elapsed() time.Duration {
+	if d := pinnedElapsed.Load(); d != nil {
+		return *d
+	}
 	return time.Since(s.start)
+}
+
+// pinnedElapsed, when set, makes every Stopwatch report that fixed duration
+// instead of reading the monotonic clock. See PinElapsed.
+var pinnedElapsed atomic.Pointer[time.Duration]
+
+// PinElapsed pins every Stopwatch reading to the fixed duration d until the
+// returned restore function runs. Timing-dependent experiment cells (the
+// Sec. 5 speedup table) are the one place wall-clock noise leaks into
+// exported artefacts; the determinism and golden-artefact tests pin the
+// stopwatch so those cells become reproducible bytes. The pin is
+// goroutine-safe, so it holds across a parallel fan-out. Production code
+// must never call this.
+func PinElapsed(d time.Duration) (restore func()) {
+	pinnedElapsed.Store(&d)
+	return func() { pinnedElapsed.Store(nil) }
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Benchmark harness for the parallel experiment engine. Runs the
+# serial-vs-parallel benchmark pairs plus the per-decision hot paths and
+# writes BENCH_pr3.json at the repo root — the first point of the perf
+# trajectory the ROADMAP's "as fast as the hardware allows" north star asks
+# for. Usage:
+#
+#     ./scripts/bench.sh [output.json]
+#
+# The speedup figures only mean something on a multi-core runner: the pairs
+# run identical workloads at Workers=1 and Workers=4, and the determinism
+# suite guarantees their outputs are byte-identical.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr3.json}"
+benchpat='Fig06RandomInstances(Serial|Parallel)$|Fig11HeuristicVsOptimal(Parallel)?$|ExtAdaptation(Parallel)?$|AllocSweep(Serial|Parallel)$|BuildChannelMatrix|SINR36x4|HeuristicDecision|FrameSerialize|FrameDecode'
+
+echo "==> go test -bench (serial-vs-parallel pairs + hot paths)"
+raw=$(go test -run='^$' -bench "$benchpat" -benchtime=1s -count=1 . | tee /dev/stderr)
+
+GOMAXPROCS_N=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+
+echo "$raw" | awk -v out="$out" -v procs="$GOMAXPROCS_N" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns[name] = $3
+    order[n++] = name
+}
+END {
+    printf "{\n  \"pr\": 3,\n  \"suite\": \"parallel experiment engine\",\n  \"gomaxprocs\": %d,\n", procs > out
+    printf "  \"note\": \"pair speedups are hardware-bound: at gomaxprocs 1 they measure pure pool overhead; run on a 4+-core machine for the parallel figures\",\n" >> out
+    printf "  \"benchmarks\": [\n" >> out
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "") >> out
+    }
+    printf "  ],\n  \"pairs\": [\n" >> out
+    m = split("BenchmarkFig06RandomInstances fig6;BenchmarkFig11HeuristicVsOptimal fig11;BenchmarkExtAdaptation adaptation;BenchmarkAllocSweep sweep", pairs, ";")
+    first = 1
+    for (i = 1; i <= m; i++) {
+        split(pairs[i], p, " ")
+        serial = ns[p[1] "Serial"]; if (serial == "") serial = ns[p[1]]
+        par = ns[p[1] "Parallel"]
+        if (serial == "" || par == "") continue
+        if (!first) printf ",\n" >> out
+        first = 0
+        printf "    {\"workload\": \"%s\", \"serial_ns\": %s, \"parallel4_ns\": %s, \"speedup\": %.2f}", p[2], serial, par, serial / par >> out
+    }
+    printf "\n  ]\n}\n" >> out
+}'
+
+echo "==> wrote $out"

@@ -10,9 +10,14 @@
 #   4. vlclint      — domain invariants: determinism, maporder, floatcmp,
 #                     errdrop, apipanic, unitsafety (see DESIGN.md
 #                     "Static analysis" and "Typed physical quantities")
-#   5. go test      — the full unit/integration/property suite
-#   6. go test -race — the concurrent runtime and transports, as README
-#                     claims race-cleanliness for them
+#   5. go test      — the full unit/integration/property/golden suite
+#   6. go test -race — every package, including the parallel experiment
+#                     engine; the determinism test runs here so the
+#                     byte-identical guarantee is checked under the race
+#                     detector
+#   7. short fuzz   — a few seconds of the frame-codec and Manchester
+#                     round-trip fuzzers, enough to catch regressions on
+#                     the seeded corpora plus fresh mutations
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,7 +48,20 @@ fi
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/transport/ ./internal/node/"
-go test -race ./internal/transport/ ./internal/node/
+echo "==> go test -race ./..."
+go test -race ./...
+
+# The -race pass above already runs TestParallelDeterminism, but run it once
+# more at an elevated worker count so the gate exercises real contention even
+# on few-core runners.
+echo "==> determinism under -race (explicit)"
+go test -race -run 'TestParallelDeterminism' ./internal/experiments/
+
+# Short fuzz budget: -fuzz requires exactly one matching target per package,
+# so each fuzzer gets its own invocation.
+echo "==> short fuzz (frame codec, Manchester demodulator)"
+go test -run='^$' -fuzz='^FuzzDownlinkRoundTrip$' -fuzztime=10s ./internal/frame/
+go test -run='^$' -fuzz='^FuzzManchesterRoundTrip$' -fuzztime=10s ./internal/dsp/
+go test -run='^$' -fuzz='^FuzzManchesterDecode$' -fuzztime=5s ./internal/dsp/
 
 echo "==> ci.sh: all gates passed"
