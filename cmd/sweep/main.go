@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N] [-workers N]
+//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N] [-workers N] [-warmstart]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	withOptimal := flag.Bool("optimal", false, "include the optimal policy (slow)")
 	seed := flag.Int64("seed", 1, "random seed (unused by the deterministic sweeps, kept for symmetry)")
 	workers := flag.Int("workers", 0, "worker goroutines per policy sweep (0 = all cores, 1 = serial; output is identical for every value)")
+	warmstart := flag.Bool("warmstart", false, "chain each budget point from the previous point's incumbent for policies that support it (the optimal solver); faster sweeps, same curve structure within solver tolerance")
 	flag.Parse()
 	_ = seed
 
@@ -57,9 +58,15 @@ func main() {
 	}
 	fmt.Println()
 
+	sweep := alloc.SweepParallel
+	if *warmstart {
+		// Policies without warm-start support (the heuristics) fall back
+		// to the parallel cold sweep inside SweepWarmStart.
+		sweep = alloc.SweepWarmStart
+	}
 	results := make([][]alloc.SweepPoint, len(policies))
 	for i, p := range policies {
-		pts, err := alloc.SweepParallel(context.Background(), env, p, budgets, *workers)
+		pts, err := sweep(context.Background(), env, p, budgets, *workers)
 		if err != nil {
 			log.Fatalf("%s: %v", p.Name(), err)
 		}

@@ -1,11 +1,13 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"densevlc/internal/channel"
 	"densevlc/internal/optimize"
+	"densevlc/internal/parallel"
 	"densevlc/internal/units"
 )
 
@@ -26,6 +28,11 @@ import (
 // paper's optimal policies — sequential activation of preferred TXs at full
 // swing (Fig. 9) — while guaranteeing the optimal policy never scores below
 // any heuristic it is compared against.
+//
+// The interior multistarts are independent solves and fan out on
+// internal/parallel's bounded pool (see Workers); the winning candidate is
+// selected deterministically — highest objective, ties broken toward the
+// lowest seed index — so the allocation is identical at every worker count.
 type Optimal struct {
 	// Starts is the number of interior multistart points (default 4).
 	Starts int
@@ -34,6 +41,10 @@ type Optimal struct {
 	// KappaGrid lists the κ values whose discretised rankings seed the
 	// candidate pool. Nil selects {1.0, 1.1, 1.2, 1.3, 1.4, 1.5}.
 	KappaGrid []float64
+	// Workers bounds the goroutines the interior multistarts run on
+	// (0 selects runtime.GOMAXPROCS(0), 1 forces a serial solve). The
+	// returned allocation is the same for every value.
+	Workers int
 }
 
 // Name implements Policy.
@@ -41,6 +52,18 @@ func (Optimal) Name() string { return "optimal" }
 
 // Allocate implements Policy.
 func (o Optimal) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
+	return o.allocate(env, budget, nil)
+}
+
+// AllocateWarm implements WarmStarter: prev — typically the incumbent of a
+// neighbouring budget point in a sweep — joins the candidate pool and seeds
+// an extra projected-gradient run, so the solver starts inside the basin
+// the previous solve already found.
+func (o Optimal) AllocateWarm(env *Env, budget units.Watts, prev channel.Swings) (channel.Swings, error) {
+	return o.allocate(env, budget, prev)
+}
+
+func (o Optimal) allocate(env *Env, budget units.Watts, warm channel.Swings) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,7 +75,6 @@ func (o Optimal) Allocate(env *Env, budget units.Watts) (channel.Swings, error) 
 	}
 
 	prob := newProblem(env, budget)
-	proj := prob.projector()
 
 	bestX := make([]float64, env.N()*env.M())
 	bestF := math.Inf(-1)
@@ -74,25 +96,51 @@ func (o Optimal) Allocate(env *Env, budget units.Watts) (channel.Swings, error) 
 		consider(flatten(s))
 	}
 
-	// Interior multistarts refined by projected gradient.
+	// Interior multistarts refined by projected gradient, plus — when warm-
+	// starting — the previous incumbent nudged into the interior so the
+	// gradient can still reactivate its zeroed swings.
 	opts := optimize.Options{MaxIterations: o.maxIter(), InitialStep: 0.05}
-	for _, x0 := range prob.seeds(o.starts()) {
-		res, err := optimize.Maximize(prob, proj, x0, opts)
+	seeds := prob.seeds(o.starts())
+	if warm != nil {
+		// The incumbent's basin stands in for the exploratory starts it made
+		// redundant: keep the first half of the interior seeds (rounded up)
+		// and add the projected incumbent, so a warm point costs fewer
+		// gradient runs than a cold one while the kappa-grid floor above
+		// still guarantees it never scores below any heuristic.
+		wx := flatten(warm)
+		prob.project(wx) // re-impose (6)–(7) under the new budget
+		consider(wx)
+		seeds = append(seeds[:(len(seeds)+1)/2], interiorize(wx))
+	}
+
+	// Each seed is an independent solve over shared read-only problem data;
+	// clones carry the per-goroutine scratch. Candidates are collected in
+	// seed order, so the consider() reduction below picks the same winner
+	// at every worker count (value, then lowest seed index).
+	type candidate struct {
+		x  []float64
+		ok bool
+	}
+	cands, err := parallel.Map(context.Background(), o.Workers, len(seeds), func(i int) (candidate, error) {
+		p := prob.clone()
+		res, err := optimize.Maximize(p, p, seeds[i], opts)
 		if err != nil {
-			continue // infeasible seed (e.g. a starved receiver): skip
+			return candidate{}, nil // infeasible seed (e.g. a starved receiver): skip
 		}
-		consider(res.X)
+		return candidate{x: res.X, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err // a panic inside a solve; impossible seeds return ok=false instead
+	}
+	for _, c := range cands {
+		if c.ok {
+			consider(c.x)
+		}
 	}
 
 	// Refine the incumbent once more from a slightly perturbed copy so the
 	// discrete candidates also get continuous polishing.
-	seed := append([]float64(nil), bestX...)
-	for i := range seed {
-		if seed[i] < 1e-3 {
-			seed[i] = 1e-3
-		}
-	}
-	if res, err := optimize.Maximize(prob, proj, seed, opts); err == nil {
+	if res, err := optimize.Maximize(prob, prob, interiorize(bestX), opts); err == nil {
 		consider(res.X)
 	}
 
@@ -100,6 +148,18 @@ func (o Optimal) Allocate(env *Env, budget units.Watts) (channel.Swings, error) 
 		return nil, fmt.Errorf("alloc: no feasible allocation serves all %d receivers within %.3f W", env.M(), budget.W())
 	}
 	return unflatten(bestX, env.N(), env.M()), nil
+}
+
+// interiorize copies x with every coordinate lifted to at least 1e-3 A, the
+// whisper that keeps a zeroed swing reachable by the gradient.
+func interiorize(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i := range out {
+		if out[i] < 1e-3 {
+			out[i] = 1e-3
+		}
+	}
+	return out
 }
 
 func (o Optimal) starts() int {
@@ -126,49 +186,151 @@ func (o Optimal) kappaGrid() []float64 {
 // problem adapts Eq. (5)–(7) to the optimize package, with the swing matrix
 // flattened row-major: x[j*M+k] = Isw^{j,k} in amperes. The optimiser works
 // on bare float64 magnitudes; units re-attach at the unflatten boundary.
+//
+// The channel matrix is cached as a dense row-major []float64 at
+// construction and every kernel runs in O(N·M) two-pass form (see DESIGN.md
+// "Solver kernels"): per-TX swing-power row sums first, per-RX aggregates
+// second. All scratch lives in the problem's workspace, so Value, Gradient
+// and the projection allocate nothing on the hot path — which also means a
+// problem must not be shared across goroutines; clone() derives a view with
+// its own workspace over the same read-only data.
 type problem struct {
-	env    *Env
-	budget float64 // W
-	scale  float64 // c = R·η·r
-	noise  float64 // N0·B in A²
+	n, m     int
+	budget   float64   // W
+	scale    float64   // c = R·η·r
+	noise    float64   // N0·B in A²
+	bw       float64   // B in Hz
+	resist   float64   // r in Ω
+	maxSwing float64   // Isw,max in A
+	h        []float64 // dense row-major channel gains: h[j*m+i] = H_{j,i}
+
+	// Workspace (per-goroutine; see clone):
+	sig     []float64 // u_i = Σ_j h_ji·(x_ji/2)², len m
+	interf  []float64 // v_i = Σ_j h_ji·T_j − u_i, len m
+	sigCoef []float64 // signal-path gradient coefficient per RX, len m
+	intCoef []float64 // interference-path gradient coefficient per RX, len m
+	scratch []float64 // capped-simplex projection scratch, len m
 }
 
 func newProblem(env *Env, budget units.Watts) *problem {
-	p := env.Params
-	return &problem{
-		env:    env,
-		budget: budget.W(),
-		scale:  p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms(),
-		noise:  p.NoisePower().A2(),
+	par := env.Params
+	n, m := env.N(), env.M()
+	p := &problem{
+		n:        n,
+		m:        m,
+		budget:   budget.W(),
+		scale:    par.Responsivity.APerW() * par.WallPlugEfficiency * par.DynamicResistance.Ohms(),
+		noise:    par.NoisePower().A2(),
+		bw:       par.Bandwidth.Hz(),
+		resist:   par.DynamicResistance.Ohms(),
+		maxSwing: env.LED.MaxSwing.A(),
+		h:        make([]float64, n*m),
 	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			p.h[j*m+i] = env.H.Gain(j, i)
+		}
+	}
+	p.grabWorkspace()
+	return p
 }
 
-// Value implements optimize.Objective.
-func (p *problem) Value(x []float64) float64 {
-	n, m := p.env.N(), p.env.M()
-	h := p.env.H
-	b := p.env.Params.Bandwidth.Hz()
-	obj := 0.0
+func (p *problem) grabWorkspace() {
+	buf := make([]float64, 5*p.m)
+	p.sig, buf = buf[:p.m], buf[p.m:]
+	p.interf, buf = buf[:p.m], buf[p.m:]
+	p.sigCoef, buf = buf[:p.m], buf[p.m:]
+	p.intCoef, buf = buf[:p.m], buf[p.m:]
+	p.scratch = buf[:p.m]
+}
+
+// clone returns a view over the same immutable problem data with a private
+// workspace, for concurrent multistart solves.
+func (p *problem) clone() *problem {
+	c := *p
+	c.grabWorkspace()
+	return &c
+}
+
+// aggregates fills the workspace with the O(N·M) two-pass form of the
+// Eq. (12) sums: per TX the swing-power row sum T_j = Σ_k (x_jk/2)², then
+// the per-RX intended-signal u_i and total-incident Σ_j h_ji·T_j
+// accumulators; the interference v_i is the difference. The M = 4 case of
+// every paper scenario runs fully register-resident; both paths accumulate
+// in the same order, so they are bit-identical.
+func (p *problem) aggregates(x []float64) {
+	if p.m == 4 {
+		p.aggregates4(x)
+		return
+	}
+	n, m := p.n, p.m
+	u, v := p.sig, p.interf
 	for i := 0; i < m; i++ {
-		var u, w float64 // intended signal sum, total incident sum
-		for j := 0; j < n; j++ {
-			hji := h.Gain(j, i)
+		u[i], v[i] = 0, 0
+	}
+	for j := 0; j < n; j++ {
+		row := x[j*m : j*m+m]
+		t := 0.0
+		for _, xv := range row {
+			half := xv / 2
+			t += half * half
+		}
+		if t == 0 {
+			continue // dark TX: contributes to nobody
+		}
+		hrow := p.h[j*m : j*m+m]
+		for i := 0; i < m; i++ {
+			hji := hrow[i]
 			if hji == 0 {
 				continue
 			}
-			for k := 0; k < m; k++ {
-				half := x[j*m+k] / 2
-				q := half * half
-				w += hji * q
-				if k == i {
-					u += hji * q
-				}
-			}
+			half := row[i] / 2
+			u[i] += hji * half * half
+			v[i] += hji * t
 		}
-		sig := p.scale * u
-		interf := p.scale * (w - u)
-		sinr := sig * sig / (p.noise + interf*interf)
-		t := b * math.Log2(1+sinr)
+	}
+	for i := 0; i < m; i++ {
+		v[i] -= u[i]
+	}
+}
+
+func (p *problem) aggregates4(x []float64) {
+	n := p.n
+	h := p.h
+	_ = x[4*n-1]
+	_ = h[4*n-1]
+	var u0, u1, u2, u3, v0, v1, v2, v3 float64
+	for j := 0; j < n; j++ {
+		b := j * 4
+		q0 := x[b] / 2
+		q1 := x[b+1] / 2
+		q2 := x[b+2] / 2
+		q3 := x[b+3] / 2
+		q0, q1, q2, q3 = q0*q0, q1*q1, q2*q2, q3*q3
+		t := q0 + q1 + q2 + q3
+		h0, h1, h2, h3 := h[b], h[b+1], h[b+2], h[b+3]
+		u0 += h0 * q0
+		u1 += h1 * q1
+		u2 += h2 * q2
+		u3 += h3 * q3
+		v0 += h0 * t
+		v1 += h1 * t
+		v2 += h2 * t
+		v3 += h3 * t
+	}
+	u, v := p.sig, p.interf
+	u[0], u[1], u[2], u[3] = u0, u1, u2, u3
+	v[0], v[1], v[2], v[3] = v0-u0, v1-u1, v2-u2, v3-u3
+}
+
+// objective reduces the aggregates to the Eq. (5) sum-log objective.
+func (p *problem) objective() float64 {
+	obj := 0.0
+	for i := 0; i < p.m; i++ {
+		s := p.scale * p.sig[i]
+		iv := p.scale * p.interf[i]
+		sinr := s * s / (p.noise + iv*iv)
+		t := p.bw * math.Log2(1+sinr)
 		if t <= 0 {
 			return math.Inf(-1)
 		}
@@ -177,108 +339,172 @@ func (p *problem) Value(x []float64) float64 {
 	return obj
 }
 
-// Gradient implements optimize.Objective.
-func (p *problem) Gradient(x, grad []float64) {
-	n, m := p.env.N(), p.env.M()
-	h := p.env.H
-	b := p.env.Params.Bandwidth.Hz()
+// Value implements optimize.Objective.
+func (p *problem) Value(x []float64) float64 {
+	p.aggregates(x)
+	return p.objective()
+}
+
+// starvedCoef is the signal-path sentinel for a receiver with zero
+// throughput: push its strongest links up hard so the line search can
+// restore feasibility. Large enough to dominate every regular coefficient,
+// small enough that squaring the resulting gradient entries stays far from
+// ±Inf (see gradientFromCoefs).
+const starvedCoef = 1e30
+
+// coefficients turns the aggregates into the per-receiver gradient
+// coefficients:
+//
+//	dF/dq^{j,i} (via RX i's signal)       = sigCoef[i]·H_{j,i}
+//	dF/dq^{j,k} (via RX i's interference) = −intCoef[i]·H_{j,i}, i≠k
+//
+// It returns the Eq. (5) objective for free (the fused path) — −Inf when
+// any receiver is starved — accumulated in the exact order objective()
+// uses, so the fused value is bit-identical to Value's.
+func (p *problem) coefficients() float64 {
 	c := p.scale
-
-	// Per-receiver aggregates.
-	u := make([]float64, m)
-	v := make([]float64, m)
-	for i := 0; i < m; i++ {
-		var ui, wi float64
-		for j := 0; j < n; j++ {
-			hji := h.Gain(j, i)
-			if hji == 0 {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				half := x[j*m+k] / 2
-				q := half * half
-				wi += hji * q
-				if k == i {
-					ui += hji * q
-				}
-			}
-		}
-		u[i], v[i] = ui, wi-ui
-	}
-
-	// Signal-path and interference-path coefficients per receiver:
-	//   dF/dq^{j,i} (via RX i's signal)      = sigCoef[i]·H_{j,i}
-	//   dF/dq^{j,k} (via RX i's interference) = −intCoef[i]·H_{j,i}, i≠k
-	sigCoef := make([]float64, m)
-	intCoef := make([]float64, m)
-	for i := 0; i < m; i++ {
-		s := c * u[i]
-		iv := c * v[i]
+	obj := 0.0
+	for i := 0; i < p.m; i++ {
+		s := c * p.sig[i]
+		iv := c * p.interf[i]
 		d := p.noise + iv*iv
 		sinr := s * s / d
-		t := b * math.Log2(1+sinr)
+		t := p.bw * math.Log2(1+sinr)
 		if t <= 0 {
-			// Starved receiver: push its strongest links up hard so the
-			// line search can restore feasibility.
-			sigCoef[i] = 1e30
-			intCoef[i] = 0
+			p.sigCoef[i] = starvedCoef
+			p.intCoef[i] = 0
+			obj = math.Inf(-1)
 			continue
 		}
-		g := b / (t * (1 + sinr) * math.Ln2) // dF/dSINR_i
-		sigCoef[i] = g * 2 * c * c * u[i] / d
-		intCoef[i] = g * 2 * c * c * c * c * u[i] * u[i] * v[i] / (d * d)
+		if !math.IsInf(obj, -1) {
+			obj += math.Log(t)
+		}
+		g := p.bw / (t * (1 + sinr) * math.Ln2) // dF/dSINR_i
+		p.sigCoef[i] = g * 2 * c * c * p.sig[i] / d
+		p.intCoef[i] = g * 2 * c * c * c * c * p.sig[i] * p.sig[i] * p.interf[i] / (d * d)
 	}
+	return obj
+}
 
-	for j := 0; j < n; j++ {
-		for k := 0; k < m; k++ {
-			dq := 0.0
+// gradientFromCoefs folds the coefficients into ∇F in O(N·M): for TX j the
+// interference term Σ_i intCoef[i]·h_ji is shared by every branch k, so it
+// is accumulated once per row and the per-branch derivative is
+//
+//	dF/dq^{j,k} = (sigCoef[k] + intCoef[k])·h_jk − Σ_i intCoef[i]·h_ji
+//
+// then chained through q = (x/2)²: dq/dx = x/2.
+func (p *problem) gradientFromCoefs(x, grad []float64) {
+	n, m := p.n, p.m
+	starved := false
+	for i := 0; i < m; i++ {
+		//lint:ignore floatcmp starvedCoef is a sentinel assigned verbatim, never computed; identity is the test
+		if p.sigCoef[i] == starvedCoef {
+			starved = true
+			break
+		}
+	}
+	if m == 4 {
+		p.gradientFromCoefs4(x, grad)
+	} else {
+		for j := 0; j < n; j++ {
+			hrow := p.h[j*m : j*m+m]
+			base := 0.0
 			for i := 0; i < m; i++ {
-				hji := h.Gain(j, i)
-				if hji == 0 {
-					continue
-				}
-				if i == k {
-					dq += sigCoef[i] * hji
-				} else {
-					dq -= intCoef[i] * hji
-				}
+				base += p.intCoef[i] * hrow[i]
 			}
-			// Chain rule through q = (x/2)²: dq/dx = x/2.
-			grad[j*m+k] = dq * x[j*m+k] / 2
+			for k := 0; k < m; k++ {
+				dq := (p.sigCoef[k]+p.intCoef[k])*hrow[k] - base
+				grad[j*m+k] = dq * x[j*m+k] / 2
+			}
+		}
+	}
+	if !starved {
+		return
+	}
+	// Starved-receiver guard: the sentinel coefficient is deliberately
+	// enormous, and the solver's gnorm² reduction squares every entry —
+	// clamp to a safely squarable magnitude so the rescue direction
+	// survives without overflowing to ±Inf (an entry that already
+	// cancelled to NaN via Inf−Inf drops out as 0). Regular instances
+	// never enter here, so the polished paths keep their exact float
+	// behaviour.
+	const gradCap = 1e12
+	for i, g := range grad {
+		switch {
+		case math.IsNaN(g):
+			grad[i] = 0
+		case g > gradCap:
+			grad[i] = gradCap
+		case g < -gradCap:
+			grad[i] = -gradCap
 		}
 	}
 }
 
-// projector returns the feasible-set projection: per-TX capped simplex for
-// constraint (6), then radial scaling for the power budget (7).
-func (p *problem) projector() optimize.Projector {
-	n, m := p.env.N(), p.env.M()
-	maxSwing := p.env.LED.MaxSwing.A()
-	r := p.env.Params.DynamicResistance.Ohms()
-	return optimize.ProjectorFunc(func(x []float64) {
-		for j := 0; j < n; j++ {
-			optimize.ProjectCappedSimplex(x[j*m:(j+1)*m], maxSwing)
-		}
-		power := 0.0
-		for j := 0; j < n; j++ {
-			var t float64
-			for k := 0; k < m; k++ {
-				t += x[j*m+k]
-			}
-			power += r * (t / 2) * (t / 2)
-		}
-		if power > p.budget {
-			optimize.RadialScale(x, math.Sqrt(p.budget/power))
-		}
-	})
+func (p *problem) gradientFromCoefs4(x, grad []float64) {
+	n := p.n
+	h := p.h
+	_ = x[4*n-1]
+	_ = h[4*n-1]
+	_ = grad[4*n-1]
+	ic0, ic1, ic2, ic3 := p.intCoef[0], p.intCoef[1], p.intCoef[2], p.intCoef[3]
+	s0 := p.sigCoef[0] + ic0
+	s1 := p.sigCoef[1] + ic1
+	s2 := p.sigCoef[2] + ic2
+	s3 := p.sigCoef[3] + ic3
+	for j := 0; j < n; j++ {
+		b := j * 4
+		h0, h1, h2, h3 := h[b], h[b+1], h[b+2], h[b+3]
+		base := ic0*h0 + ic1*h1 + ic2*h2 + ic3*h3
+		grad[b] = (s0*h0 - base) * x[b] / 2
+		grad[b+1] = (s1*h1 - base) * x[b+1] / 2
+		grad[b+2] = (s2*h2 - base) * x[b+2] / 2
+		grad[b+3] = (s3*h3 - base) * x[b+3] / 2
+	}
 }
+
+// Gradient implements optimize.Objective.
+func (p *problem) Gradient(x, grad []float64) {
+	p.aggregates(x)
+	p.coefficients()
+	p.gradientFromCoefs(x, grad)
+}
+
+// ValueGradient implements optimize.ValueGradienter: one aggregate pass
+// serves both the objective and the gradient.
+func (p *problem) ValueGradient(x, grad []float64) float64 {
+	p.aggregates(x)
+	obj := p.coefficients()
+	p.gradientFromCoefs(x, grad)
+	return obj
+}
+
+// Project implements optimize.Projector: per-TX capped simplex for
+// constraint (6), then radial scaling for the power budget (7). The
+// projection shares the problem's workspace, so it is as goroutine-local as
+// the kernels.
+func (p *problem) Project(x []float64) {
+	n, m := p.n, p.m
+	power := 0.0
+	for j := 0; j < n; j++ {
+		// The projection returns the row's post-projection swing sum, so
+		// the constraint-(7) power accumulates in the same pass.
+		t := optimize.ProjectCappedSimplexScratch(x[j*m:(j+1)*m], p.maxSwing, p.scratch)
+		power += p.resist * (t / 2) * (t / 2)
+	}
+	if power > p.budget {
+		optimize.RadialScale(x, math.Sqrt(p.budget/power))
+	}
+}
+
+// project is the direct form of Project for callers outside the solver.
+func (p *problem) project(x []float64) { p.Project(x) }
 
 // seeds produces dense interior start points: every coordinate positive so
 // the gradient can move any swing, with most mass on each receiver's best
 // transmitters.
 func (p *problem) seeds(count int) [][]float64 {
-	n, m := p.env.N(), p.env.M()
-	r := p.env.Params.DynamicResistance.Ohms()
+	n, m := p.n, p.m
 	var out [][]float64
 
 	// Seed 1: each RX's best TX carries an equal share of the budget;
@@ -290,9 +516,12 @@ func (p *problem) seeds(count int) [][]float64 {
 	}
 	share := p.budget / float64(m)
 	for i := 0; i < m; i++ {
-		if tx := p.env.H.BestTX(i); tx >= 0 {
-			isw := units.Amperes(2 * math.Sqrt(share/r))
-			x[tx*m+i] = p.env.LED.ClampSwing(isw).A()
+		if tx := p.bestTX(i); tx >= 0 {
+			isw := 2 * math.Sqrt(share/p.resist)
+			if isw > p.maxSwing {
+				isw = p.maxSwing
+			}
+			x[tx*m+i] = isw
 		}
 	}
 	out = append(out, x)
@@ -300,7 +529,7 @@ func (p *problem) seeds(count int) [][]float64 {
 	// Seed 2: uniform across every (TX, RX) pair.
 	x = make([]float64, n*m)
 	// With all rows equal, power = n·r·(m·s/2)² = budget.
-	s := 2 * math.Sqrt(p.budget/(float64(n)*r)) / float64(m)
+	s := 2 * math.Sqrt(p.budget/(float64(n)*p.resist)) / float64(m)
 	for i := range x {
 		x[i] = s
 	}
@@ -312,20 +541,33 @@ func (p *problem) seeds(count int) [][]float64 {
 		frac := float64(v) / float64(count)
 		x = make([]float64, n*m)
 		for j := 0; j < n; j++ {
+			hrow := p.h[j*m : j*m+m]
 			var denom float64
 			for k := 0; k < m; k++ {
-				denom += p.env.H.Gain(j, k)
+				denom += hrow[k]
 			}
 			if denom == 0 {
 				continue
 			}
 			for k := 0; k < m; k++ {
-				x[j*m+k] = eps + frac*p.env.LED.MaxSwing.A()*p.env.H.Gain(j, k)/denom
+				x[j*m+k] = eps + frac*p.maxSwing*hrow[k]/denom
 			}
 		}
 		out = append(out, x)
 	}
 	return out
+}
+
+// bestTX returns the index of the TX with the highest cached gain to rx,
+// or -1 if every gain is zero (mirrors channel.Matrix.BestTX).
+func (p *problem) bestTX(rx int) int {
+	best, bestG := -1, 0.0
+	for j := 0; j < p.n; j++ {
+		if g := p.h[j*p.m+rx]; g > bestG {
+			best, bestG = j, g
+		}
+	}
+	return best
 }
 
 func flatten(s channel.Swings) []float64 {

@@ -178,8 +178,7 @@ func TestOptimalAgreesWithNelderMeadOnTinyInstance(t *testing.T) {
 
 	// Independent derivative-free solve of the same program.
 	prob := newProblem(env, budget)
-	proj := prob.projector()
-	nm := optimize.NelderMead(prob.Value, proj, []float64{0.1, 0.01, 0.01, 0.1}, 0.2, 20000)
+	nm := optimize.NelderMead(prob.Value, prob, []float64{0.1, 0.01, 0.01, 0.1}, 0.2, 20000)
 
 	if nm.Value > opt.SumLog+1e-3 {
 		t.Errorf("Nelder–Mead found a better optimum: %v vs %v", nm.Value, opt.SumLog)

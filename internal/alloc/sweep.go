@@ -4,9 +4,21 @@ import (
 	"context"
 	"fmt"
 
+	"densevlc/internal/channel"
 	"densevlc/internal/parallel"
 	"densevlc/internal/units"
 )
+
+// WarmStarter is a Policy whose solver can be seeded with an incumbent
+// allocation from a nearby problem — for budget sweeps, the previous budget
+// point's solution. alloc.Optimal implements it: the incumbent joins the
+// candidate pool and seeds an extra gradient run.
+type WarmStarter interface {
+	Policy
+	// AllocateWarm is Allocate seeded with prev. A nil prev must behave
+	// exactly like Allocate.
+	AllocateWarm(env *Env, budget units.Watts, prev channel.Swings) (channel.Swings, error)
+}
 
 // SweepPoint is one budget point of a policy sweep.
 type SweepPoint struct {
@@ -40,6 +52,44 @@ func SweepParallel(ctx context.Context, env *Env, policy Policy, budgets []units
 		ev := Evaluate(env, s)
 		return SweepPoint{Budget: b, Eval: ev, Throughput: ev.Throughput}, nil
 	})
+}
+
+// SweepWarmStart evaluates the budget points in order, seeding each solve
+// with the previous budget's incumbent when the policy implements
+// WarmStarter; policies without warm-start support fall back to
+// SweepParallel. The incumbent chain makes the points data-dependent, so
+// the sweep itself runs serially — parallelism comes from inside the
+// policy (alloc.Optimal fans its interior multistarts out on workers
+// goroutines). Results are deterministic for every worker count but may
+// differ from a cold Sweep by the solver tolerance: each point starts
+// inside the basin its neighbour found, which is the point of warm-starting
+// — fewer iterations to the same structure (see DESIGN.md "Solver
+// kernels").
+func SweepWarmStart(ctx context.Context, env *Env, policy Policy, budgets []units.Watts, workers int) ([]SweepPoint, error) {
+	ws, ok := policy.(WarmStarter)
+	if !ok {
+		return SweepParallel(ctx, env, policy, budgets, workers)
+	}
+	if o, isOptimal := ws.(Optimal); isOptimal && o.Workers == 0 {
+		o.Workers = workers
+		ws = o
+	}
+	out := make([]SweepPoint, 0, len(budgets))
+	var prev channel.Swings
+	for i, b := range budgets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := ws.AllocateWarm(env, b, prev)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: %s at budget %d/%d (%.3f W): %w",
+				ws.Name(), i+1, len(budgets), b.W(), err)
+		}
+		prev = s
+		ev := Evaluate(env, s)
+		out = append(out, SweepPoint{Budget: b, Eval: ev, Throughput: ev.Throughput})
+	}
+	return out, nil
 }
 
 // BudgetGrid returns count budgets evenly spaced over (0, max], excluding

@@ -1,0 +1,244 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceProject is the generic capped-simplex projection kept as ground
+// truth for the 4-wide fast path: full sort, explicit threshold scan.
+func referenceProject(x []float64, capacity float64) float64 {
+	if capacity < 0 {
+		capacity = 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		if v > 0 {
+			sum += v
+		}
+	}
+	if sum <= capacity {
+		ProjectNonNegative(x)
+		return sum
+	}
+	s := append([]float64(nil), x...)
+	sortDescending(s)
+	var cum, tau float64
+	for i, v := range s {
+		cum += v
+		t := (cum - capacity) / float64(i+1)
+		if i+1 == len(s) || s[i+1] <= t {
+			tau = t
+			break
+		}
+	}
+	out := 0.0
+	for i, v := range x {
+		v -= tau
+		if v < 0 {
+			v = 0
+		}
+		x[i] = v
+		out += v
+	}
+	return out
+}
+
+func TestProjectCappedSimplex4BitIdenticalToGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		capacity := math.Abs(rng.NormFloat64())
+		if trial%17 == 0 {
+			capacity = 0
+		}
+		if trial%23 == 0 {
+			// Ties stress the sorting network's stability.
+			x[1] = x[0]
+			x[3] = x[2]
+		}
+		want := append([]float64(nil), x...)
+		wantSum := referenceProject(want, capacity)
+		gotSum := ProjectCappedSimplexScratch(x, capacity, make([]float64, 4))
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("trial %d: x[%d] = %x, generic %x (input cap %v)",
+					trial, i, x[i], want[i], capacity)
+			}
+		}
+		if gotSum != wantSum {
+			t.Fatalf("trial %d: returned sum %x, generic %x", trial, gotSum, wantSum)
+		}
+	}
+}
+
+func TestProjectCappedSimplexScratchReturnsSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	scratch := make([]float64, 36)
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(35)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		capacity := math.Abs(rng.NormFloat64())
+		got := ProjectCappedSimplexScratch(x, capacity, scratch[:n])
+		direct := 0.0
+		for _, v := range x {
+			direct += v
+		}
+		// The return accumulates the projected coordinates as they are
+		// written, in index order — the same order the direct sum uses.
+		if got != direct {
+			t.Fatalf("trial %d (n=%d): returned sum %x, recomputed %x", trial, n, got, direct)
+		}
+		if got > capacity*(1+1e-12)+1e-15 {
+			t.Fatalf("trial %d: sum %v exceeds capacity %v", trial, got, capacity)
+		}
+	}
+}
+
+func TestProjectionAllocationFree(t *testing.T) {
+	x4 := []float64{0.9, -0.2, 0.7, 0.4}
+	x16 := make([]float64, 16)
+	x36 := make([]float64, 36)
+	scratch := make([]float64, 36)
+	fill := func(x []float64) {
+		for i := range x {
+			x[i] = float64(i%5) - 1.5
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ProjectCappedSimplex(x4, 0.5)
+		fill(x4)
+	}); n != 0 {
+		t.Errorf("ProjectCappedSimplex len-4 allocates %.0f/run, want 0", n)
+	}
+	fill(x16)
+	if n := testing.AllocsPerRun(100, func() {
+		ProjectCappedSimplex(x16, 0.5)
+		fill(x16)
+	}); n != 0 {
+		t.Errorf("ProjectCappedSimplex len-16 allocates %.0f/run, want 0", n)
+	}
+	fill(x36)
+	if n := testing.AllocsPerRun(100, func() {
+		ProjectCappedSimplexScratch(x36, 0.5, scratch)
+		fill(x36)
+	}); n != 0 {
+		t.Errorf("ProjectCappedSimplexScratch len-36 allocates %.0f/run, want 0", n)
+	}
+}
+
+// fusedQuadratic wraps quadratic with a ValueGradient implementation and
+// counts which paths Maximize takes.
+type fusedQuadratic struct {
+	quadratic
+	valueCalls, gradCalls, fusedCalls int
+}
+
+func (q *fusedQuadratic) Value(x []float64) float64 {
+	q.valueCalls++
+	return q.quadratic.Value(x)
+}
+
+func (q *fusedQuadratic) Gradient(x, g []float64) {
+	q.gradCalls++
+	q.quadratic.Gradient(x, g)
+}
+
+func (q *fusedQuadratic) ValueGradient(x, g []float64) float64 {
+	q.fusedCalls++
+	q.quadratic.Gradient(x, g)
+	return q.quadratic.Value(x)
+}
+
+func TestMaximizePrefersFusedPath(t *testing.T) {
+	q := &fusedQuadratic{quadratic: quadratic{c: []float64{1, -2, 3}}}
+	res, err := Maximize(q, noProjection(), []float64{0, 0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.fusedCalls == 0 {
+		t.Error("ValueGradienter implemented but fused path never taken")
+	}
+	if q.gradCalls != 0 {
+		t.Errorf("split Gradient called %d times despite fused path", q.gradCalls)
+	}
+
+	// The fused path must not change the trajectory: same point, value and
+	// iteration count as the plain-Objective solve, bit for bit.
+	plain, err := Maximize(q.quadratic, noProjection(), []float64{0, 0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != plain.Value || res.Iterations != plain.Iterations {
+		t.Errorf("fused solve (f=%x, it=%d) diverged from split solve (f=%x, it=%d)",
+			res.Value, res.Iterations, plain.Value, plain.Iterations)
+	}
+	for i := range res.X {
+		if res.X[i] != plain.X[i] {
+			t.Errorf("x[%d]: fused %x vs split %x", i, res.X[i], plain.X[i])
+		}
+	}
+}
+
+// TestMaximizeIterationCountsPinned pins the solver's exact iteration counts
+// on fixed instances. The loop-exit restructure (single converged check in
+// place of the old duplicated break) and the fused-evaluation dispatch must
+// not change how many iterations any solve takes; a diff here means the
+// control flow changed, not just the code shape.
+func TestMaximizeIterationCountsPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		obj  Objective
+		proj Projector
+		x0   []float64
+		want int
+	}{
+		{
+			name: "unconstrained quadratic",
+			obj:  quadratic{c: []float64{1, -2, 3}},
+			proj: noProjection(),
+			// One backtrack halves the step to exactly s=1/2, which lands a
+			// quadratic on its maximiser; iteration 1 then sees a zero
+			// gradient and stops.
+			x0:   []float64{0, 0, 0},
+			want: 1,
+		},
+		{
+			name: "capped-simplex constrained",
+			obj:  quadratic{c: []float64{2, 2}},
+			proj: ProjectorFunc(func(x []float64) { ProjectCappedSimplex(x, 1) }),
+			// The first step overshoots and projects onto the simplex
+			// boundary at the optimum; iteration 1's line search cannot move
+			// the projected point, so the stall exit fires.
+			x0:   []float64{0.1, 0.1},
+			want: 1,
+		},
+		{
+			name: "start at optimum",
+			obj:  quadratic{c: []float64{4}},
+			proj: noProjection(),
+			x0:   []float64{4},
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		res, err := Maximize(tc.obj, tc.proj, tc.x0, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Converged {
+			t.Errorf("%s: did not converge", tc.name)
+		}
+		if res.Iterations != tc.want {
+			t.Errorf("%s: %d iterations, want %d (solver control flow changed)",
+				tc.name, res.Iterations, tc.want)
+		}
+	}
+}

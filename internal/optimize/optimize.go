@@ -12,7 +12,7 @@ package optimize
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Objective is a differentiable function to maximise.
@@ -21,6 +21,18 @@ type Objective interface {
 	Value(x []float64) float64
 	// Gradient writes ∇f(x) into grad (len(grad) == len(x)).
 	Gradient(x, grad []float64)
+}
+
+// ValueGradienter is an optional Objective extension: a fused evaluation
+// that returns f(x) while writing ∇f(x) into grad. Objectives whose value
+// and gradient share expensive aggregates (DenseVLC's per-receiver
+// signal/interference sums) implement it so one pass serves both; Maximize
+// detects and prefers it. The returned value must be bit-identical to
+// Value(x) so the line search and the gradient step agree on the incumbent.
+type ValueGradienter interface {
+	Objective
+	// ValueGradient writes ∇f(x) into grad and returns f(x).
+	ValueGradient(x, grad []float64) float64
 }
 
 // Projector maps an arbitrary point onto the feasible set, in place.
@@ -100,10 +112,19 @@ func Maximize(obj Objective, proj Projector, x0 []float64, opts Options) (Result
 	trial := make([]float64, n)
 	step := opts.InitialStep
 
+	// Fused fast path: one pass fills the gradient and refreshes f. The
+	// contract requires ValueGradient(x) == Value(x) bitwise, so the Armijo
+	// comparisons below see exactly the value a separate call would.
+	vg, fused := obj.(ValueGradienter)
+
 	var it int
 	converged := false
 	for it = 0; it < opts.MaxIterations; it++ {
-		obj.Gradient(x, grad)
+		if fused {
+			f = vg.ValueGradient(x, grad)
+		} else {
+			obj.Gradient(x, grad)
+		}
 		gnorm2 := 0.0
 		for _, g := range grad {
 			gnorm2 += g * g
@@ -148,9 +169,11 @@ func Maximize(obj Objective, proj Projector, x0 []float64, opts Options) (Result
 			}
 			s *= opts.Backtrack
 		}
+		// Single exit point: the line search either stalled (no feasible
+		// ascent direction remains) or met the relative-improvement
+		// tolerance; both mean converged.
 		if !improved {
 			converged = true
-			break
 		}
 		if converged {
 			break
@@ -174,14 +197,43 @@ func ProjectNonNegative(x []float64) {
 	}
 }
 
-// ProjectCappedSimplex projects x onto {y : y ≥ 0, Σ y ≤ cap} in place
+// ProjectCappedSimplex projects x onto {y : y ≥ 0, Σ y ≤ capacity} in place
 // (Euclidean projection). If the non-negative part of x already sums to at
-// most cap, only the clamp applies; otherwise the standard simplex
+// most capacity, only the clamp applies; otherwise the standard simplex
 // projection with threshold τ is used: y_i = max(x_i − τ, 0) with τ chosen
-// so Σ y = cap.
-func ProjectCappedSimplex(x []float64, cap float64) {
-	if cap < 0 {
-		cap = 0
+// so Σ y = capacity.
+//
+// Vectors up to stackDim coordinates project without allocating; beyond
+// that a scratch buffer is allocated per call — hot paths with larger
+// vectors should hold a buffer and call ProjectCappedSimplexScratch.
+func ProjectCappedSimplex(x []float64, capacity float64) {
+	var buf [stackDim]float64
+	if len(x) <= len(buf) {
+		ProjectCappedSimplexScratch(x, capacity, buf[:len(x)])
+		return
+	}
+	ProjectCappedSimplexScratch(x, capacity, make([]float64, len(x)))
+}
+
+// stackDim is the widest vector ProjectCappedSimplex handles on the stack
+// and the widest sortDescending insertion-sorts: comfortably above the
+// per-TX simplex dimension of every paper scenario (M = 4 receivers).
+const stackDim = 16
+
+// ProjectCappedSimplexScratch is ProjectCappedSimplex with a caller-owned
+// scratch buffer of at least len(x), so repeated projections (the solver
+// projects every line-search trial) never allocate. scratch is clobbered;
+// it must not alias x. The post-projection coordinate sum is returned so
+// callers folding the projection into a budget computation (DenseVLC's
+// constraint (7) check) need no second pass over x.
+func ProjectCappedSimplexScratch(x []float64, capacity float64, scratch []float64) float64 {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if len(x) == 4 {
+		// The per-TX simplex of every paper scenario (M = 4 receivers):
+		// a fully register-resident projection, no scratch needed.
+		return projectCappedSimplex4(x, capacity)
 	}
 	sum := 0.0
 	for _, v := range x {
@@ -189,29 +241,146 @@ func ProjectCappedSimplex(x []float64, cap float64) {
 			sum += v
 		}
 	}
-	if sum <= cap {
+	if sum <= capacity {
+		// The clamp zeroes exactly the coordinates the sum skipped.
 		ProjectNonNegative(x)
-		return
+		return sum
 	}
 	// Sort a copy descending to find the water-filling threshold.
-	s := append([]float64(nil), x...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	s := scratch[:len(x)]
+	copy(s, x)
+	sortDescending(s)
 	var cum, tau float64
 	for i, v := range s {
 		cum += v
-		t := (cum - cap) / float64(i+1)
+		t := (cum - capacity) / float64(i+1)
 		if i+1 == len(s) || s[i+1] <= t {
 			tau = t
 			break
 		}
 	}
+	out := 0.0
 	for i, v := range x {
 		v -= tau
 		if v < 0 {
 			v = 0
 		}
 		x[i] = v
+		out += v
 	}
+	return out
+}
+
+// projectCappedSimplex4 is the 4-wide capped-simplex projection with the
+// sort replaced by a 5-comparator sorting network and the threshold scan
+// unrolled. Accumulation orders match the generic path exactly, so the
+// result is bit-identical.
+func projectCappedSimplex4(x []float64, capacity float64) float64 {
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	sum := 0.0
+	if x0 > 0 {
+		sum += x0
+	}
+	if x1 > 0 {
+		sum += x1
+	}
+	if x2 > 0 {
+		sum += x2
+	}
+	if x3 > 0 {
+		sum += x3
+	}
+	if sum <= capacity {
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 < 0 {
+			x1 = 0
+		}
+		if x2 < 0 {
+			x2 = 0
+		}
+		if x3 < 0 {
+			x3 = 0
+		}
+		x[0], x[1], x[2], x[3] = x0, x1, x2, x3
+		return sum
+	}
+	// Descending sorting network: (0,1)(2,3)(0,2)(1,3)(1,2).
+	s0, s1, s2, s3 := x0, x1, x2, x3
+	if s0 < s1 {
+		s0, s1 = s1, s0
+	}
+	if s2 < s3 {
+		s2, s3 = s3, s2
+	}
+	if s0 < s2 {
+		s0, s2 = s2, s0
+	}
+	if s1 < s3 {
+		s1, s3 = s3, s1
+	}
+	if s1 < s2 {
+		s1, s2 = s2, s1
+	}
+	// Water-filling threshold scan, unrolled: stop at the first prefix
+	// whose tentative τ the next element no longer exceeds.
+	cum := s0
+	tau := cum - capacity
+	if s1 > tau {
+		cum += s1
+		t := (cum - capacity) / 2
+		if s2 <= t {
+			tau = t
+		} else {
+			cum += s2
+			t = (cum - capacity) / 3
+			if s3 <= t {
+				tau = t
+			} else {
+				cum += s3
+				tau = (cum - capacity) / 4
+			}
+		}
+	}
+	out := 0.0
+	if x0 -= tau; x0 < 0 {
+		x0 = 0
+	}
+	out += x0
+	if x1 -= tau; x1 < 0 {
+		x1 = 0
+	}
+	out += x1
+	if x2 -= tau; x2 < 0 {
+		x2 = 0
+	}
+	out += x2
+	if x3 -= tau; x3 < 0 {
+		x3 = 0
+	}
+	out += x3
+	x[0], x[1], x[2], x[3] = x0, x1, x2, x3
+	return out
+}
+
+// sortDescending sorts s in place without allocating: insertion sort for
+// the small vectors the per-TX projection sees, slices.Sort beyond that.
+func sortDescending(s []float64) {
+	if len(s) <= stackDim {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] < v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		return
+	}
+	slices.Sort(s)
+	slices.Reverse(s)
 }
 
 // RadialScale scales x toward the origin by factor α in place. It restores
