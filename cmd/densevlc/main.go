@@ -6,6 +6,7 @@
 // Usage:
 //
 //	densevlc [-rounds N] [-budget W] [-kappa K] [-speed M/S] [-udp] [-waveform]
+//	         [-chaos PRESET|SPEC] [-failures K] [-chaos-seed N]
 package main
 
 import (
@@ -13,9 +14,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"densevlc/internal/alloc"
+	"densevlc/internal/chaos"
 	"densevlc/internal/clock"
 	"densevlc/internal/mobility"
 	"densevlc/internal/node"
@@ -38,10 +41,34 @@ func main() {
 	waveform := flag.Bool("waveform", false, "run the sample-level PHY data phase (slow)")
 	async := flag.Bool("async", false, "run every node as its own goroutine with timeouts (event-driven, like the distributed prototype)")
 	seed := flag.Int64("seed", 1, "random seed")
+	chaosArg := flag.String("chaos", "", "fault schedule: a preset ("+
+		strings.Join(scenario.ChaosPresetNames(), ", ")+") or a raw spec like \"2:txfail:7;4:rxblock:0:0.1\"")
+	failures := flag.Int("failures", 0, "hard-fail this many random transmitters mid-run (adds to -chaos)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -failures random draw")
 	flag.Parse()
 
 	setup := scenario.Default()
 	rng := stats.NewRand(*seed)
+
+	schedule, err := scenario.ParseChaos(*chaosArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *failures > 0 {
+		at := units.Seconds(float64(*rounds) / 2)
+		killed, chosen := chaos.RandomTXFailures(stats.NewRand(*chaosSeed), at, setup.Grid.N(), *failures)
+		if schedule == nil {
+			schedule = killed
+		} else {
+			for _, e := range killed.Events() {
+				schedule.Add(e)
+			}
+		}
+		fmt.Printf("chaos: failing TXs %v at t=%gs\n", chosen, at.S())
+	}
+	if schedule.Len() > 0 {
+		fmt.Printf("chaos schedule: %s\n", schedule)
+	}
 
 	// Receivers start at the scenario-2 positions and then roam the area
 	// of interest on their gantries.
@@ -68,7 +95,7 @@ func main() {
 		setup.Grid.N(), len(traj), *budget, policy.Name())
 
 	if *async {
-		runAsync(setup, traj, policy, network, units.Watts(*budget), *rounds, *seed)
+		runAsync(setup, traj, policy, network, units.Watts(*budget), *rounds, *seed, schedule)
 		return
 	}
 
@@ -84,6 +111,7 @@ func main() {
 		WaveformPHY:      *waveform,
 		FramesPerRound:   10,
 		Network:          network,
+		Chaos:            schedule,
 		Seed:             *seed,
 	}
 
@@ -104,18 +132,30 @@ func main() {
 				fmt.Printf(" %4.0f%%", 100*p)
 			}
 		}
+		if len(r.FailedTXs) > 0 {
+			fmt.Printf("  dark TXs %v", r.FailedTXs)
+		}
 		fmt.Println()
 	}
+	printTrace(res.Trace)
 	fmt.Printf("\nmean system throughput %.2f Mb/s at %.2f W communication power\n",
 		res.MeanSystemThroughput.Bps()/1e6, res.MeanCommPower)
 	os.Exit(0)
+}
+
+// printTrace reports the applied chaos events, if any.
+func printTrace(tr *chaos.Trace) {
+	if tr == nil || tr.Len() == 0 {
+		return
+	}
+	fmt.Printf("\nchaos trace (%d events applied):\n%s", tr.Len(), tr.Bytes())
 }
 
 // runAsync executes the event-driven runtime: every transmitter and
 // receiver is its own goroutine reacting to the frames it receives, the
 // controller works with timeouts — the distributed prototype's shape.
 func runAsync(setup scenario.Setup, traj []mobility.Trajectory, policy alloc.Policy,
-	network transport.Network, budget units.Watts, rounds int, seed int64) {
+	network transport.Network, budget units.Watts, rounds int, seed int64, schedule *chaos.Schedule) {
 
 	res, err := node.Run(node.Config{
 		Setup:            setup,
@@ -130,13 +170,19 @@ func runAsync(setup scenario.Setup, traj []mobility.Trajectory, policy alloc.Pol
 		MeasurementNoise: 0.02,
 		Seed:             seed,
 		Timeout:          time.Duration(rounds+5) * 10 * time.Second,
+		Chaos:            schedule,
 	})
 	if err != nil {
 		log.Fatalf("async run: %v", err)
 	}
 	for _, r := range res.Rounds {
-		fmt.Printf("round %2d  reports ok %-5v  active TXs %2d  sent %2d  delivered %2d  retried %d  failed %d  system %6.2f Mb/s\n",
-			r.Round, r.ReportsOK, r.ActiveTXs, r.FramesSent, r.FramesAckd, r.Retransmits, r.FramesFailed, r.SystemThroughput.Bps()/1e6)
+		fmt.Printf("round %2d  reports ok %-5v  active TXs %2d  sent %2d  delivered %2d  retried %d  failed %d",
+			r.Round, r.ReportsOK, r.ActiveTXs, r.FramesSent, r.FramesAckd, r.Retransmits, r.FramesFailed)
+		if r.DeadTXs > 0 || r.StarvedRXs > 0 {
+			fmt.Printf("  dead TXs %d  starved RXs %d", r.DeadTXs, r.StarvedRXs)
+		}
+		fmt.Printf("  system %6.2f Mb/s\n", r.SystemThroughput.Bps()/1e6)
 	}
+	printTrace(res.Trace)
 	fmt.Printf("\n%d application payloads delivered end to end\n", res.Delivered)
 }

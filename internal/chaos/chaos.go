@@ -1,0 +1,296 @@
+// Package chaos is DenseVLC's deterministic fault-injection subsystem: a
+// seedable schedule of timed fault events — transmitter hard failures and
+// recoveries (flapping), per-receiver LOS blockage, clock offset steps — that
+// an injector replays against a running simulation, recording every applied
+// event into an append-only trace whose bytes are reproducible from the seed
+// and schedule alone.
+//
+// The paper's core promise is graceful degradation: because every receiver
+// is served by many distributed transmitters, losing an LED or shadowing a
+// photodiode should cost throughput smoothly, not drop a user (Sec. 6). This
+// package supplies the controlled failures that promise is tested against.
+//
+// Determinism rules (see DESIGN.md "Fault model and recovery"):
+//
+//   - Events carry virtual times and fire at round boundaries, when the
+//     engine advances its virtual clock — never on wall-clock timers. The
+//     applied-event trace is therefore identical run-to-run even in the
+//     asynchronous goroutine-per-node runtime.
+//   - The schedule is sorted by time with insertion order breaking ties, so
+//     simultaneous events apply in a fixed order.
+//   - Random schedules (RandomTXFailures) draw from a caller-seeded stream
+//     and never from global state.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"densevlc/internal/units"
+)
+
+// Kind identifies a fault-event type.
+type Kind int
+
+// The event taxonomy.
+const (
+	// KindTXFail hard-fails a transmitter: its LED goes dark — no pilot
+	// energy, no data contribution, no interference.
+	KindTXFail Kind = iota
+	// KindTXRecover returns a failed transmitter to service.
+	KindTXRecover
+	// KindRXBlock attenuates every LOS path into one receiver (an opaque
+	// object shadowing the photodiode). Value is the retained gain
+	// fraction in [0, 1]; 0 is full blockage.
+	KindRXBlock
+	// KindRXUnblock clears a receiver's blockage (retained fraction 1).
+	KindRXUnblock
+	// KindClockStep steps a transmitter's trigger clock by Value seconds —
+	// the oscillator fault that de-synchronises one beamspot member.
+	KindClockStep
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTXFail:
+		return "txfail"
+	case KindTXRecover:
+		return "txrecover"
+	case KindRXBlock:
+		return "rxblock"
+	case KindRXUnblock:
+		return "rxunblock"
+	case KindClockStep:
+		return "clockstep"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// parseKind is the inverse of String for the schedule spec grammar.
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "txfail":
+		return KindTXFail, nil
+	case "txrecover":
+		return KindTXRecover, nil
+	case "rxblock":
+		return KindRXBlock, nil
+	case "rxunblock":
+		return KindRXUnblock, nil
+	case "clockstep":
+		return KindClockStep, nil
+	}
+	return 0, fmt.Errorf("chaos: unknown event kind %q", s)
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the virtual time the event fires (it applies at the first
+	// round boundary with time >= At).
+	At units.Seconds
+	// Kind selects the fault.
+	Kind Kind
+	// Target is the TX index (fail/recover/clockstep) or RX index
+	// (block/unblock).
+	Target int
+	// Value is the kind-specific magnitude: retained gain fraction for
+	// KindRXBlock, step seconds for KindClockStep, unused otherwise.
+	Value float64
+}
+
+// String renders the event in the spec grammar: "at:kind:target[:value]".
+func (e Event) String() string {
+	switch e.Kind {
+	case KindRXBlock, KindClockStep:
+		return fmt.Sprintf("%g:%s:%d:%g", e.At.S(), e.Kind, e.Target, e.Value)
+	default:
+		return fmt.Sprintf("%g:%s:%d", e.At.S(), e.Kind, e.Target)
+	}
+}
+
+// Schedule is an ordered fault plan. Build one with the fluent methods or
+// Parse, then hand it to an Injector (or node.Config / sim.Config, which do
+// so internally).
+type Schedule struct {
+	events []Event
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Add appends an event. Ordering is normalised lazily: Events sorts by time
+// with insertion order breaking ties, so callers may add out of order.
+func (s *Schedule) Add(e Event) *Schedule {
+	s.events = append(s.events, e)
+	return s
+}
+
+// TXFail schedules a transmitter hard failure.
+func (s *Schedule) TXFail(at units.Seconds, tx int) *Schedule {
+	return s.Add(Event{At: at, Kind: KindTXFail, Target: tx})
+}
+
+// TXRecover schedules a transmitter recovery.
+func (s *Schedule) TXRecover(at units.Seconds, tx int) *Schedule {
+	return s.Add(Event{At: at, Kind: KindTXRecover, Target: tx})
+}
+
+// TXFlap schedules count fail/recover pairs for tx starting at 'at', the
+// transmitter spending 'down' seconds dark out of every 'period'.
+func (s *Schedule) TXFlap(at units.Seconds, tx int, down, period units.Seconds, count int) *Schedule {
+	for i := 0; i < count; i++ {
+		t0 := units.Seconds(at.S() + float64(i)*period.S())
+		s.TXFail(t0, tx)
+		s.TXRecover(units.Seconds(t0.S()+down.S()), tx)
+	}
+	return s
+}
+
+// RXBlock schedules a blockage over receiver rx retaining the given gain
+// fraction (0 = opaque).
+func (s *Schedule) RXBlock(at units.Seconds, rx int, keep float64) *Schedule {
+	return s.Add(Event{At: at, Kind: KindRXBlock, Target: rx, Value: keep})
+}
+
+// RXUnblock schedules the blockage clearing.
+func (s *Schedule) RXUnblock(at units.Seconds, rx int) *Schedule {
+	return s.Add(Event{At: at, Kind: KindRXUnblock, Target: rx})
+}
+
+// ClockStep schedules a trigger-clock step of delta on tx.
+func (s *Schedule) ClockStep(at units.Seconds, tx int, delta units.Seconds) *Schedule {
+	return s.Add(Event{At: at, Kind: KindClockStep, Target: tx, Value: delta.S()})
+}
+
+// Events returns the normalised event order: ascending time, insertion order
+// breaking ties. The returned slice is a copy.
+func (s *Schedule) Events() []Event {
+	out := append([]Event(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Validate checks every event against a deployment of n transmitters and m
+// receivers. A nil schedule is valid (no faults).
+func (s *Schedule) Validate(n, m int) error {
+	if s == nil {
+		return nil
+	}
+	for _, e := range s.events {
+		if e.At < 0 {
+			return fmt.Errorf("chaos: event %v scheduled before t=0", e)
+		}
+		switch e.Kind {
+		case KindTXFail, KindTXRecover, KindClockStep:
+			if e.Target < 0 || e.Target >= n {
+				return fmt.Errorf("chaos: event %v targets TX out of range [0,%d)", e, n)
+			}
+		case KindRXBlock, KindRXUnblock:
+			if e.Target < 0 || e.Target >= m {
+				return fmt.Errorf("chaos: event %v targets RX out of range [0,%d)", e, m)
+			}
+			if e.Kind == KindRXBlock && (e.Value < 0 || e.Value > 1) {
+				return fmt.Errorf("chaos: event %v retained fraction outside [0,1]", e)
+			}
+		default:
+			return fmt.Errorf("chaos: event %v has unknown kind", e)
+		}
+	}
+	return nil
+}
+
+// String renders the schedule in the spec grammar, events separated by ';'.
+func (s *Schedule) String() string {
+	evs := s.Events()
+	parts := make([]string, len(evs))
+	for i, e := range evs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a schedule from a spec string: ';'-separated events, each
+// "at:kind:target[:value]" with at in seconds. Kinds: txfail, txrecover,
+// rxblock (value = retained gain fraction), rxunblock, clockstep (value =
+// step seconds). Example:
+//
+//	"2:txfail:7;2:txfail:9;4:rxblock:0:0.1;6:rxunblock:0"
+//
+// An empty spec parses to an empty schedule.
+func Parse(spec string) (*Schedule, error) {
+	s := NewSchedule()
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("chaos: event %q: want at:kind:target[:value]", part)
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: event %q: bad time: %w", part, err)
+		}
+		kind, err := parseKind(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		target, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: event %q: bad target: %w", part, err)
+		}
+		e := Event{At: units.Seconds(at), Kind: kind, Target: target}
+		switch kind {
+		case KindRXBlock, KindClockStep:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("chaos: event %q: %s needs a value field", part, kind)
+			}
+			v, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: event %q: bad value: %w", part, err)
+			}
+			e.Value = v
+		default:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("chaos: event %q: %s takes no value field", part, kind)
+			}
+		}
+		s.Add(e)
+	}
+	return s, nil
+}
+
+// RandomTXFailures schedules the simultaneous hard failure of k distinct
+// transmitters out of n, drawn from the seeded stream — the "kill k random
+// LEDs" workload of the resilience studies. The chosen indices are returned
+// in failing order.
+func RandomTXFailures(rng *rand.Rand, at units.Seconds, n, k int) (*Schedule, []int) {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	chosen := append([]int(nil), perm[:k]...)
+	s := NewSchedule()
+	for _, tx := range chosen {
+		s.TXFail(at, tx)
+	}
+	return s, chosen
+}

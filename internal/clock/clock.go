@@ -60,6 +60,16 @@ func (c *Clock) Discipline(rng *rand.Rand, residualStd units.Seconds) {
 	c.Offset = units.Seconds(residualStd.S() * rng.NormFloat64())
 }
 
+// Step applies an abrupt timing fault to the oscillator: the offset jumps by
+// delta and the frequency error by driftPPM. This is the chaos layer's clock
+// event (package chaos, KindClockStep) — a BeagleBone whose NTP discipline
+// glitches or whose crystal shifts with temperature steps exactly like this,
+// and the beamspot it leads loses symbol alignment until re-synchronised.
+func (c *Clock) Step(delta units.Seconds, driftPPM float64) {
+	c.Offset += delta
+	c.DriftPPM += driftPPM
+}
+
 // Method identifies a synchronisation scheme of the paper's comparison.
 type Method int
 

@@ -52,6 +52,24 @@ func TestDiscipline(t *testing.T) {
 	}
 }
 
+func TestStep(t *testing.T) {
+	c := Clock{Offset: 1e-6, DriftPPM: 5}
+	c.Step(3e-6, -2)
+	if c.Offset != 4e-6 || c.DriftPPM != 3 {
+		t.Errorf("after step: offset=%v drift=%v", c.Offset, c.DriftPPM)
+	}
+	// A stepped clock reads local time consistently with its new state.
+	want := Clock{Offset: 4e-6, DriftPPM: 3}.LocalTime(10)
+	if got := c.LocalTime(10); got != want {
+		t.Errorf("LocalTime after step = %v, want %v", got, want)
+	}
+	// Steps compose additively.
+	c.Step(-4e-6, -3)
+	if c.Offset != 0 || c.DriftPPM != 0 {
+		t.Errorf("steps did not compose: offset=%v drift=%v", c.Offset, c.DriftPPM)
+	}
+}
+
 func TestTable4NoSyncMedian(t *testing.T) {
 	// Table 4: 10.040 µs median at 100 Ksymbols/s without synchronisation.
 	rng := stats.NewRand(3)

@@ -39,6 +39,7 @@ func All() []Generator {
 		{"adaptation", MobilityStudy},
 		{"nlosrobustness", SyncRobustness},
 		{"blockage", BlockageAblation},
+		{"resilience", Resilience},
 		{"adaptivekappa", AdaptiveKappaStudy},
 		{"orientation", RXOrientationStudy},
 	}

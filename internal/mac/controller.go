@@ -25,11 +25,57 @@ type Controller struct {
 	Params channel.Params
 	LED    led.Model
 
+	// DeadAfterEpochs is the number of consecutive all-zero-gain control
+	// epochs after which a transmitter that once carried signal is
+	// declared dead (default 2: one epoch marks it stale, the next kills
+	// it). Exclusion from the allocation is immediate either way — a
+	// zero-gain transmitter earns no swing — so recovery completes within
+	// one control epoch; the state machine exists so operators and tests
+	// can distinguish a blip from a hard failure, and so dead rows stay
+	// excluded even if later reports go missing.
+	DeadAfterEpochs int
+
 	gains   [][]float64 // gains[tx][rx], latest reports
 	fresh   []bool      // fresh[rx]: a report arrived since last Reallocate
 	seq     uint16
 	acked   map[uint16]bool
 	current Plan
+
+	// Link-health tracking (fault detection, Sec. 6 resilience).
+	txEverSeen   []bool      // TX reported positive gain at least once
+	txZeroEpochs []int       // consecutive epochs with zero gain everywhere
+	txState      []LinkState // current classification
+}
+
+// LinkState classifies the controller's view of one transmitter's link.
+type LinkState int
+
+// The detection states. Transitions happen at Reallocate time, the
+// controller's epoch boundary, from the epoch's pilot reports.
+const (
+	// LinkHealthy: the transmitter carried positive gain to some receiver
+	// in the latest epoch (or has not yet been measured).
+	LinkHealthy LinkState = iota
+	// LinkStale: a previously-seen transmitter reported zero gain to every
+	// receiver this epoch — a candidate failure awaiting confirmation.
+	LinkStale
+	// LinkDead: zero gain everywhere for DeadAfterEpochs consecutive
+	// epochs. The controller zeroes the row until fresh evidence returns.
+	LinkDead
+)
+
+// String implements fmt.Stringer.
+func (s LinkState) String() string {
+	switch s {
+	case LinkHealthy:
+		return "healthy"
+	case LinkStale:
+		return "stale"
+	case LinkDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("LinkState(%d)", int(s))
+	}
 }
 
 // Plan is the controller's current operating decision.
@@ -54,9 +100,13 @@ func NewController(n, m int, policy alloc.Policy, budget units.Watts, params cha
 		N: n, M: m,
 		Policy: policy, Budget: budget,
 		Params: params, LED: ledModel,
-		gains: g,
-		fresh: make([]bool, m),
-		acked: make(map[uint16]bool),
+		DeadAfterEpochs: 2,
+		gains:           g,
+		fresh:           make([]bool, m),
+		acked:           make(map[uint16]bool),
+		txEverSeen:      make([]bool, n),
+		txZeroEpochs:    make([]int, n),
+		txState:         make([]LinkState, n),
 	}
 }
 
@@ -107,19 +157,102 @@ func (c *Controller) HaveFreshReports() bool {
 func (c *Controller) Acked(seq uint16) bool { return c.acked[seq] }
 
 // Env snapshots the controller's current channel knowledge as an
-// allocation environment.
+// allocation environment. Rows of transmitters the health tracker has
+// declared dead are zeroed, so a stale (pre-failure) report can never earn a
+// dead transmitter swing.
 func (c *Controller) Env() *alloc.Env {
 	h := channel.NewMatrix(c.N, c.M)
 	for j := 0; j < c.N; j++ {
+		if c.txState[j] == LinkDead {
+			continue // leave the row zero
+		}
 		copy(h.H[j], c.gains[j])
 	}
 	return &alloc.Env{Params: c.Params, H: h, LED: c.LED}
 }
 
+// updateHealth advances the link-state machine from the epoch's reports. It
+// only runs when at least one receiver reported this epoch — no reports
+// means no evidence, and a transmitter must not die of the controller's own
+// deafness.
+func (c *Controller) updateHealth() {
+	anyFresh := false
+	for _, f := range c.fresh {
+		if f {
+			anyFresh = true
+			break
+		}
+	}
+	if !anyFresh {
+		return
+	}
+	deadAfter := c.DeadAfterEpochs
+	if deadAfter <= 0 {
+		deadAfter = 2
+	}
+	for j := 0; j < c.N; j++ {
+		maxG := 0.0
+		for i := 0; i < c.M; i++ {
+			if c.gains[j][i] > maxG {
+				maxG = c.gains[j][i]
+			}
+		}
+		if maxG > 0 {
+			c.txEverSeen[j] = true
+			c.txZeroEpochs[j] = 0
+			c.txState[j] = LinkHealthy
+			continue
+		}
+		if !c.txEverSeen[j] {
+			continue // never measured: withhold judgement
+		}
+		c.txZeroEpochs[j]++
+		if c.txZeroEpochs[j] >= deadAfter {
+			c.txState[j] = LinkDead
+		} else {
+			c.txState[j] = LinkStale
+		}
+	}
+}
+
+// TXState returns the health classification of transmitter tx.
+func (c *Controller) TXState(tx int) LinkState {
+	if tx < 0 || tx >= c.N {
+		return LinkHealthy
+	}
+	return c.txState[tx]
+}
+
+// DeadTXs returns the transmitters currently classified dead, in index
+// order.
+func (c *Controller) DeadTXs() []int {
+	var out []int
+	for j, s := range c.txState {
+		if s == LinkDead {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// UnhealthyTXs returns the transmitters currently classified stale or dead,
+// in index order.
+func (c *Controller) UnhealthyTXs() []int {
+	var out []int
+	for j, s := range c.txState {
+		if s != LinkHealthy {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
 // Reallocate runs the decision logic on the latest reports and returns the
 // new plan. It clears the freshness flags so the next round's reports can
-// be awaited.
+// be awaited. Link health advances first, so this epoch's failures are
+// excluded from this epoch's plan — detection-to-recovery is one epoch.
 func (c *Controller) Reallocate() (Plan, error) {
+	c.updateHealth()
 	env := c.Env()
 	swings, err := c.Policy.Allocate(env, c.Budget)
 	if err != nil {

@@ -54,6 +54,15 @@ type Hub struct {
 	serves    []int           // RX served per TX (-1 = none)
 	leader    []bool          // leader flag per TX
 
+	// Fault state, driven by the chaos injector (the hub implements
+	// chaos.Target). A failed TX's LED is dark: zero pilot energy, zero
+	// data contribution, zero interference. rxKeep scales every LOS gain
+	// into a receiver (1 = clear, 0 = opaque blockage). clockSkew adds to
+	// a transmitter's trigger offset in the data phase.
+	txFailed  []bool
+	rxKeep    []float64
+	clockSkew []units.Seconds
+
 	pilotCh []chan PilotEvent
 	rxCh    []chan Reception
 
@@ -90,9 +99,15 @@ func NewHub(setup scenario.Setup, traj []mobility.Trajectory, blocker channel.Bl
 		pending:   map[uint16]*airFrame{},
 		noise:     units.Amperes(math.Sqrt(setup.Params.NoisePower().A2())),
 		meas:      measurementNoise,
+		txFailed:  make([]bool, n),
+		rxKeep:    make([]float64, m),
+		clockSkew: make([]units.Seconds, n),
 	}
 	for j := range hub.serves {
 		hub.serves[j] = -1
+	}
+	for i := range hub.rxKeep {
+		hub.rxKeep[i] = 1
 	}
 	for i := 0; i < m; i++ {
 		hub.pilotCh[i] = make(chan PilotEvent, 2*n)
@@ -104,6 +119,74 @@ func NewHub(setup scenario.Setup, traj []mobility.Trajectory, blocker channel.Bl
 
 // Setup returns the deployment the hub models.
 func (h *Hub) Setup() scenario.Setup { return h.setup }
+
+// gainLocked returns the faulted channel gain from tx to rx: zero when the
+// transmitter's LED is dark, attenuated when the receiver is shadowed.
+// Callers hold h.mu.
+func (h *Hub) gainLocked(tx, rx int) float64 {
+	if h.txFailed[tx] {
+		return 0
+	}
+	return h.h.Gain(tx, rx) * h.rxKeep[rx]
+}
+
+// FailTX implements chaos.Target: transmitter tx's LED goes dark.
+func (h *Hub) FailTX(tx int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if tx >= 0 && tx < len(h.txFailed) {
+		h.txFailed[tx] = true
+	}
+}
+
+// RecoverTX implements chaos.Target: transmitter tx returns to service.
+func (h *Hub) RecoverTX(tx int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if tx >= 0 && tx < len(h.txFailed) {
+		h.txFailed[tx] = false
+	}
+}
+
+// SetRXAttenuation implements chaos.Target: every LOS gain into rx is scaled
+// by keep (clamped to [0, 1]).
+func (h *Hub) SetRXAttenuation(rx int, keep float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if rx < 0 || rx >= len(h.rxKeep) {
+		return
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > 1 {
+		keep = 1
+	}
+	h.rxKeep[rx] = keep
+}
+
+// SkewClock implements chaos.Target: transmitter tx's trigger clock steps by
+// delta, de-synchronising it from its beamspot.
+func (h *Hub) SkewClock(tx int, delta units.Seconds) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if tx >= 0 && tx < len(h.clockSkew) {
+		h.clockSkew[tx] += delta
+	}
+}
+
+// FailedTXs returns the currently dark transmitters in index order.
+func (h *Hub) FailedTXs() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []int
+	for j, f := range h.txFailed {
+		if f {
+			out = append(out, j)
+		}
+	}
+	return out
+}
 
 // PilotEvents returns receiver i's pilot-measurement stream.
 func (h *Hub) PilotEvents(i int) <-chan PilotEvent { return h.pilotCh[i] }
@@ -152,7 +235,15 @@ func (h *Hub) Snapshot() (*channel.Matrix, channel.Swings) {
 			s[j][rx] = h.swings[j]
 		}
 	}
-	return h.h.Clone(), s
+	// The snapshot reflects the faulted medium: metrics score the commanded
+	// allocation against what the photodiodes can actually receive.
+	m := h.h.Clone()
+	for j := 0; j < m.N; j++ {
+		for i := 0; i < m.M; i++ {
+			m.H[j][i] = h.gainLocked(j, i)
+		}
+	}
+	return m, s
 }
 
 // Configure records one transmitter's current command (called by TX
@@ -174,7 +265,7 @@ func (h *Hub) Pilot(tx int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.pilotCh {
-		g := h.h.Gain(tx, i)
+		g := h.gainLocked(tx, i)
 		if h.meas > 0 {
 			g *= 1 + h.meas*h.rng.NormFloat64()
 		}
@@ -234,16 +325,18 @@ func (h *Hub) deliver(af *airFrame) {
 	var txs []phy.TXSignal
 	for _, tx := range af.txs {
 		half := h.swings[tx].A() / 2
-		amp := units.Amperes(scale * h.h.Gain(tx, af.rx) * half * half)
-		var off units.Seconds
+		amp := units.Amperes(scale * h.gainLocked(tx, af.rx) * half * half)
+		// A chaos clock step shifts this board's trigger even when the
+		// synchronisation method would otherwise align it.
+		off := h.clockSkew[tx]
 		if !h.leader[tx] {
 			switch h.sync {
 			case clock.MethodNLOSVLC:
-				off = units.Seconds(1.2e-6 * h.rng.Float64())
+				off += units.Seconds(1.2e-6 * h.rng.Float64())
 			case clock.MethodNTPPTP:
-				off = units.Seconds(math.Abs(clock.TriggerError(h.rng, clock.MethodNTPPTP, 100e3).S()))
+				off += units.Seconds(math.Abs(clock.TriggerError(h.rng, clock.MethodNTPPTP, 100e3).S()))
 			default:
-				off = units.Seconds(20e-3 * h.rng.Float64())
+				off += units.Seconds(20e-3 * h.rng.Float64())
 			}
 		}
 		txs = append(txs, phy.TXSignal{
@@ -253,13 +346,14 @@ func (h *Hub) deliver(af *airFrame) {
 			ClockPPM:   40*h.rng.Float64() - 20,
 		})
 	}
-	// Interference from other beamspots currently communicating.
+	// Interference from other beamspots currently communicating. Dark
+	// (failed) transmitters radiate nothing, so gainLocked removes them.
 	for j, rxServed := range h.serves {
 		if rxServed < 0 || rxServed == af.rx || h.swings[j] <= 0 {
 			continue
 		}
 		half := h.swings[j].A() / 2
-		amp := units.Amperes(scale * h.h.Gain(j, af.rx) * half * half)
+		amp := units.Amperes(scale * h.gainLocked(j, af.rx) * half * half)
 		if amp > 0 {
 			txs = append(txs, phy.TXSignal{
 				Amplitude:  amp,

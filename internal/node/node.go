@@ -7,11 +7,20 @@ import (
 	"time"
 
 	"densevlc/internal/alloc"
+	"densevlc/internal/chaos"
 	"densevlc/internal/frame"
 	"densevlc/internal/mac"
 	"densevlc/internal/transport"
 	"densevlc/internal/units"
 )
+
+// Delivery is one application payload handed to a receiver, tagged with the
+// receiver so conformance tests can compare per-RX goodput against the
+// allocator's predictions.
+type Delivery struct {
+	RX      int
+	Payload []byte
+}
 
 // RunTX is a transmitter node's event loop: it consumes controller frames
 // from its link, keeps its MAC state, and acts on the medium. It returns
@@ -49,7 +58,7 @@ func RunTX(ctx context.Context, id int, link transport.NodeLink, hub *Hub) error
 // RunRX is a receiver node's event loop: it assembles channel reports from
 // pilot events and acknowledges decoded data frames. Payloads are delivered
 // to out (if non-nil).
-func RunRX(ctx context.Context, id, numTX int, link transport.NodeLink, hub *Hub, out chan<- []byte) error {
+func RunRX(ctx context.Context, id, numTX int, link transport.NodeLink, hub *Hub, out chan<- Delivery) error {
 	n := mac.NewRXNode(id, numTX)
 	for {
 		select {
@@ -88,7 +97,7 @@ func RunRX(ctx context.Context, id, numTX int, link transport.NodeLink, hub *Hub
 			// exactly once.
 			if out != nil && payload != nil {
 				select {
-				case out <- payload:
+				case out <- Delivery{RX: id, Payload: payload}:
 				default:
 				}
 			}
@@ -121,6 +130,10 @@ type ControllerConfig struct {
 	// AckTimeout bounds the wait for data acknowledgements per attempt
 	// pass.
 	AckTimeout time.Duration
+	// Injector optionally replays a chaos fault schedule against the hub
+	// at round boundaries (virtual time), keeping the applied-event trace
+	// deterministic even in this asynchronous runtime.
+	Injector *chaos.Injector
 }
 
 func (c *ControllerConfig) defaults() {
@@ -155,6 +168,15 @@ type RoundStats struct {
 	// FramesFailed counts frames that exhausted their attempt budget.
 	FramesFailed int
 	ActiveTXs    int
+	// ChaosEvents counts fault events injected at this round's boundary.
+	ChaosEvents int
+	// DeadTXs is the number of transmitters the controller's link-health
+	// tracker classifies dead after this round's reallocation.
+	DeadTXs int
+	// StarvedRXs counts receivers left without any serving transmitter by
+	// this round's plan — the paper's graceful-degradation promise is that
+	// this stays zero while transmitters remain to serve everyone.
+	StarvedRXs int
 	// SystemThroughput is the analytic Eq. 12 score of the commanded
 	// allocation against the true channel at round time.
 	SystemThroughput units.BitsPerSecond
@@ -174,7 +196,16 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		hub.AdvanceTime(units.Seconds(float64(round) * cfg.RoundDuration.S()))
+		t := units.Seconds(float64(round) * cfg.RoundDuration.S())
+		hub.AdvanceTime(t)
+
+		// Fault injection happens at the round boundary, before the pilot
+		// phase, so this epoch's measurements already see the faults and
+		// this epoch's reallocation recovers from them.
+		chaosEvents := 0
+		if cfg.Injector != nil {
+			chaosEvents = cfg.Injector.Apply(round, t, hub)
+		}
 
 		// Measurement phase: one pilot slot per TX.
 		for j := 0; j < cfg.N; j++ {
@@ -211,12 +242,18 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 				_ = ctrl.HandleUplink(m) // stale/garbled reports are dropped
 			}
 		}
-		rs := RoundStats{Round: round, ReportsOK: ctrl.HaveFreshReports()}
+		rs := RoundStats{Round: round, ReportsOK: ctrl.HaveFreshReports(), ChaosEvents: chaosEvents}
 
 		// Decision phase.
 		plan, err := ctrl.Reallocate()
 		if err != nil {
 			return out, err
+		}
+		rs.DeadTXs = len(ctrl.DeadTXs())
+		for _, txs := range plan.ServedBy {
+			if len(txs) == 0 {
+				rs.StarvedRXs++
+			}
 		}
 		af, err := ctrl.AllocationFrame(plan)
 		if err != nil {

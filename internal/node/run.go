@@ -9,6 +9,7 @@ import (
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/channel"
+	"densevlc/internal/chaos"
 	"densevlc/internal/clock"
 	"densevlc/internal/mac"
 	"densevlc/internal/mobility"
@@ -37,6 +38,9 @@ type Config struct {
 	Seed             int64
 	// Timeout bounds the whole run (zero: 60 s).
 	Timeout time.Duration
+	// Chaos optionally schedules fault events (TX failures, blockage,
+	// clock steps) replayed against the hub at round boundaries.
+	Chaos *chaos.Schedule
 }
 
 // Result is the outcome of an asynchronous run.
@@ -44,6 +48,11 @@ type Result struct {
 	Rounds []RoundStats
 	// Delivered counts application payloads handed to receivers.
 	Delivered int
+	// DeliveredPerRX breaks Delivered down by receiver.
+	DeliveredPerRX []int
+	// Trace records the chaos events applied during the run (empty without
+	// a schedule). Its bytes are deterministic for a given seed+schedule.
+	Trace *chaos.Trace
 }
 
 // Run spawns the controller, every transmitter and every receiver as
@@ -61,6 +70,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	n := cfg.Setup.Grid.N()
 	m := len(cfg.Trajectories)
+	if err := cfg.Chaos.Validate(n, m); err != nil {
+		return nil, err
+	}
 
 	net := cfg.Network
 	if net == nil {
@@ -99,7 +111,7 @@ func Run(cfg Config) (*Result, error) {
 		spawn(func() error { return RunTX(ctx, id, link, hub) })
 	}
 
-	delivered := make(chan []byte, 1024)
+	delivered := make(chan Delivery, 1024)
 	for i := 0; i < m; i++ {
 		link, err := net.NewNode()
 		if err != nil {
@@ -112,11 +124,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	ctrl := mac.NewController(n, m, cfg.Policy, cfg.Budget, cfg.Setup.Params, cfg.Setup.LED)
+	injector := chaos.NewInjector(cfg.Chaos)
 	rounds, runErr := RunController(ctx, net.Controller(), hub, ctrl, ControllerConfig{
 		N: n, M: m,
 		Rounds:        cfg.Rounds,
 		RoundDuration: cfg.RoundDuration,
 		FramesPerRX:   cfg.FramesPerRX,
+		Injector:      injector,
 	})
 
 	// Stop the node goroutines and collect.
@@ -124,9 +138,12 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	close(delivered)
 
-	res := &Result{Rounds: rounds}
-	for range delivered {
+	res := &Result{Rounds: rounds, DeliveredPerRX: make([]int, m), Trace: injector.Trace()}
+	for d := range delivered {
 		res.Delivered++
+		if d.RX >= 0 && d.RX < m {
+			res.DeliveredPerRX[d.RX]++
+		}
 	}
 	if runErr != nil && !errors.Is(runErr, context.Canceled) {
 		return res, runErr

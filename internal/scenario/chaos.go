@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"densevlc/internal/chaos"
+)
+
+// Chaos presets: named fault schedules sized for the Default deployment
+// (36 transmitters, 4 receivers, 1 s rounds). They exercise the paper's
+// graceful-degradation promise in stereotyped ways so the CLI, smoke tests
+// and docs all speak the same vocabulary.
+//
+//   - "tx-blackout": every anchor transmitter (the TX each Fig. 6 receiver
+//     clusters around) hard-fails at t=2 s and stays dark — the worst-case
+//     "best server lost" workload.
+//   - "tx-flap": anchor TX8 (index 7) flaps three times from t=2 s, one
+//     second dark out of every two — exercises fail→recover churn.
+//   - "rx-shadow": an opaque object shadows RX1 from t=2 s (10% of light
+//     retained) and clears at t=6 s.
+//   - "clock-skew": two anchor transmitters' trigger clocks step apart by
+//     ±5 µs at t=2 s — the oscillator fault that de-synchronises beamspot
+//     members.
+var chaosPresets = map[string]func() *chaos.Schedule{
+	"tx-blackout": func() *chaos.Schedule {
+		s := chaos.NewSchedule()
+		for _, tx := range AnchorTXs {
+			s.TXFail(2, tx)
+		}
+		return s
+	},
+	"tx-flap": func() *chaos.Schedule {
+		return chaos.NewSchedule().TXFlap(2, AnchorTXs[0], 1, 2, 3)
+	},
+	"rx-shadow": func() *chaos.Schedule {
+		return chaos.NewSchedule().RXBlock(2, 0, 0.1).RXUnblock(6, 0)
+	},
+	"clock-skew": func() *chaos.Schedule {
+		return chaos.NewSchedule().
+			ClockStep(2, AnchorTXs[1], 5e-6).
+			ClockStep(2, AnchorTXs[2], -5e-6)
+	},
+}
+
+// ChaosPresetNames lists the available presets in sorted order.
+func ChaosPresetNames() []string {
+	names := make([]string, 0, len(chaosPresets))
+	for name := range chaosPresets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosPreset returns the named preset schedule, or false if the name is
+// unknown. Each call builds a fresh schedule, so callers may extend it.
+func ChaosPreset(name string) (*chaos.Schedule, bool) {
+	build, ok := chaosPresets[name]
+	if !ok {
+		return nil, false
+	}
+	return build(), true
+}
+
+// ParseChaos resolves a CLI-style chaos argument: a preset name
+// (ChaosPresetNames) or a raw schedule spec in the chaos.Parse grammar.
+// An empty string means no faults (nil schedule).
+func ParseChaos(arg string) (*chaos.Schedule, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return nil, nil
+	}
+	if s, ok := ChaosPreset(arg); ok {
+		return s, nil
+	}
+	s, err := chaos.Parse(arg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %q is neither a chaos preset (%s) nor a valid schedule spec: %w",
+			arg, strings.Join(ChaosPresetNames(), ", "), err)
+	}
+	return s, nil
+}

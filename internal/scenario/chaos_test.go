@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every preset must validate against the Default deployment it is sized for.
+func TestChaosPresetsValidate(t *testing.T) {
+	setup := Default()
+	n := setup.Grid.N()
+	m := len(Scenario2.RXPositions())
+	for _, name := range ChaosPresetNames() {
+		s, ok := ChaosPreset(name)
+		if !ok {
+			t.Fatalf("ChaosPreset(%q) missing", name)
+		}
+		if s.Len() == 0 {
+			t.Errorf("preset %q is empty", name)
+		}
+		if err := s.Validate(n, m); err != nil {
+			t.Errorf("preset %q invalid for %d TX / %d RX: %v", name, n, m, err)
+		}
+	}
+}
+
+func TestChaosPresetsFresh(t *testing.T) {
+	a, _ := ChaosPreset("tx-blackout")
+	b, _ := ChaosPreset("tx-blackout")
+	a.TXFail(9, 0)
+	if a.Len() == b.Len() {
+		t.Fatal("presets share state: extending one changed the other")
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	if s, err := ParseChaos(""); err != nil || s != nil {
+		t.Fatalf("empty arg: got %v, %v; want nil, nil", s, err)
+	}
+	s, err := ParseChaos("tx-blackout")
+	if err != nil || s.Len() != len(AnchorTXs) {
+		t.Fatalf("preset arg: got %v, %v", s, err)
+	}
+	s, err = ParseChaos("2:txfail:7;4:rxblock:0:0.5")
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("raw spec arg: got %v, %v", s, err)
+	}
+	_, err = ParseChaos("no-such-preset")
+	if err == nil || !strings.Contains(err.Error(), "tx-blackout") {
+		t.Fatalf("unknown arg should name the presets, got %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/channel"
+	"densevlc/internal/chaos"
 	"densevlc/internal/clock"
 	"densevlc/internal/frame"
 	"densevlc/internal/geom"
@@ -65,6 +66,11 @@ type Config struct {
 	// network; pass a transport.UDPNetwork to exercise real sockets
 	// (cmd/densevlc does). The simulator closes it when the run ends.
 	Network transport.Network
+	// Chaos optionally schedules fault events (TX failures, receiver
+	// blockage, clock steps) applied at round boundaries. The synchronous
+	// engine replays them fully deterministically: same seed + schedule
+	// gives byte-identical traces and metrics.
+	Chaos *chaos.Schedule
 	// Seed makes the run reproducible.
 	Seed int64
 }
@@ -111,6 +117,13 @@ type RoundMetrics struct {
 	Goodput []units.BitsPerSecond
 	// ActiveTXs is the number of communicating transmitters.
 	ActiveTXs int
+	// Swings is the commanded swing matrix as the transmitters understood
+	// it — what Eval scores against the true channel.
+	Swings channel.Swings
+	// ChaosEvents counts fault events injected at this round's boundary.
+	ChaosEvents int
+	// FailedTXs lists the transmitters dark during this round.
+	FailedTXs []int
 }
 
 // Result aggregates a run.
@@ -121,6 +134,80 @@ type Result struct {
 	MeanSystemThroughput units.BitsPerSecond
 	// MeanCommPower averages the consumed communication power.
 	MeanCommPower units.Watts
+	// Trace records the chaos events applied during the run (empty without
+	// a schedule).
+	Trace *chaos.Trace
+}
+
+// faultState is the synchronous engine's model of injected faults; it
+// implements chaos.Target. No locking: sim.Run is single-goroutine.
+type faultState struct {
+	failed []bool
+	keep   []float64
+	skew   []units.Seconds
+}
+
+func newFaultState(n, m int) *faultState {
+	f := &faultState{
+		failed: make([]bool, n),
+		keep:   make([]float64, m),
+		skew:   make([]units.Seconds, n),
+	}
+	for i := range f.keep {
+		f.keep[i] = 1
+	}
+	return f
+}
+
+func (f *faultState) FailTX(tx int) {
+	if tx >= 0 && tx < len(f.failed) {
+		f.failed[tx] = true
+	}
+}
+
+func (f *faultState) RecoverTX(tx int) {
+	if tx >= 0 && tx < len(f.failed) {
+		f.failed[tx] = false
+	}
+}
+
+func (f *faultState) SetRXAttenuation(rx int, keep float64) {
+	if rx < 0 || rx >= len(f.keep) {
+		return
+	}
+	f.keep[rx] = math.Min(1, math.Max(0, keep))
+}
+
+func (f *faultState) SkewClock(tx int, delta units.Seconds) {
+	if tx >= 0 && tx < len(f.skew) {
+		f.skew[tx] += delta
+	}
+}
+
+// mask applies the fault state to a freshly built channel matrix in place:
+// dark transmitters radiate nothing, shadowed receivers see attenuated
+// gains.
+func (f *faultState) mask(h *channel.Matrix) {
+	for j := 0; j < h.N; j++ {
+		for i := 0; i < h.M; i++ {
+			if f.failed[j] {
+				h.H[j][i] = 0
+				continue
+			}
+			h.H[j][i] *= f.keep[i]
+		}
+	}
+}
+
+// failedTXs lists the dark transmitters in index order.
+func (f *faultState) failedTXs() []int {
+	var out []int
+	for j, dark := range f.failed {
+		if dark {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // Run executes the simulation.
@@ -166,11 +253,22 @@ func Run(cfg Config) (*Result, error) {
 		rxLinks[i] = link
 	}
 
-	res := &Result{}
+	if err := cfg.Chaos.Validate(n, m); err != nil {
+		return nil, err
+	}
+	faults := newFaultState(n, m)
+	injector := chaos.NewInjector(cfg.Chaos)
+
+	res := &Result{Trace: injector.Trace()}
 	emitters := cfg.Setup.Emitters()
 
 	for round := 0; round < cfg.Rounds; round++ {
 		t := units.Seconds(float64(round) * cfg.RoundDuration.S())
+
+		// Fault injection happens at the round boundary, before the pilot
+		// phase, so this epoch's measurements already see the faults and
+		// this epoch's reallocation recovers from them.
+		chaosEvents := injector.Apply(round, t, faults)
 
 		// Receiver positions for this round.
 		pos := make([]geom.Vec, m)
@@ -180,6 +278,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		dets := cfg.Setup.Detectors(pos)
 		trueH := channel.BuildMatrix(emitters, dets, cfg.Blocker)
+		faults.mask(trueH)
 
 		// --- Measurement phase: pilot slots in time division. ---
 		for j := 0; j < n; j++ {
@@ -309,9 +408,12 @@ func Run(cfg Config) (*Result, error) {
 			RXPositions: pos,
 			Eval:        alloc.Evaluate(trueEnv, cmdSwings),
 			ActiveTXs:   active,
+			Swings:      cmdSwings,
+			ChaosEvents: chaosEvents,
+			FailedTXs:   faults.failedTXs(),
 		}
 		if cfg.WaveformPHY {
-			per, goodput, err := dataPhase(cfg, rng, ctrl, plan, txNodes, trueH)
+			per, goodput, err := dataPhase(cfg, rng, ctrl, plan, txNodes, trueH, faults.skew)
 			if err != nil {
 				return nil, err
 			}
@@ -340,9 +442,11 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// dataPhase runs the waveform-level frame exchange for each beamspot.
+// dataPhase runs the waveform-level frame exchange for each beamspot. skew
+// carries per-TX trigger-clock steps injected by the chaos layer; they add to
+// whatever offset the synchronisation method produces.
 func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
-	txNodes []*mac.TXNode, trueH *channel.Matrix) (per []float64, goodput []units.BitsPerSecond, err error) {
+	txNodes []*mac.TXNode, trueH *channel.Matrix, skew []units.Seconds) (per []float64, goodput []units.BitsPerSecond, err error) {
 
 	p := cfg.Setup.Params
 	scale := p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms()
@@ -400,19 +504,26 @@ func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
 					return phy.TXTiming{Offset: units.Seconds(r.Float64() * 10e-3), Continuous: true, ClockPPM: ppm}
 				}
 				tx := members[idx]
+				var off units.Seconds
+				if len(skew) > tx {
+					off = skew[tx]
+				}
 				if tx == leader {
-					return phy.TXTiming{ClockPPM: ppm}
+					return phy.TXTiming{Offset: off, ClockPPM: ppm}
 				}
 				switch cfg.Sync {
 				case clock.MethodNLOSVLC:
 					// Sampling-phase quantisation at 1 Msps plus noise
 					// wobble (the vlcsync-measured ≈0.6 µs scale).
-					return phy.TXTiming{Offset: units.Seconds(r.Float64() * 1.2e-6), ClockPPM: ppm}
+					off += units.Seconds(r.Float64() * 1.2e-6)
+					return phy.TXTiming{Offset: off, ClockPPM: ppm}
 				case clock.MethodNTPPTP:
-					return phy.TXTiming{Offset: units.Seconds(math.Abs(clock.TriggerError(r, clock.MethodNTPPTP, 100e3).S())), ClockPPM: ppm}
+					off += units.Seconds(math.Abs(clock.TriggerError(r, clock.MethodNTPPTP, 100e3).S()))
+					return phy.TXTiming{Offset: off, ClockPPM: ppm}
 				default:
 					// Unsynchronised boards free-run entirely.
-					return phy.TXTiming{Offset: units.Seconds(20e-3 * r.Float64()), Continuous: true, ClockPPM: ppm}
+					off += units.Seconds(20e-3 * r.Float64())
+					return phy.TXTiming{Offset: off, Continuous: true, ClockPPM: ppm}
 				}
 			},
 		}

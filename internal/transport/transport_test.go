@@ -294,7 +294,7 @@ func TestLossyNetworkZeroLossTransparent(t *testing.T) {
 	}
 	// Clamping.
 	clamped := NewLossyNetwork(NewMemNetwork(), -1, 2, 1)
-	if clamped.downlinkLoss != 0 || clamped.uplinkLoss != 1 {
+	if clamped.down.LossGood != 0 || clamped.up.LossGood != 1 {
 		t.Error("loss probabilities not clamped")
 	}
 	clamped.Close()

@@ -10,12 +10,19 @@
 #   4. vlclint      — domain invariants: determinism, maporder, floatcmp,
 #                     errdrop, apipanic, unitsafety (see DESIGN.md
 #                     "Static analysis" and "Typed physical quantities")
-#   5. go test      — the full unit/integration/property/golden suite
-#   6. go test -race — every package, including the parallel experiment
+#   5. go test      — the full unit/integration/property/golden suite,
+#                     with a statement-coverage profile (coverage.out)
+#   6. coverage gate — total coverage must not fall below
+#                     scripts/coverage_baseline.txt; raise the baseline
+#                     when coverage durably improves, never lower it to
+#                     make a PR pass
+#   7. go test -race — every package, including the parallel experiment
 #                     engine; the determinism test runs here so the
 #                     byte-identical guarantee is checked under the race
 #                     detector
-#   7. short fuzz   — a few seconds of the frame-codec and Manchester
+#   8. chaos smoke  — one fault-injected end-to-end run per engine
+#                     (tx-blackout preset) plus the resilience experiment
+#   9. short fuzz   — a few seconds of the frame-codec and Manchester
 #                     round-trip fuzzers, enough to catch regressions on
 #                     the seeded corpora plus fresh mutations
 set -euo pipefail
@@ -45,8 +52,19 @@ if ! go run ./cmd/vlclint ./...; then
     exit 1
 fi
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test ./... (with coverage profile)"
+go test -coverprofile=coverage.out ./...
+
+echo "==> coverage gate"
+total=$(go tool cover -func=coverage.out | awk '$1 == "total:" { gsub(/%/, "", $NF); print $NF }')
+baseline=$(tr -d '[:space:]' < scripts/coverage_baseline.txt)
+awk -v total="$total" -v baseline="$baseline" 'BEGIN {
+    if (total + 0 < baseline + 0) {
+        printf "coverage gate: total %.1f%% fell below the %.1f%% baseline (scripts/coverage_baseline.txt)\n", total, baseline > "/dev/stderr"
+        exit 1
+    }
+    printf "coverage: %.1f%% of statements (baseline %.1f%%)\n", total, baseline
+}'
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -56,6 +74,14 @@ go test -race ./...
 # on few-core runners.
 echo "==> determinism under -race (explicit)"
 go test -race -run 'TestParallelDeterminism' ./internal/experiments/
+
+# Chaos smoke: one fault-injected end-to-end run per engine. The tx-blackout
+# preset kills every receiver's best server mid-run; the commands fail on any
+# runtime error, and the dedicated chaos tests assert the recovery properties.
+echo "==> chaos smoke (tx-blackout, both engines + resilience experiment)"
+go run ./cmd/densevlc -rounds 4 -udp=false -chaos tx-blackout > /dev/null
+go run ./cmd/densevlc -rounds 4 -udp=false -async -chaos tx-blackout > /dev/null
+go run ./cmd/experiments -quick resilience > /dev/null
 
 # Short fuzz budget: -fuzz requires exactly one matching target per package,
 # so each fuzzer gets its own invocation.
