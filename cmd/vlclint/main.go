@@ -1,24 +1,34 @@
 // Command vlclint runs DenseVLC's domain-aware static-analysis suite over
-// the module: determinism (no global randomness or wall-clock reads in
-// simulation packages), maporder (no order-sensitive accumulation across map
-// iteration), floatcmp (no exact floating-point equality), errdrop (no
-// silently discarded errors), apipanic (no panics in internal API code), and
-// unitsafety (dimensional analysis over the internal/units types: no
-// cross-unit conversions, no float64 laundering, no untyped physical
-// quantities in exported physics APIs).
+// the module. Six intraprocedural rules — determinism (no global randomness
+// or wall-clock reads in simulation packages), maporder (no order-sensitive
+// accumulation across map iteration), floatcmp (no exact floating-point
+// equality), errdrop (no silently discarded errors), apipanic (no panics in
+// internal API code), and unitsafety (dimensional analysis over the
+// internal/units types) — plus four interprocedural rules over the module
+// call graph: hotalloc (no heap allocation in or below //lint:hotpath
+// functions), sharedmut (no writes to captured state inside parallel
+// closures), seedflow (per-task *rand.Rand streams only), and ctxflow
+// (context propagation; no context.Background/TODO in internal/ libraries).
 //
 // Usage:
 //
 //	go run ./cmd/vlclint ./...
 //	go run ./cmd/vlclint -rules unitsafety,floatcmp ./internal/...
 //	go run ./cmd/vlclint -json ./... > findings.json
+//	go run ./cmd/vlclint -baseline scripts/lint_baseline.json ./...
+//	go run ./cmd/vlclint -baseline scripts/lint_baseline.json -update-baseline ./...
+//	go run ./cmd/vlclint -graph ./...
 //	go run ./cmd/vlclint -list
 //
 // Findings print as "file:line: [rule] message" (or a JSON array with
 // -json) and the process exits 1 when any are present, so the tool gates CI
 // (scripts/ci.sh). Suppress a single finding with a
 // //lint:ignore <rule> <reason> comment on the offending line or the line
-// above.
+// above; record an audited interprocedural finding in the baseline file
+// instead (-baseline filters findings through it, -update-baseline rewrites
+// it, keeping audited reasons and marking new entries UNAUDITED). -graph
+// dumps the module call graph with hot-path annotations — scripts/bench.sh
+// greps it to keep the static and dynamic zero-alloc gates aligned.
 package main
 
 import (
@@ -44,8 +54,11 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	graph := flag.Bool("graph", false, "dump the module call graph (with hotpath annotations) and exit")
+	baselinePath := flag.String("baseline", "", "filter findings through a baseline JSON file of audited sites")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from current findings (new entries marked UNAUDITED) and exit")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [-json] [-rules a,b,...] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [-json] [-graph] [-rules a,b,...] [-baseline file.json [-update-baseline]] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +68,10 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "vlclint: -update-baseline requires -baseline <file>")
+		os.Exit(2)
 	}
 
 	analyzers, err := selectAnalyzers(*rules)
@@ -76,7 +93,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vlclint: no packages matched %v\n", patterns)
 		os.Exit(2)
 	}
+
+	if *graph {
+		lint.NewModule(pkgs).Graph.Dump(os.Stdout)
+		return
+	}
+
 	findings := lint.Run(pkgs, analyzers)
+
+	if *updateBaseline {
+		var prev *lint.Baseline
+		if _, statErr := os.Stat(*baselinePath); statErr == nil {
+			prev, err = lint.LoadBaseline(*baselinePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vlclint:", err)
+				os.Exit(2)
+			}
+		}
+		next := lint.UpdateBaseline(prev, findings)
+		if err := lint.WriteBaseline(*baselinePath, next); err != nil {
+			fmt.Fprintln(os.Stderr, "vlclint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "vlclint: wrote %s (%d entries)\n", *baselinePath, len(next.Entries))
+		return
+	}
+	if *baselinePath != "" {
+		baseline, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vlclint:", err)
+			os.Exit(2)
+		}
+		var stale []lint.BaselineEntry
+		findings, stale = baseline.Apply(findings)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "vlclint: stale baseline entry (no finding matches): %s\n", e)
+		}
+	}
 
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(findings))

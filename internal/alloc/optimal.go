@@ -340,6 +340,8 @@ func (p *problem) objective() float64 {
 }
 
 // Value implements optimize.Objective.
+//
+//lint:hotpath
 func (p *problem) Value(x []float64) float64 {
 	p.aggregates(x)
 	return p.objective()
@@ -464,6 +466,8 @@ func (p *problem) gradientFromCoefs4(x, grad []float64) {
 }
 
 // Gradient implements optimize.Objective.
+//
+//lint:hotpath
 func (p *problem) Gradient(x, grad []float64) {
 	p.aggregates(x)
 	p.coefficients()
@@ -472,6 +476,8 @@ func (p *problem) Gradient(x, grad []float64) {
 
 // ValueGradient implements optimize.ValueGradienter: one aggregate pass
 // serves both the objective and the gradient.
+//
+//lint:hotpath
 func (p *problem) ValueGradient(x, grad []float64) float64 {
 	p.aggregates(x)
 	obj := p.coefficients()
@@ -483,6 +489,8 @@ func (p *problem) ValueGradient(x, grad []float64) float64 {
 // constraint (6), then radial scaling for the power budget (7). The
 // projection shares the problem's workspace, so it is as goroutine-local as
 // the kernels.
+//
+//lint:hotpath
 func (p *problem) Project(x []float64) {
 	n, m := p.n, p.m
 	power := 0.0

@@ -31,6 +31,7 @@ type SweepPoint struct {
 // Figs. 8, 11, 18–21. It runs the points serially; SweepParallel fans them
 // out.
 func Sweep(env *Env, policy Policy, budgets []units.Watts) ([]SweepPoint, error) {
+	//lint:ignore ctxflow context-free convenience wrapper over SweepParallel, which accepts the caller's context
 	return SweepParallel(context.Background(), env, policy, budgets, 1)
 }
 

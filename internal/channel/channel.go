@@ -93,6 +93,8 @@ func BuildMatrix(emitters []optics.Emitter, detectors []optics.Detector, blocker
 }
 
 // Gain returns H[tx][rx].
+//
+//lint:hotpath
 func (m *Matrix) Gain(tx, rx int) float64 { return m.H[tx][rx] }
 
 // Column returns the gains from every TX to rx as a fresh slice.
@@ -155,6 +157,8 @@ func (s Swings) Clone() Swings {
 
 // TXTotal returns the summed swing of TX j across receivers, the quantity
 // bounded by Isw,max in constraint (6).
+//
+//lint:hotpath
 func (s Swings) TXTotal(j int) units.Amperes {
 	var t units.Amperes
 	for _, v := range s[j] {
@@ -167,6 +171,8 @@ func (s Swings) TXTotal(j int) units.Amperes {
 // Eq. (11): Σ_j r·(Σ_k Isw[j][k] / 2)². The inner sum mirrors constraint (7),
 // where a TX's branches modulate the same LED, so their swings add before
 // the quadratic.
+//
+//lint:hotpath
 func (s Swings) CommPower(r units.Ohms) units.Watts {
 	total := 0.0
 	for j := range s {
@@ -183,12 +189,27 @@ func (s Swings) CommPower(r units.Ohms) units.Watts {
 //	       / (N0·B + (R·η·r·Σ_{k≠i} Σ_j H_{j,i}·(I_sw^{j,k}/2)²)²)
 //
 // The bias current carries no data and does not appear.
+//
+// SINR allocates the result; per-round paths should hold a buffer and call
+// SINRInto.
 func SINR(p Params, h *Matrix, s Swings) []float64 {
 	if len(s) != h.N {
 		//lint:ignore apipanic dimension mismatch is a caller bug; allocations are sized from the same Env as H
 		panic(fmt.Sprintf("channel: swing matrix has %d TX rows, gain matrix %d", len(s), h.N))
 	}
-	out := make([]float64, h.M)
+	return SINRInto(make([]float64, h.M), p, h, s)
+}
+
+// SINRInto is SINR writing into the caller-owned out (len(out) == h.M) and
+// returning it, so the controller's per-round evaluation path computes the
+// SINR map without allocating.
+//
+//lint:hotpath
+func SINRInto(out []float64, p Params, h *Matrix, s Swings) []float64 {
+	if len(s) != h.N || len(out) != h.M {
+		//lint:ignore apipanic dimension mismatch is a caller bug; hot callers size out and s from the same Env as H
+		panic("channel: SINRInto: out, swing, and gain dimensions disagree")
+	}
 	scale := p.Responsivity.APerW() * p.WallPlugEfficiency * p.DynamicResistance.Ohms()
 	noise := p.NoisePower().A2()
 	for i := 0; i < h.M; i++ {
@@ -225,6 +246,8 @@ func Throughput(p Params, sinr []float64) []units.BitsPerSecond {
 }
 
 // SumThroughput returns the total system throughput.
+//
+//lint:hotpath
 func SumThroughput(p Params, sinr []float64) units.BitsPerSecond {
 	t := 0.0
 	for _, s := range sinr {
@@ -238,6 +261,7 @@ func SumThroughput(p Params, sinr []float64) units.BitsPerSecond {
 // objective to −Inf, which correctly forces every policy to serve all
 // receivers.
 //
+//lint:hotpath
 //lint:ignore unitsafety the sum-of-logs objective is dimensionless
 func SumLogThroughput(p Params, sinr []float64) float64 {
 	obj := 0.0

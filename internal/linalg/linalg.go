@@ -43,9 +43,13 @@ func FromRows(rows [][]float64) (*Matrix, error) {
 }
 
 // At returns element (i, j).
+//
+//lint:hotpath
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
+//
+//lint:hotpath
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Clone deep-copies the matrix.
@@ -86,12 +90,25 @@ func Mul(a, b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// MulVec returns m·x.
+// MulVec returns m·x. It allocates the result; per-round paths should hold
+// a buffer and call MulVecInto.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
-	if len(x) != m.Cols {
-		return nil, fmt.Errorf("linalg: vector of %d against %dx%d", len(x), m.Rows, m.Cols)
-	}
 	out := make([]float64, m.Rows)
+	if err := m.MulVecInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto computes m·x into the caller-owned out (len(out) == m.Rows),
+// the allocation-free form of MulVec.
+//
+//lint:hotpath
+func (m *Matrix) MulVecInto(out, x []float64) error {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		//lint:ignore hotalloc error construction happens only on the caller-bug path; matched dimensions never reach it
+		return fmt.Errorf("linalg: vector of %d into %d against %dx%d", len(x), len(out), m.Rows, m.Cols)
+	}
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0
 		for j := 0; j < m.Cols; j++ {
@@ -99,7 +116,7 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 		}
 		out[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // ErrSingular reports a (numerically) singular system.

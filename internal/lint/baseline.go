@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A Baseline records audited findings: sites a reviewer has examined and
+// accepted, with the reason on file, so the repo gates on *new* findings
+// without sprinkling //lint:ignore directives through code whose design the
+// finding questions (context-free public APIs, documented cold fallbacks).
+// The checked-in baseline lives at scripts/lint_baseline.json and is loaded
+// by `cmd/vlclint -baseline` (scripts/ci.sh) and the repo smoke test.
+//
+// An entry matches a finding by exact file and rule plus a substring of the
+// message, so entries survive line-number drift but stay narrow enough not
+// to swallow unrelated regressions in the same file. Reasons are mandatory,
+// exactly as with inline suppressions.
+type Baseline struct {
+	// Comment is free-form documentation carried in the JSON file.
+	Comment string `json:"comment,omitempty"`
+	// Entries are the audited findings.
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry matches one class of audited findings.
+type BaselineEntry struct {
+	// File is the module-root-relative, slash-separated file path.
+	File string `json:"file"`
+	// Rule is the analyzer name.
+	Rule string `json:"rule"`
+	// Match is a required substring of the finding message ("" matches any
+	// finding of the rule in the file).
+	Match string `json:"match,omitempty"`
+	// Reason documents the audit. Mandatory.
+	Reason string `json:"reason"`
+}
+
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("%s [%s] %q", e.File, e.Rule, e.Match)
+}
+
+// covers reports whether the entry matches the finding.
+func (e BaselineEntry) covers(f Finding) bool {
+	return e.File == f.Pos.Filename && e.Rule == f.Rule &&
+		(e.Match == "" || strings.Contains(f.Message, e.Match))
+}
+
+// LoadBaseline reads and validates a baseline file. A missing file is an
+// error — pass no baseline instead of an empty one.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.File == "" || e.Rule == "" {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d missing file or rule", path, i)
+		}
+		if strings.TrimSpace(e.Reason) == "" {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d (%s) has no reason; audited findings must say why", path, i, e)
+		}
+	}
+	return &b, nil
+}
+
+// Apply partitions findings into those not covered by the baseline (kept —
+// these fail the gate) and reports the entries that covered nothing (stale
+// — candidates for deletion once the audited site is gone).
+func (b *Baseline) Apply(findings []Finding) (kept []Finding, stale []BaselineEntry) {
+	used := make([]bool, len(b.Entries))
+	for _, f := range findings {
+		covered := false
+		for i, e := range b.Entries {
+			if e.covers(f) {
+				used[i] = true
+				covered = true
+			}
+		}
+		if !covered {
+			kept = append(kept, f)
+		}
+	}
+	for i, e := range b.Entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// UpdateBaseline merges current findings into an existing baseline (which
+// may be nil): entries still covering findings are kept verbatim, stale
+// entries are dropped, and every finding not yet covered gains a new entry
+// with an "UNAUDITED" placeholder reason — a reviewable marker that
+// recording a finding is not the same as auditing it.
+func UpdateBaseline(prev *Baseline, findings []Finding) *Baseline {
+	next := &Baseline{}
+	if prev != nil {
+		next.Comment = prev.Comment
+		_, stale := prev.Apply(findings)
+		staleSet := make(map[string]bool, len(stale))
+		for _, e := range stale {
+			staleSet[e.String()] = true
+		}
+		for _, e := range prev.Entries {
+			if !staleSet[e.String()] {
+				next.Entries = append(next.Entries, e)
+			}
+		}
+	}
+	var kept []Finding
+	if prev != nil {
+		kept, _ = prev.Apply(findings)
+	} else {
+		kept = findings
+	}
+	seen := make(map[string]bool)
+	for _, f := range kept {
+		e := BaselineEntry{
+			File:   f.Pos.Filename,
+			Rule:   f.Rule,
+			Match:  f.Message,
+			Reason: "UNAUDITED: recorded by -update-baseline; replace with the audit reason",
+		}
+		if seen[e.String()] {
+			continue
+		}
+		seen[e.String()] = true
+		next.Entries = append(next.Entries, e)
+	}
+	sort.Slice(next.Entries, func(i, j int) bool {
+		a, b := next.Entries[i], next.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Match < b.Match
+	})
+	return next
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

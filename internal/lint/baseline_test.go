@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bf(file string, line int, rule, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line}, Rule: rule, Message: msg}
+}
+
+func TestBaselineApply(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{File: "internal/a/a.go", Rule: "ctxflow", Match: "context.Background", Reason: "audited"},
+		{File: "internal/b/b.go", Rule: "hotalloc", Match: "", Reason: "any hotalloc in this file"},
+		{File: "internal/c/c.go", Rule: "seedflow", Match: "never matches", Reason: "stale"},
+	}}
+	findings := []Finding{
+		bf("internal/a/a.go", 10, "ctxflow", "context.Background inside an internal/ library"),
+		bf("internal/a/a.go", 20, "ctxflow", "does not propagate its context parameter"), // same file, different message
+		bf("internal/a/a.go", 30, "hotalloc", "context.Background would match but rule differs"),
+		bf("internal/b/b.go", 5, "hotalloc", "make allocates"),
+	}
+	kept, stale := b.Apply(findings)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v, want the non-matching ctxflow and the rule-mismatched finding", keys(kept))
+	}
+	if kept[0].Pos.Line != 20 || kept[1].Pos.Line != 30 {
+		t.Errorf("kept wrong findings: %v", keys(kept))
+	}
+	if len(stale) != 1 || stale[0].Match != "never matches" {
+		t.Errorf("stale = %v, want exactly the never-matching entry", stale)
+	}
+}
+
+func TestBaselineLoadValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should be an error")
+	}
+	path := write("noreason.json", `{"entries":[{"file":"a.go","rule":"ctxflow","match":"x","reason":"  "}]}`)
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "no reason") {
+		t.Errorf("blank reason should be rejected, got %v", err)
+	}
+	path = write("nofile.json", `{"entries":[{"rule":"ctxflow","reason":"r"}]}`)
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "missing file or rule") {
+		t.Errorf("missing file field should be rejected, got %v", err)
+	}
+	path = write("ok.json", `{"comment":"c","entries":[{"file":"a.go","rule":"ctxflow","match":"x","reason":"r"}]}`)
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	if b.Comment != "c" || len(b.Entries) != 1 {
+		t.Errorf("loaded %+v", b)
+	}
+}
+
+func TestUpdateBaselineMergesAndMarksUnaudited(t *testing.T) {
+	prev := &Baseline{Comment: "kept", Entries: []BaselineEntry{
+		{File: "internal/a/a.go", Rule: "ctxflow", Match: "context.Background", Reason: "audited: wrapper"},
+		{File: "internal/gone/gone.go", Rule: "hotalloc", Match: "make", Reason: "site deleted"},
+	}}
+	findings := []Finding{
+		bf("internal/a/a.go", 10, "ctxflow", "context.Background inside an internal/ library"),
+		bf("internal/new/new.go", 7, "seedflow", "shared generator"),
+	}
+	next := UpdateBaseline(prev, findings)
+	if next.Comment != "kept" {
+		t.Errorf("comment dropped: %q", next.Comment)
+	}
+	if len(next.Entries) != 2 {
+		t.Fatalf("entries = %+v, want audited survivor + new UNAUDITED", next.Entries)
+	}
+	// Sorted by file: internal/a before internal/new.
+	if next.Entries[0].Reason != "audited: wrapper" {
+		t.Errorf("audited reason rewritten: %q", next.Entries[0].Reason)
+	}
+	if !strings.HasPrefix(next.Entries[1].Reason, "UNAUDITED") || next.Entries[1].File != "internal/new/new.go" {
+		t.Errorf("new entry not marked UNAUDITED: %+v", next.Entries[1])
+	}
+	for _, e := range next.Entries {
+		if e.File == "internal/gone/gone.go" {
+			t.Error("stale entry survived the update")
+		}
+	}
+
+	// Round-trip through disk.
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := WriteBaseline(path, next); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Entries) != len(next.Entries) || again.Comment != next.Comment {
+		t.Errorf("round-trip mismatch: %+v vs %+v", again, next)
+	}
+
+	// From scratch (no previous baseline): every finding becomes UNAUDITED.
+	fresh := UpdateBaseline(nil, findings)
+	if len(fresh.Entries) != 2 {
+		t.Fatalf("fresh entries = %+v", fresh.Entries)
+	}
+	for _, e := range fresh.Entries {
+		if !strings.HasPrefix(e.Reason, "UNAUDITED") {
+			t.Errorf("fresh entry not marked UNAUDITED: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,810 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The interprocedural analyzers need whole-module context: fixtures are
+// small multi-package modules, each package a single source file, resolved
+// against stub densevlc/internal/parallel and densevlc/internal/stats
+// packages so the analyzers see the real entry-point paths.
+
+// fixtureSrc is one single-file package of a fixture module, listed in
+// dependency order (imported packages first).
+type fixtureSrc struct {
+	path string // full import path, e.g. densevlc/internal/kernels
+	file string
+	src  string
+}
+
+// moduleImporterFixture resolves module-local fixture imports from the
+// already-checked set and everything else through the shared source
+// importer.
+type moduleImporterFixture struct {
+	local map[string]*types.Package
+}
+
+func (m *moduleImporterFixture) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return fixtureImp.Import(path)
+}
+
+// fixtureModule type-checks the packages in order and assembles a Module.
+func fixtureModule(t *testing.T, files []fixtureSrc) *Module {
+	t.Helper()
+	fixtureOnce.Do(initFixtureImporter)
+	imp := &moduleImporterFixture{local: map[string]*types.Package{}}
+	var pkgs []*Package
+	for _, f := range files {
+		file, err := parser.ParseFile(fixtureFset, f.file, f.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", f.file, err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(f.path, fixtureFset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("type-check fixture %s: %v", f.file, err)
+		}
+		imp.local[f.path] = tpkg
+		pkgs = append(pkgs, &Package{Path: f.path, Fset: fixtureFset, Files: []*ast.File{file}, Types: tpkg, Info: info})
+	}
+	return NewModule(pkgs)
+}
+
+// runFixture runs the full pipeline (suppressions included) over a fixture
+// module with the named analyzers.
+func runFixture(t *testing.T, files []fixtureSrc, rules ...string) []Finding {
+	t.Helper()
+	mod := fixtureModule(t, files)
+	want := map[string]bool{}
+	for _, r := range rules {
+		want[r] = true
+	}
+	var selected []*Analyzer
+	for _, a := range Analyzers() {
+		if want[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) != len(rules) {
+		t.Fatalf("unknown rule in %v", rules)
+	}
+	return Run(mod.Pkgs, selected)
+}
+
+// Stub twins of the real pool and RNG helpers, at their real import paths.
+const parallelStubSrc = `package parallel
+
+import "context"
+
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`
+
+const statsStubSrc = `package stats
+
+import "math/rand"
+
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func SplitRand(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}
+`
+
+func parallelStub() fixtureSrc {
+	return fixtureSrc{path: parallelPkg, file: "parallel_stub.go", src: parallelStubSrc}
+}
+
+func statsStub() fixtureSrc {
+	return fixtureSrc{path: statsPkg, file: "stats_stub.go", src: statsStubSrc}
+}
+
+// --- call graph -----------------------------------------------------------
+
+func TestCallGraphEdgesAndClosures(t *testing.T) {
+	mod := fixtureModule(t, []fixtureSrc{{
+		path: "densevlc/internal/cg",
+		file: "cg1.go",
+		src: `package cg
+
+func a() { b() }
+
+func b() {}
+
+func c() func() int {
+	x := 0
+	return func() int { x++; return x }
+}
+`,
+	}})
+	g := mod.Graph
+	var ids []string
+	for _, n := range g.SortedNodes() {
+		ids = append(ids, n.ID)
+	}
+	joined := strings.Join(ids, "\n")
+	for _, want := range []string{
+		"densevlc/internal/cg.a",
+		"densevlc/internal/cg.b",
+		"densevlc/internal/cg.c",
+		"densevlc/internal/cg.c$1",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("call graph missing node %s (have:\n%s)", want, joined)
+		}
+	}
+	var a *FuncNode
+	for _, n := range g.SortedNodes() {
+		if n.ID == "densevlc/internal/cg.a" {
+			a = n
+		}
+	}
+	if a == nil || len(a.Callees) != 1 || a.Callees[0].ID != "densevlc/internal/cg.b" {
+		t.Fatalf("a's callees wrong: %+v", a)
+	}
+}
+
+func TestCallGraphInterfaceDispatchCHA(t *testing.T) {
+	// A hot root calling through an interface must reach every module-local
+	// implementation — here, one that allocates.
+	findings := runFixture(t, []fixtureSrc{{
+		path: "densevlc/internal/cha",
+		file: "cha1.go",
+		src: `package cha
+
+type Proj interface{ Project(x []float64) }
+
+type clean struct{}
+
+func (clean) Project(x []float64) {}
+
+type dirty struct{}
+
+func (dirty) Project(x []float64) { _ = make([]float64, len(x)) }
+
+//lint:hotpath
+func Solve(p Proj, x []float64) { p.Project(x) }
+`,
+	}}, "hotalloc")
+	assertFindings(t, findings, "cha1.go:11 hotalloc")
+	if !strings.Contains(findings[0].Message, "reachable from //lint:hotpath root cha.Solve") {
+		t.Errorf("finding should name the hot root: %s", findings[0].Message)
+	}
+}
+
+func TestCallGraphBoundaryStopsTraversal(t *testing.T) {
+	findings := runFixture(t, []fixtureSrc{{
+		path: "densevlc/internal/cgb",
+		file: "cgb1.go",
+		src: `package cgb
+
+//lint:hotpath
+func Kernel(x []float64) { coldSetup(len(x)) }
+
+//lint:hotpath-boundary one-time setup outside the per-epoch loop
+func coldSetup(n int) { _ = make([]float64, n) }
+`,
+	}}, "hotalloc")
+	assertFindings(t, findings)
+}
+
+func TestCallGraphMalformedBoundaryDirective(t *testing.T) {
+	findings := runFixture(t, []fixtureSrc{{
+		path: "densevlc/internal/cgm",
+		file: "cgm1.go",
+		src: `package cgm
+
+//lint:hotpath-boundary
+func setup(n int) { _ = make([]float64, n) }
+`,
+	}}, "hotalloc")
+	assertFindings(t, findings, "cgm1.go:4 ignore")
+}
+
+// --- hotalloc -------------------------------------------------------------
+
+func TestHotAlloc(t *testing.T) {
+	tests := []struct {
+		name  string
+		files []fixtureSrc
+		want  []string
+	}{
+		{
+			// The ISSUE acceptance case: add a make to an annotated kernel.
+			name: "make in annotated kernel flagged",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/hk",
+				file: "hk1.go",
+				src: `package hk
+
+//lint:hotpath
+func Value(x []float64) float64 {
+	buf := make([]float64, len(x))
+	_ = buf
+	return 0
+}
+`,
+			}},
+			want: []string{"hk1.go:5 hotalloc"},
+		},
+		{
+			name: "allocation in transitive callee flagged with provenance",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/hk",
+				file: "hk2.go",
+				src: `package hk
+
+//lint:hotpath
+func Grad(x []float64) { helper2(x) }
+
+func helper2(x []float64) { inner2(x) }
+
+func inner2(x []float64) { _ = append(x, 1) }
+`,
+			}},
+			want: []string{"hk2.go:8 hotalloc"},
+		},
+		{
+			name: "clean kernel passes",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/hk",
+				file: "hk3.go",
+				src: `package hk
+
+//lint:hotpath
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// unannotated code may allocate freely
+func Cold() []float64 { return make([]float64, 8) }
+`,
+			}},
+			want: nil,
+		},
+		{
+			name: "suppressed allocation passes",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/hk",
+				file: "hk4.go",
+				src: `package hk
+
+//lint:hotpath
+func Proj(x []float64) {
+	if len(x) > 16 {
+		//lint:ignore hotalloc documented cold fallback beyond the stack buffer
+		_ = make([]float64, len(x))
+	}
+}
+`,
+			}},
+			want: nil,
+		},
+		{
+			name: "cross-package reachability",
+			files: []fixtureSrc{
+				{
+					path: "densevlc/internal/hklib",
+					file: "hklib.go",
+					src: `package hklib
+
+func Concat(a, b string) string { return a + b }
+`,
+				},
+				{
+					path: "densevlc/internal/hk",
+					file: "hk5.go",
+					src: `package hk
+
+import "densevlc/internal/hklib"
+
+//lint:hotpath
+func Hot() string { return hklib.Concat("a", "b") }
+`,
+				},
+			},
+			want: []string{"hklib.go:3 hotalloc"},
+		},
+		{
+			name: "interface boxing and fmt call flagged",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/hk",
+				file: "hk6.go",
+				src: `package hk
+
+import "fmt"
+
+//lint:hotpath
+func Hot(v float64) string {
+	x := interface{}(v)
+	_ = x
+	return fmt.Sprintf("%v", v)
+}
+`,
+			}},
+			want: []string{"hk6.go:7 hotalloc", "hk6.go:9 hotalloc"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			assertFindings(t, runFixture(t, tt.files, "hotalloc"), tt.want...)
+		})
+	}
+}
+
+// --- sharedmut ------------------------------------------------------------
+
+func TestSharedMut(t *testing.T) {
+	tests := []struct {
+		name  string
+		files []fixtureSrc
+		want  []string
+	}{
+		{
+			// The ISSUE acceptance case: a parallel.Map closure writing a
+			// captured variable.
+			name: "captured write in parallel.Map closure flagged",
+			files: []fixtureSrc{parallelStub(), {
+				path: "densevlc/internal/sm",
+				file: "sm1.go",
+				src: `package sm
+
+import (
+	"context"
+
+	"densevlc/internal/parallel"
+)
+
+func Bad(n int) (int, error) {
+	total := 0
+	_, err := parallel.Map(context.Background(), 0, n, func(i int) (int, error) {
+		total += i
+		return i, nil
+	})
+	return total, err
+}
+`,
+			}},
+			want: []string{"sm1.go:12 sharedmut"},
+		},
+		{
+			name: "per-task index write sanctioned, map write flagged",
+			files: []fixtureSrc{parallelStub(), {
+				path: "densevlc/internal/sm",
+				file: "sm2.go",
+				src: `package sm
+
+import (
+	"context"
+
+	"densevlc/internal/parallel"
+)
+
+func Mixed(n int) error {
+	out := make([]float64, n)
+	byKey := map[int]float64{}
+	return parallel.ForEach(context.Background(), 0, n, func(i int) error {
+		out[i] = float64(i) // sanctioned: per-task element
+		byKey[i] = float64(i)
+		return nil
+	})
+}
+`,
+			}},
+			want: []string{"sm2.go:14 sharedmut"},
+		},
+		{
+			name: "captured struct field write flagged",
+			files: []fixtureSrc{parallelStub(), {
+				path: "densevlc/internal/sm",
+				file: "sm3.go",
+				src: `package sm
+
+import (
+	"context"
+
+	"densevlc/internal/parallel"
+)
+
+type acc struct{ sum float64 }
+
+func Field(n int) error {
+	var a acc
+	return parallel.ForEach(context.Background(), 0, n, func(i int) error {
+		a.sum += float64(i)
+		return nil
+	})
+}
+`,
+			}},
+			want: []string{"sm3.go:14 sharedmut"},
+		},
+		{
+			name: "go statement captured write flagged",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/sm",
+				file: "sm4.go",
+				src: `package sm
+
+func Fire() int {
+	x := 0
+	go func() { x = 1 }()
+	return x
+}
+`,
+			}},
+			want: []string{"sm4.go:5 sharedmut"},
+		},
+		{
+			name: "task-local state and suppressed write pass",
+			files: []fixtureSrc{parallelStub(), {
+				path: "densevlc/internal/sm",
+				file: "sm5.go",
+				src: `package sm
+
+import (
+	"context"
+	"sync"
+
+	"densevlc/internal/parallel"
+)
+
+func Good(n int) ([]float64, error) {
+	var mu sync.Mutex
+	total := 0.0
+	return parallel.Map(context.Background(), 0, n, func(i int) (float64, error) {
+		local := float64(i) * 2 // closure-local: fine
+		mu.Lock()
+		//lint:ignore sharedmut mutex-serialised accumulator; order-independent sum
+		total += local
+		mu.Unlock()
+		return local, nil
+	})
+}
+`,
+			}},
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			assertFindings(t, runFixture(t, tt.files, "sharedmut"), tt.want...)
+		})
+	}
+}
+
+// --- seedflow -------------------------------------------------------------
+
+func TestSeedFlow(t *testing.T) {
+	// The negative/positive pair is the ISSUE acceptance case: the same
+	// fan-out is clean with per-index SplitRand fills and flagged the moment
+	// the split is removed (elements aliased to the shared parent).
+	const goodSrc = `package sf
+
+import (
+	"context"
+	"math/rand"
+
+	"densevlc/internal/parallel"
+	"densevlc/internal/stats"
+)
+
+func Good(parent *rand.Rand, n int) ([]float64, error) {
+	rngs := make([]*rand.Rand, n)
+	for i := range rngs {
+		rngs[i] = stats.SplitRand(parent)
+	}
+	return parallel.Map(context.Background(), 0, n, func(i int) (float64, error) {
+		return rngs[i].Float64(), nil
+	})
+}
+`
+	const badSrc = `package sf
+
+import (
+	"context"
+	"math/rand"
+
+	"densevlc/internal/parallel"
+	"densevlc/internal/stats"
+)
+
+func Bad(parent *rand.Rand, n int) ([]float64, error) {
+	rngs := make([]*rand.Rand, n)
+	for i := range rngs {
+		rngs[i] = parent
+	}
+	_ = stats.SplitRand
+	return parallel.Map(context.Background(), 0, n, func(i int) (float64, error) {
+		return rngs[i].Float64(), nil
+	})
+}
+`
+	tests := []struct {
+		name  string
+		files []fixtureSrc
+		want  []string
+	}{
+		{
+			name:  "per-index SplitRand fill passes",
+			files: []fixtureSrc{parallelStub(), statsStub(), {path: "densevlc/internal/sf", file: "sf1.go", src: goodSrc}},
+			want:  nil,
+		},
+		{
+			name:  "removing the split flags the shared parent",
+			files: []fixtureSrc{parallelStub(), statsStub(), {path: "densevlc/internal/sf", file: "sf2.go", src: badSrc}},
+			want:  []string{"sf2.go:14 seedflow"},
+		},
+		{
+			name: "directly captured generator flagged",
+			files: []fixtureSrc{parallelStub(), statsStub(), {
+				path: "densevlc/internal/sf",
+				file: "sf3.go",
+				src: `package sf
+
+import (
+	"context"
+	"math/rand"
+
+	"densevlc/internal/parallel"
+	"densevlc/internal/stats"
+)
+
+func Shared(parent *rand.Rand, n int) error {
+	return parallel.ForEach(context.Background(), 0, n, func(i int) error {
+		// splitting inside the task still draws from the shared parent
+		rng := stats.SplitRand(parent)
+		_ = rng.Float64()
+		return nil
+	})
+}
+`,
+			}},
+			want: []string{"sf3.go:14 seedflow"},
+		},
+		{
+			name: "per-task construction inside the closure passes",
+			files: []fixtureSrc{parallelStub(), statsStub(), {
+				path: "densevlc/internal/sf",
+				file: "sf4.go",
+				src: `package sf
+
+import (
+	"context"
+
+	"densevlc/internal/parallel"
+	"densevlc/internal/stats"
+)
+
+func PerTask(seed int64, n int) error {
+	return parallel.ForEach(context.Background(), 0, n, func(i int) error {
+		rng := stats.NewRand(seed + int64(i))
+		_ = rng.Float64()
+		return nil
+	})
+}
+`,
+			}},
+			want: nil,
+		},
+		{
+			name: "suppressed shared generator passes",
+			files: []fixtureSrc{parallelStub(), statsStub(), {
+				path: "densevlc/internal/sf",
+				file: "sf5.go",
+				src: `package sf
+
+import (
+	"context"
+	"math/rand"
+
+	"densevlc/internal/parallel"
+)
+
+func Audited(parent *rand.Rand, n int) error {
+	return parallel.ForEach(context.Background(), 0, n, func(i int) error {
+		//lint:ignore seedflow workers=1 in this call; consumption order is the serial order
+		_ = parent.Float64()
+		return nil
+	})
+}
+`,
+			}},
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			assertFindings(t, runFixture(t, tt.files, "seedflow"), tt.want...)
+		})
+	}
+}
+
+// --- ctxflow --------------------------------------------------------------
+
+func TestCtxFlow(t *testing.T) {
+	tests := []struct {
+		name  string
+		files []fixtureSrc
+		want  []string
+	}{
+		{
+			name: "background root in internal library flagged",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/cf",
+				file: "cf1.go",
+				src: `package cf
+
+import "context"
+
+func Detached() error {
+	ctx := context.Background()
+	<-ctx.Done()
+	return nil
+}
+`,
+			}},
+			want: []string{"cf1.go:6 ctxflow"},
+		},
+		{
+			name: "fresh root despite ctx in scope flagged",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/cf",
+				file: "cf2.go",
+				src: `package cf
+
+import "context"
+
+func callee(ctx context.Context) {}
+
+func Caller(ctx context.Context) {
+	callee(context.TODO())
+}
+`,
+			}},
+			want: []string{"cf2.go:8 ctxflow"},
+		},
+		{
+			name: "non-derived context argument flagged",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/cf",
+				file: "cf3.go",
+				src: `package cf
+
+import "context"
+
+var stashed context.Context
+
+func callee3(ctx context.Context) {}
+
+func Caller3(ctx context.Context) {
+	callee3(stashed)
+}
+`,
+			}},
+			want: []string{"cf3.go:10 ctxflow"},
+		},
+		{
+			name: "propagation and derivation pass",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/cf",
+				file: "cf4.go",
+				src: `package cf
+
+import (
+	"context"
+	"time"
+)
+
+func callee4(ctx context.Context) {}
+
+func Caller4(ctx context.Context) {
+	callee4(ctx)
+	timed, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	callee4(timed)
+}
+`,
+			}},
+			want: nil,
+		},
+		{
+			name: "cross-package propagation passes",
+			files: []fixtureSrc{
+				{
+					path: "densevlc/internal/cflib",
+					file: "cflib.go",
+					src: `package cflib
+
+import "context"
+
+func Do(ctx context.Context) error { return ctx.Err() }
+`,
+				},
+				{
+					path: "densevlc/internal/cf",
+					file: "cf5.go",
+					src: `package cf
+
+import (
+	"context"
+
+	"densevlc/internal/cflib"
+)
+
+func Caller5(ctx context.Context) error { return cflib.Do(ctx) }
+`,
+				},
+			},
+			want: nil,
+		},
+		{
+			name: "suppressed convenience wrapper passes",
+			files: []fixtureSrc{{
+				path: "densevlc/internal/cf",
+				file: "cf6.go",
+				src: `package cf
+
+import "context"
+
+func inner6(ctx context.Context) {}
+
+func Convenience() {
+	//lint:ignore ctxflow context-free public wrapper; InnerContext accepts the caller's context
+	inner6(context.Background())
+}
+`,
+			}},
+			want: nil,
+		},
+		{
+			name: "roots outside internal/ pass",
+			files: []fixtureSrc{{
+				path: "densevlc/cmd/tool",
+				file: "cf7.go",
+				src: `package main
+
+import "context"
+
+func run() context.Context { return context.Background() }
+`,
+			}},
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			assertFindings(t, runFixture(t, tt.files, "ctxflow"), tt.want...)
+		})
+	}
+}

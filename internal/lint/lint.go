@@ -5,7 +5,8 @@
 // (go/parser, go/ast, go/types), so the repo stays offline-buildable with a
 // dependency-free go.mod.
 //
-// Six analyzers run over every package:
+// Ten analyzers make up the suite. Six intraprocedural rules run over every
+// package:
 //
 //   - determinism: forbids global math/rand functions and wall-clock calls
 //     (time.Now, time.Since, ...) inside the simulation packages; stochastic
@@ -27,12 +28,36 @@
 //     multiplication/division of two unit-typed values, and exported
 //     physics-package APIs that pass physical quantities as bare float64.
 //
+// Four interprocedural rules run over the module-wide call graph
+// (callgraph.go), built from go/types object identity with closure tracking
+// and class-hierarchy analysis for interface dispatch:
+//
+//   - hotalloc: functions annotated //lint:hotpath — and everything
+//     reachable from them, up to //lint:hotpath-boundary audits — must not
+//     contain heap-allocating constructs; the static proof of the 0
+//     allocs/op contract the AllocsPerRun benchmarks sample dynamically.
+//   - sharedmut: closures handed to parallel.Map/ForEach or launched with
+//     `go` must not write captured state, except the sanctioned per-task
+//     slice[i] element write; the static twin of `go test -race`.
+//   - seedflow: every *rand.Rand consumed inside a parallel closure must be
+//     a per-task stream (stats.SplitRand before the fan-out, or
+//     stats.NewRand(seed+i) inside it), never a generator shared across
+//     workers.
+//   - ctxflow: functions that accept a context.Context must propagate it to
+//     context-accepting callees, and context.Background/TODO are forbidden
+//     inside internal/ libraries.
+//
 // Any finding can be suppressed with a comment on the same line or the line
 // directly above:
 //
 //	//lint:ignore <rule> <reason>
 //
 // The reason is mandatory; a directive without one is itself reported.
+// Audited interprocedural findings that question an API's design rather
+// than a line of code (context-free public entry points, documented cold
+// fallbacks) live in the checked-in baseline scripts/lint_baseline.json
+// instead (baseline.go); cmd/vlclint -baseline filters findings through it
+// and reports entries that no longer match anything as stale.
 package lint
 
 import (
@@ -71,14 +96,18 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named rule.
+// Analyzer is one named rule. Intraprocedural rules set Run and see one
+// package at a time; interprocedural rules set RunModule and see every
+// loaded package plus the shared call graph. Exactly one of the two is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Finding
+	Name      string
+	Doc       string
+	Run       func(*Package) []Finding
+	RunModule func(*Module) []Finding
 }
 
-// Analyzers returns the full vlclint suite in reporting order.
+// Analyzers returns the full vlclint suite in reporting order: the six
+// intraprocedural rules, then the four call-graph rules.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerDeterminism,
@@ -87,25 +116,50 @@ func Analyzers() []*Analyzer {
 		analyzerErrDrop,
 		analyzerAPIPanic,
 		analyzerUnitSafety,
+		analyzerHotAlloc,
+		analyzerSharedMut,
+		analyzerSeedFlow,
+		analyzerCtxFlow,
 	}
 }
 
-// Run applies the analyzers to every package, drops findings covered by
+// Run applies the analyzers to every package — building the call graph once
+// when any interprocedural analyzer is selected — drops findings covered by
 // //lint:ignore directives, reports malformed directives, and returns the
 // remainder sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
+	sup := suppressions{rules: make(map[string]map[int][]string)}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		all = append(all, sup.malformed...)
+		collectSuppressions(pkg, &sup)
+	}
+	all = append(all, sup.malformed...)
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			for _, f := range a.Run(pkg) {
-				if !sup.covers(f) {
-					all = append(all, f)
-				}
+			if a.Run == nil {
+				continue
 			}
+			all = append(all, a.Run(pkg)...)
 		}
 	}
+	var mod *Module
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if mod == nil {
+			mod = NewModule(pkgs)
+			all = append(all, mod.Graph.malformed...)
+		}
+		all = append(all, a.RunModule(mod)...)
+	}
+	kept := all[:0]
+	for _, f := range all {
+		if !sup.covers(f) {
+			kept = append(kept, f)
+		}
+	}
+	all = kept
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -146,8 +200,7 @@ func (s suppressions) covers(f Finding) bool {
 	return false
 }
 
-func collectSuppressions(pkg *Package) suppressions {
-	s := suppressions{rules: make(map[string]map[int][]string)}
+func collectSuppressions(pkg *Package, s *suppressions) {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -173,7 +226,6 @@ func collectSuppressions(pkg *Package) suppressions {
 			}
 		}
 	}
-	return s
 }
 
 // isTestFile reports whether the position is inside a _test.go file.

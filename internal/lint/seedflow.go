@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerSeedFlow is a taint pass over random-stream provenance: every
+// *rand.Rand consumed inside a closure handed to parallel.Map/ForEach must
+// be a per-task stream — derived from the task index before the fan-out
+// (`rngs[i] = stats.SplitRand(parent)` filled serially, then indexed by the
+// closure) or constructed inside the task (`stats.NewRand(seed + int64(i))`).
+// A generator shared across workers is consumed in scheduling order, so the
+// same seed yields different numbers run to run, silently voiding the
+// byte-identical guarantee the golden CSVs pin (DESIGN.md "Parallel
+// experiment engine").
+//
+// Three shapes are reported:
+//
+//  1. the closure references a captured variable (or captured struct field)
+//     of type *rand.Rand directly — including passing it to
+//     stats.SplitRand inside the task, which still draws from the shared
+//     parent in scheduling order;
+//  2. the closure indexes a captured slice/array/map of *rand.Rand, but an
+//     element of that collection is filled from something other than a
+//     stats.SplitRand / stats.NewRand / rand.New call — e.g. aliasing the
+//     shared parent into every slot;
+//  3. same as 2 for append-filled collections.
+var analyzerSeedFlow = &Analyzer{
+	Name:      "seedflow",
+	Doc:       "require per-task *rand.Rand streams (stats.SplitRand) inside parallel closures",
+	RunModule: runSeedFlow,
+}
+
+// statsPkg is the import path of the sanctioned stream constructors.
+const statsPkg = modulePath + "/internal/stats"
+
+func runSeedFlow(mod *Module) []Finding {
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			// enclosing tracks the innermost function declaration, whose
+			// body is scanned for collection-fill provenance.
+			var enclosing ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok {
+					enclosing = fd
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parallelPkg ||
+					!parallelEntryFns[fn.Name()] || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				findings = append(findings, checkSeedFlow(pkg, enclosing, lit, "parallel."+fn.Name())...)
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// checkSeedFlow inspects one parallel closure for shared random streams.
+func checkSeedFlow(pkg *Package, enclosing ast.Node, lit *ast.FuncLit, origin string) []Finding {
+	var findings []Finding
+	reported := map[types.Object]bool{}
+	checkedColl := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || reported[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // task-local
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		switch {
+		case isRandPtr(v.Type()):
+			reported[v] = true
+			findings = append(findings, Finding{
+				Pos:  pkg.Fset.Position(id.Pos()),
+				Rule: "seedflow",
+				Message: fmt.Sprintf("*rand.Rand %q is captured by a %s closure and shared across workers; derive a per-task stream with stats.SplitRand before the fan-out or stats.NewRand(seed+i) inside it",
+					v.Name(), origin),
+			})
+		case randCollectionElem(v.Type()) && !checkedColl[v]:
+			checkedColl[v] = true
+			findings = append(findings, checkCollectionFill(pkg, enclosing, lit, v, origin)...)
+		}
+		return true
+	})
+	return findings
+}
+
+// checkCollectionFill audits how a captured *rand.Rand collection is filled
+// in the enclosing function: every element assignment (or append) must take
+// its value from a fresh-stream constructor. Collections with no visible
+// fill (e.g. passed in as a parameter) are accepted — provenance is the
+// supplier's responsibility and the supplier's own fan-out is analyzed
+// there.
+func checkCollectionFill(pkg *Package, enclosing ast.Node, lit *ast.FuncLit, coll *types.Var, origin string) []Finding {
+	if enclosing == nil {
+		return nil
+	}
+	var findings []Finding
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if n == lit {
+			return false // uses inside the closure are not fills
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			if i >= len(asg.Rhs) && len(asg.Rhs) != 1 {
+				break
+			}
+			rhs := asg.Rhs[0]
+			if len(asg.Rhs) == len(asg.Lhs) {
+				rhs = asg.Rhs[i]
+			}
+			switch x := ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr:
+				// rngs[k] = RHS
+				if root, ok := ast.Unparen(x.X).(*ast.Ident); ok && pkg.Info.Uses[root] == coll {
+					findings = append(findings, checkFillValue(pkg, rhs, coll, origin)...)
+				}
+			case *ast.Ident:
+				// rngs = append(rngs, RHS...) — audit each appended value.
+				if pkg.Info.Uses[x] != coll && pkg.Info.Defs[x] != coll {
+					continue
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						for _, arg := range call.Args[1:] {
+							findings = append(findings, checkFillValue(pkg, arg, coll, origin)...)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// checkFillValue accepts fresh-stream constructor calls and rejects
+// anything else flowing into a worker-visible collection element.
+func checkFillValue(pkg *Package, rhs ast.Expr, coll *types.Var, origin string) []Finding {
+	if !isRandPtr(pkg.Info.TypeOf(rhs)) {
+		return nil // e.g. appending a whole slice; out of scope
+	}
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil {
+			switch {
+			case fn.Pkg().Path() == statsPkg && (fn.Name() == "SplitRand" || fn.Name() == "NewRand"):
+				return nil
+			case (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") && fn.Name() == "New":
+				return nil
+			}
+		}
+	}
+	return []Finding{{
+		Pos:  pkg.Fset.Position(rhs.Pos()),
+		Rule: "seedflow",
+		Message: fmt.Sprintf("element of %q feeds a %s closure but is not a fresh per-task stream; fill it with stats.SplitRand(parent) or stats.NewRand(seed+i), not a shared generator",
+			coll.Name(), origin),
+	}}
+}
+
+// isRandPtr reports whether t is *math/rand.Rand (v1 or v2).
+func isRandPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Rand" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// randCollectionElem reports whether t is a slice, array, or map whose
+// element type is *rand.Rand.
+func randCollectionElem(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isRandPtr(u.Elem())
+	case *types.Array:
+		return isRandPtr(u.Elem())
+	case *types.Map:
+		return isRandPtr(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerSharedMut is the static twin of `go test -race` and
+// TestParallelDeterminism: closures handed to the deterministic worker pool
+// (parallel.Map / parallel.ForEach) or launched with a `go` statement must
+// not write variables captured from the enclosing function or fields of
+// captured structs — every worker would race on the same location, and even
+// when the race detector stays silent the write order depends on
+// scheduling, which breaks the byte-identical-at-any-worker-count
+// guarantee.
+//
+// The one sanctioned escape is the ordered-collection path the pool itself
+// is built on: writing `slice[i] = ...` (or `grid[i].field = ...`) where
+// `i` is the closure's own task-index parameter targets a per-task element
+// that no other worker touches. Map and chained index writes stay
+// forbidden; maps are not index-disjoint under concurrent writes.
+//
+// Goroutines launched with `go` have no index parameter, so any captured
+// write is reported; writes genuinely serialised by a mutex are audited
+// with //lint:ignore sharedmut <reason> (the analyzer cannot see lock
+// discipline).
+var analyzerSharedMut = &Analyzer{
+	Name:      "sharedmut",
+	Doc:       "forbid writes to captured state inside parallel.Map/ForEach closures and go statements",
+	RunModule: runSharedMut,
+}
+
+// parallelPkg is the import path of the deterministic pool.
+const parallelPkg = modulePath + "/internal/parallel"
+
+// parallelEntryFns are the pool entry points whose final argument is the
+// per-task closure.
+var parallelEntryFns = map[string]bool{"Map": true, "ForEach": true}
+
+func runSharedMut(mod *Module) []Finding {
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(pkg, x)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parallelPkg ||
+						!parallelEntryFns[fn.Name()] || len(x.Args) == 0 {
+						return true
+					}
+					lit, ok := ast.Unparen(x.Args[len(x.Args)-1]).(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					findings = append(findings, checkParallelClosure(pkg, lit, indexParam(pkg, lit), "parallel."+fn.Name())...)
+				case *ast.GoStmt:
+					if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+						findings = append(findings, checkParallelClosure(pkg, lit, nil, "go statement")...)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// indexParam returns the object of the closure's first parameter (the task
+// index handed out by the pool), or nil when the closure takes none.
+func indexParam(pkg *Package, lit *ast.FuncLit) *types.Var {
+	if lit.Type.Params == nil || len(lit.Type.Params.List) == 0 {
+		return nil
+	}
+	names := lit.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := pkg.Info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// checkParallelClosure reports writes to captured state inside lit
+// (including writes inside nested literals, which run on the same worker).
+func checkParallelClosure(pkg *Package, lit *ast.FuncLit, index *types.Var, origin string) []Finding {
+	var findings []Finding
+	report := func(pos token.Pos, target string) {
+		msg := fmt.Sprintf("closure passed to %s writes captured %s; workers race and output depends on scheduling — return the value, or write only slice[i] for the task index i", origin, target)
+		if index == nil {
+			msg = fmt.Sprintf("closure launched in %s writes captured %s; goroutines race — communicate by channel or collect per-index results", origin, target)
+		}
+		findings = append(findings, Finding{Pos: pkg.Fset.Position(pos), Rule: "sharedmut", Message: msg})
+	}
+	check := func(target ast.Expr, pos token.Pos) {
+		if desc, bad := sharedWrite(pkg, lit, index, target); bad {
+			report(pos, desc)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// A nested pool call's closure is analyzed on its own (with its
+			// own index parameter); don't double-report it from here.
+			if fn := calleeFunc(pkg, x); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == parallelPkg && parallelEntryFns[fn.Name()] {
+				return false
+			}
+		case *ast.GoStmt:
+			if _, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok && n != lit.Body {
+				return false // nested goroutine checked separately
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				check(lhs, x.Pos())
+			}
+		case *ast.IncDecStmt:
+			check(x.X, x.Pos())
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					check(x.Key, x.Pos())
+				}
+				if x.Value != nil {
+					check(x.Value, x.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// sharedWrite decides whether a write target names captured, non-task-local
+// state. It peels the target down to its root identifier, remembering
+// whether any hop was a slice/array index keyed (at least in part) by the
+// task-index parameter — the sanctioned per-task element write.
+func sharedWrite(pkg *Package, lit *ast.FuncLit, index *types.Var, target ast.Expr) (string, bool) {
+	indexed := false // saw slice[i] with i = task index
+	expr := target
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return "", false
+			}
+			v, ok := pkg.Info.Uses[x].(*types.Var)
+			if !ok {
+				return "", false
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				return "", false // the closure's own params/locals
+			}
+			if v.Parent() == nil || v.Parent() == types.Universe {
+				return "", false
+			}
+			if indexed {
+				return "", false // sanctioned: per-task element of a captured slice
+			}
+			if v.Pkg() != nil && v.Pkg().Scope().Lookup(v.Name()) == v {
+				return fmt.Sprintf("package variable %q", v.Name()), true
+			}
+			return fmt.Sprintf("variable %q", v.Name()), true
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			base := pkg.Info.TypeOf(x.X)
+			if base != nil {
+				if _, isMap := base.Underlying().(*types.Map); isMap {
+					// Concurrent map writes are never element-disjoint.
+					expr = x.X
+					continue
+				}
+			}
+			if index != nil && mentionsVar(pkg, x.Index, index) {
+				indexed = true
+			}
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// mentionsVar reports whether the expression references the given variable.
+func mentionsVar(pkg *Package, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
 	"densevlc/internal/chaos"
 	"densevlc/internal/frame"
 	"densevlc/internal/mac"
@@ -191,6 +192,9 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 
 	cfg.defaults()
 	var out []RoundStats
+	// Round metrics reuse one SINR buffer: the per-round scoring path is a
+	// //lint:hotpath contract (see roundThroughput).
+	sinrScratch := make([]float64, cfg.M)
 
 	for round := 0; round < cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -359,8 +363,19 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 		// Metrics against the true channel.
 		trueH, swings := hub.Snapshot()
 		env := &alloc.Env{Params: hub.Setup().Params, H: trueH, LED: hub.Setup().LED}
-		rs.SystemThroughput = alloc.Evaluate(env, swings).SumThroughput
+		rs.SystemThroughput = roundThroughput(env, swings, sinrScratch)
 		out = append(out, rs)
 	}
 	return out, nil
+}
+
+// roundThroughput scores the round's commanded swings against the true
+// channel — the Eq. (5) system throughput the controller reports per round.
+// It writes the SINR map into the caller-owned scratch so the per-round
+// metrics path never allocates.
+//
+//lint:hotpath
+func roundThroughput(env *alloc.Env, s channel.Swings, sinrScratch []float64) units.BitsPerSecond {
+	sinr := channel.SINRInto(sinrScratch, env.Params, env.H, s)
+	return channel.SumThroughput(env.Params, sinr)
 }

@@ -57,8 +57,17 @@ type Result struct {
 
 // Run spawns the controller, every transmitter and every receiver as
 // goroutines over the transport, runs the configured number of rounds, and
-// shuts everything down.
+// shuts everything down. It is RunContext with a background context — the
+// run is still bounded by cfg.Timeout, but cannot be cancelled early.
 func Run(cfg Config) (*Result, error) {
+	//lint:ignore ctxflow context-free convenience entry point for mains; RunContext accepts the caller's context
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a caller-supplied context: cancelling ctx aborts
+// the round loop and tears the deployment down, in addition to the
+// cfg.Timeout bound.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Trajectories) == 0 {
 		return nil, errors.New("node: no receivers")
 	}
@@ -82,7 +91,7 @@ func Run(cfg Config) (*Result, error) {
 
 	hub := NewHub(cfg.Setup, cfg.Trajectories, cfg.Blocker, cfg.Sync, cfg.MeasurementNoise, cfg.Seed)
 
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 
 	var wg sync.WaitGroup

@@ -189,6 +189,8 @@ func rel(now, prev float64) float64 {
 }
 
 // ProjectNonNegative clamps every coordinate at zero.
+//
+//lint:hotpath
 func ProjectNonNegative(x []float64) {
 	for i, v := range x {
 		if v < 0 {
@@ -206,12 +208,15 @@ func ProjectNonNegative(x []float64) {
 // Vectors up to stackDim coordinates project without allocating; beyond
 // that a scratch buffer is allocated per call — hot paths with larger
 // vectors should hold a buffer and call ProjectCappedSimplexScratch.
+//
+//lint:hotpath
 func ProjectCappedSimplex(x []float64, capacity float64) {
 	var buf [stackDim]float64
 	if len(x) <= len(buf) {
 		ProjectCappedSimplexScratch(x, capacity, buf[:len(x)])
 		return
 	}
+	//lint:ignore hotalloc documented cold fallback for len(x) > stackDim; the AllocsPerRun gates prove the M=4 and M=16 paths stay on the stack
 	ProjectCappedSimplexScratch(x, capacity, make([]float64, len(x)))
 }
 
@@ -226,6 +231,8 @@ const stackDim = 16
 // it must not alias x. The post-projection coordinate sum is returned so
 // callers folding the projection into a budget computation (DenseVLC's
 // constraint (7) check) need no second pass over x.
+//
+//lint:hotpath
 func ProjectCappedSimplexScratch(x []float64, capacity float64, scratch []float64) float64 {
 	if capacity < 0 {
 		capacity = 0
@@ -386,6 +393,8 @@ func sortDescending(s []float64) {
 // RadialScale scales x toward the origin by factor α in place. It restores
 // feasibility of constraints of the form g(x) ≤ c where g(αx) = α²·g(x),
 // such as DenseVLC's total-power constraint (7).
+//
+//lint:hotpath
 func RadialScale(x []float64, alpha float64) {
 	for i := range x {
 		x[i] *= alpha

@@ -69,6 +69,15 @@ func (e *PanicError) Error() string {
 // matching what a serial loop reports. After the first observed error (or
 // once ctx is cancelled) no new tasks start; in-flight tasks run to
 // completion and their results are lost.
+//
+// Task closures must not write captured state shared across tasks — workers
+// would race and the result would depend on scheduling. The one sanctioned
+// pattern is writing a captured slice at the task's own index: the atomic
+// counter hands each index to exactly one worker, so per-index element
+// writes are disjoint. vlclint's sharedmut analyzer enforces this contract
+// statically; TestMapPanicWithCapturedSliceWrites exercises it dynamically
+// under the race detector. A task that panics surfaces on the calling
+// goroutine as a *PanicError carrying the task index, value, and stack.
 func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
@@ -114,10 +123,12 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 				}
 				v, err := run(i, fn)
 				if err != nil {
+					//lint:ignore sharedmut the pool's own ordered-collection write: the atomic counter hands index i to exactly one worker
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
+				//lint:ignore sharedmut the pool's own ordered-collection write: the atomic counter hands index i to exactly one worker
 				out[i] = v
 			}
 		}()

@@ -187,3 +187,37 @@ func TestWorkersDefaults(t *testing.T) {
 		t.Errorf("Workers(-3) = %d, want ≥ 1", got)
 	}
 }
+
+// TestMapPanicWithCapturedSliceWrites is the dynamic twin of vlclint's
+// sharedmut fixture (internal/lint/interproc_test.go): the closure writes a
+// captured slice at its own task index — the sanctioned ordered-collection
+// pattern, which `go test -race` must stay silent on because the atomic
+// counter hands each index to exactly one worker — and one task panics. The
+// panic must resurface on the calling goroutine as a *PanicError, with the
+// panicking task's own write already landed.
+func TestMapPanicWithCapturedSliceWrites(t *testing.T) {
+	const n, bad = 64, 11
+	for _, workers := range []int{1, 4} {
+		touched := make([]int32, n)
+		_, err := Map(context.Background(), workers, n, func(i int) (int, error) {
+			touched[i] = 1 // per-index captured-slice write: element i belongs to task i alone
+			if i == bad {
+				panic("hot potato")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %v is not a PanicError", workers, err)
+		}
+		if pe.Index != bad || pe.Value != "hot potato" {
+			t.Errorf("workers=%d: PanicError = {%d %v}", workers, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+		if touched[bad] != 1 {
+			t.Errorf("workers=%d: panicking task's slice write lost", workers)
+		}
+	}
+}

@@ -187,6 +187,8 @@ func (f *faultState) SkewClock(tx int, delta units.Seconds) {
 // mask applies the fault state to a freshly built channel matrix in place:
 // dark transmitters radiate nothing, shadowed receivers see attenuated
 // gains.
+//
+//lint:hotpath
 func (f *faultState) mask(h *channel.Matrix) {
 	for j := 0; j < h.N; j++ {
 		for i := 0; i < h.M; i++ {
@@ -537,4 +539,5 @@ func dataPhase(cfg Config, rng *rand.Rand, ctrl *mac.Controller, plan mac.Plan,
 	return per, goodput, nil
 }
 
+//lint:hotpath
 func sq(x float64) float64 { return x * x }

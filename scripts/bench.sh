@@ -18,6 +18,26 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr4.json}"
 baseline="${2-HEAD}"
 
+# Static/dynamic alignment gate: every function whose allocs/op the bench
+# suite pins to zero (testing.AllocsPerRun in internal/alloc/kernel_test.go
+# and internal/optimize/fastpath_test.go) must carry the //lint:hotpath
+# annotation, so vlclint's hotalloc analyzer proves statically what
+# AllocsPerRun samples dynamically. Keep this list in sync with those tests.
+echo "==> hotpath/AllocsPerRun alignment"
+hot=$(go run ./cmd/vlclint -graph ./... | awk '$1 == "hot" { print $2 }')
+for fn in \
+    '(*densevlc/internal/alloc.problem).Value' \
+    '(*densevlc/internal/alloc.problem).Gradient' \
+    '(*densevlc/internal/alloc.problem).ValueGradient' \
+    '(*densevlc/internal/alloc.problem).Project' \
+    'densevlc/internal/optimize.ProjectCappedSimplex' \
+    'densevlc/internal/optimize.ProjectCappedSimplexScratch'; do
+    if ! grep -qxF "$fn" <<<"$hot"; then
+        echo "bench.sh: $fn is AllocsPerRun-gated but not //lint:hotpath-annotated (see: go run ./cmd/vlclint -graph ./...)" >&2
+        exit 1
+    fi
+done
+
 # Benchmarks present both before and after: the paired macro path.
 pair_pat='Fig11HeuristicVsOptimal$|OptimalDecision$|HeuristicDecision$|OptimalSolve$'
 # After-only additions: kernel and projector micros, warm-vs-cold sweep.

@@ -7,22 +7,29 @@
 #   1. gofmt        — no unformatted files
 #   2. go vet       — standard static checks
 #   3. go build     — everything compiles
-#   4. vlclint      — domain invariants: determinism, maporder, floatcmp,
-#                     errdrop, apipanic, unitsafety (see DESIGN.md
-#                     "Static analysis" and "Typed physical quantities")
-#   5. go test      — the full unit/integration/property/golden suite,
+#   4. lint fixtures — the analyzer test suite itself (fast, -short), so a
+#                     broken analyzer fails before it can silently pass the
+#                     repo in step 5
+#   5. vlclint      — domain invariants: the six intraprocedural rules
+#                     (determinism, maporder, floatcmp, errdrop, apipanic,
+#                     unitsafety) plus the four interprocedural rules over
+#                     the module call graph (hotalloc, sharedmut, seedflow,
+#                     ctxflow), filtered through the audited baseline
+#                     scripts/lint_baseline.json (see DESIGN.md
+#                     "Interprocedural analysis")
+#   6. go test      — the full unit/integration/property/golden suite,
 #                     with a statement-coverage profile (coverage.out)
-#   6. coverage gate — total coverage must not fall below
+#   7. coverage gate — total coverage must not fall below
 #                     scripts/coverage_baseline.txt; raise the baseline
 #                     when coverage durably improves, never lower it to
 #                     make a PR pass
-#   7. go test -race — every package, including the parallel experiment
+#   8. go test -race — every package, including the parallel experiment
 #                     engine; the determinism test runs here so the
 #                     byte-identical guarantee is checked under the race
 #                     detector
-#   8. chaos smoke  — one fault-injected end-to-end run per engine
+#   9. chaos smoke  — one fault-injected end-to-end run per engine
 #                     (tx-blackout preset) plus the resilience experiment
-#   9. short fuzz   — a few seconds of the frame-codec and Manchester
+#  10. short fuzz   — a few seconds of the frame-codec and Manchester
 #                     round-trip fuzzers, enough to catch regressions on
 #                     the seeded corpora plus fresh mutations
 set -euo pipefail
@@ -43,11 +50,15 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> vlclint ./..."
-if ! go run ./cmd/vlclint ./...; then
-    # Re-emit the findings as JSON so CI can publish them as an artifact
-    # (.github/workflows/ci.yml uploads vlclint-findings.json on failure).
-    go run ./cmd/vlclint -json ./... > vlclint-findings.json || true
+echo "==> lint fixtures (analyzer test suite)"
+go test -short ./internal/lint/
+
+echo "==> vlclint ./... (baseline: scripts/lint_baseline.json)"
+if ! go run ./cmd/vlclint -baseline scripts/lint_baseline.json ./...; then
+    # Re-emit the unbaselined findings as JSON so CI can publish them as an
+    # artifact (.github/workflows/ci.yml uploads vlclint-findings.json on
+    # failure).
+    go run ./cmd/vlclint -json -baseline scripts/lint_baseline.json ./... > vlclint-findings.json || true
     echo "vlclint: findings written to vlclint-findings.json" >&2
     exit 1
 fi
