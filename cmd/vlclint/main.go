@@ -4,11 +4,15 @@
 // accumulation across map iteration), floatcmp (no exact floating-point
 // equality), errdrop (no silently discarded errors), apipanic (no panics in
 // internal API code), and unitsafety (dimensional analysis over the
-// internal/units types) — plus four interprocedural rules over the module
+// internal/units types) — plus eight interprocedural rules over the module
 // call graph: hotalloc (no heap allocation in or below //lint:hotpath
 // functions), sharedmut (no writes to captured state inside parallel
-// closures), seedflow (per-task *rand.Rand streams only), and ctxflow
-// (context propagation; no context.Background/TODO in internal/ libraries).
+// closures), seedflow (per-task *rand.Rand streams only), ctxflow
+// (context propagation; no context.Background/TODO in internal/ libraries),
+// lockorder (acyclic lock-acquisition order, no re-entrant locking),
+// lockscope (no blocking operation while a mutex is held), chanleak (every
+// launched goroutine has a provable exit path), and atomicmix (no plain
+// access to sync/atomic-managed variables).
 //
 // Usage:
 //
@@ -17,6 +21,7 @@
 //	go run ./cmd/vlclint -json ./... > findings.json
 //	go run ./cmd/vlclint -baseline scripts/lint_baseline.json ./...
 //	go run ./cmd/vlclint -baseline scripts/lint_baseline.json -update-baseline ./...
+//	go run ./cmd/vlclint -timing ./...
 //	go run ./cmd/vlclint -graph ./...
 //	go run ./cmd/vlclint -list
 //
@@ -29,6 +34,10 @@
 // it, keeping audited reasons and marking new entries UNAUDITED). -graph
 // dumps the module call graph with hot-path annotations — scripts/bench.sh
 // greps it to keep the static and dynamic zero-alloc gates aligned.
+// -timing reports per-rule wall clock and surviving finding counts on
+// stderr in suite order (the shared call-graph build is accounted
+// separately as "callgraph"), so a slow analyzer shows up before it slows
+// CI down.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"densevlc/internal/lint"
 )
@@ -57,8 +67,9 @@ func main() {
 	graph := flag.Bool("graph", false, "dump the module call graph (with hotpath annotations) and exit")
 	baselinePath := flag.String("baseline", "", "filter findings through a baseline JSON file of audited sites")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from current findings (new entries marked UNAUDITED) and exit")
+	timing := flag.Bool("timing", false, "report per-rule wall clock and finding counts on stderr")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [-json] [-graph] [-rules a,b,...] [-baseline file.json [-update-baseline]] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: vlclint [-list] [-json] [-timing] [-graph] [-rules a,b,...] [-baseline file.json [-update-baseline]] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -99,7 +110,16 @@ func main() {
 		return
 	}
 
-	findings := lint.Run(pkgs, analyzers)
+	var findings []lint.Finding
+	if *timing {
+		var timings []lint.RuleTiming
+		findings, timings = lint.RunTimed(pkgs, analyzers)
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "vlclint: %-12s %4d finding(s) %12s\n", tm.Rule, tm.Findings, tm.Elapsed.Round(time.Microsecond))
+		}
+	} else {
+		findings = lint.Run(pkgs, analyzers)
+	}
 
 	if *updateBaseline {
 		var prev *lint.Baseline

@@ -24,6 +24,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -245,7 +246,7 @@ func Parse(spec string) (*Schedule, error) {
 		if len(fields) < 3 {
 			return nil, fmt.Errorf("chaos: event %q: want at:kind:target[:value]", part)
 		}
-		at, err := strconv.ParseFloat(fields[0], 64)
+		at, err := parseFinite(fields[0])
 		if err != nil {
 			return nil, fmt.Errorf("chaos: event %q: bad time: %w", part, err)
 		}
@@ -263,7 +264,7 @@ func Parse(spec string) (*Schedule, error) {
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("chaos: event %q: %s needs a value field", part, kind)
 			}
-			v, err := strconv.ParseFloat(fields[3], 64)
+			v, err := parseFinite(fields[3])
 			if err != nil {
 				return nil, fmt.Errorf("chaos: event %q: bad value: %w", part, err)
 			}
@@ -276,6 +277,20 @@ func Parse(spec string) (*Schedule, error) {
 		s.Add(e)
 	}
 	return s, nil
+}
+
+// parseFinite parses a float and rejects NaN/±Inf, which strconv accepts but
+// would slip past Validate's range checks (NaN compares false against every
+// bound) and break the spec grammar's round-trip guarantee.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite number %q", s)
+	}
+	return v, nil
 }
 
 // RandomTXFailures schedules the simultaneous hard failure of k distinct

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"densevlc/internal/stats"
+	"densevlc/internal/testutil"
 	"densevlc/internal/units"
 )
 
@@ -79,6 +80,10 @@ func TestParseErrors(t *testing.T) {
 		"1:rxblock:0:x",     // bad value
 		"1:txfail:7:0.5",    // spurious value
 		"1:txrecover:7:0.5", // spurious value
+		"NaN:txfail:7",      // non-finite time
+		"+Inf:txfail:7",     // non-finite time
+		"1:rxblock:0:nan",   // non-finite value
+		"1:clockstep:0:inf", // non-finite value
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("spec %q parsed without error", spec)
@@ -109,6 +114,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestInjectorAppliesInOrder(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	// Added out of order; normalised order is by time, insertion order
 	// breaking ties.
 	s := NewSchedule()
@@ -196,6 +202,7 @@ func TestTXFlapExpansion(t *testing.T) {
 }
 
 func TestRandomTXFailuresDeterministic(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	s1, chosen1 := RandomTXFailures(stats.NewRand(7), 2, 36, 8)
 	s2, chosen2 := RandomTXFailures(stats.NewRand(7), 2, 36, 8)
 	if s1.String() != s2.String() {
@@ -225,6 +232,7 @@ func TestRandomTXFailuresDeterministic(t *testing.T) {
 // TestTraceDeterminism is the package-level half of the chaos determinism
 // guarantee: replaying the same schedule yields byte-identical traces.
 func TestTraceDeterminism(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	sched, _ := RandomTXFailures(stats.NewRand(3), 1, 36, 5)
 	sched.RXBlock(2, 1, 0.1).ClockStep(3, 4, 2e-6).RXUnblock(4, 1)
 

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzChaosSpec asserts the schedule spec grammar is a clean round trip: any
+// spec Parse accepts renders via String to a spec that parses back to the
+// identical normalised event sequence, String is a fixed point on normalised
+// output, and no accepted event carries a non-finite number (which would
+// slip through Validate's range checks, since NaN compares false against
+// every bound).
+func FuzzChaosSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"2:txfail:7;2:txrecover:7",
+		"4:rxblock:0:0.1;6:rxunblock:0",
+		"1.5:clockstep:3:0.002",
+		"0:txfail:0;0:txfail:1;0.25:rxblock:1:1",
+		"1e-3:clockstep:35:-2.5e-4",
+		"3:txfail:+7",
+		" 2:txfail:7 ; ;4:rxblock:0:0.5",
+		"NaN:txfail:1",
+		"+Inf:rxblock:0:0.5",
+		"1:clockstep:0:-inf",
+		"1:frob:7",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return // rejected inputs are out of scope; only accepted specs must round-trip
+		}
+		evs := s.Events()
+		for _, e := range evs {
+			if math.IsNaN(e.At.S()) || math.IsInf(e.At.S(), 0) {
+				t.Fatalf("Parse(%q) accepted non-finite time: %+v", spec, e)
+			}
+			if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+				t.Fatalf("Parse(%q) accepted non-finite value: %+v", spec, e)
+			}
+		}
+		rendered := s.String()
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) succeeded but its String() %q does not re-parse: %v", spec, rendered, err)
+		}
+		evs2 := s2.Events()
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip changed event count %d -> %d (%q -> %q)", len(evs), len(evs2), spec, rendered)
+		}
+		for i := range evs {
+			if evs[i] != evs2[i] {
+				t.Fatalf("event %d changed across round trip: %+v -> %+v (%q -> %q)", i, evs[i], evs2[i], spec, rendered)
+			}
+		}
+		if again := s2.String(); again != rendered {
+			t.Fatalf("String is not a fixed point on normalised output: %q -> %q", rendered, again)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicmix enforces all-or-nothing atomics: a variable or field whose
+// address is ever passed to a sync/atomic function (atomic.AddInt64(&x, 1),
+// atomic.LoadUint32(&f.n), ...) must be accessed through sync/atomic
+// everywhere. A single plain read or write of such a variable is a data race
+// the race detector only catches when the schedule cooperates; this rule
+// catches it on every build.
+//
+// Initialization is exempt: the declaration itself and composite-literal
+// field values happen before the value escapes to another goroutine. The
+// typed atomics (atomic.Int64, atomic.Bool, atomic.Pointer — what the repo's
+// parallel and stats packages use) are safe by construction and outside the
+// rule: their plain field reads do not exist.
+var analyzerAtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "a variable accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+	RunModule: runAtomicMix,
+}
+
+func runAtomicMix(m *Module) []Finding {
+	// Pass 1: collect the atomically accessed variables module-wide, the
+	// sanctioned ident positions inside atomic call arguments, and the
+	// ident positions that are composite-literal keys or declarations.
+	atomicSite := make(map[*types.Var]token.Position)
+	atomicName := make(map[*types.Var]string)
+	sanctioned := make(map[token.Pos]bool)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(pkg, e)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+						// Methods on the typed atomics are safe by
+						// construction; only the function forms take &addr.
+						return true
+					}
+					if len(e.Args) == 0 {
+						return true
+					}
+					addr, ok := ast.Unparen(e.Args[0]).(*ast.UnaryExpr)
+					if !ok || addr.Op != token.AND {
+						return true
+					}
+					obj, _ := chanRootObj(pkg, addr.X).(*types.Var)
+					if obj == nil {
+						return true
+					}
+					pos := pkg.Fset.Position(e.Pos())
+					if prev, seen := atomicSite[obj]; !seen || positionLess(pos, prev) {
+						atomicSite[obj] = pos
+						atomicName[obj] = "sync/atomic." + fn.Name()
+					}
+					ast.Inspect(e.Args[0], func(in ast.Node) bool {
+						if id, ok := in.(*ast.Ident); ok {
+							sanctioned[id.Pos()] = true
+						}
+						return true
+					})
+				case *ast.KeyValueExpr:
+					if key, ok := e.Key.(*ast.Ident); ok {
+						sanctioned[key.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicSite) == 0 {
+		return nil
+	}
+
+	// Pass 2: report every remaining plain use of an atomic variable.
+	var findings []Finding
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id.Pos()] {
+					return true
+				}
+				obj, _ := pkg.Info.Uses[id].(*types.Var)
+				if obj == nil {
+					return true
+				}
+				site, isAtomic := atomicSite[obj]
+				if !isAtomic {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:  pkg.Fset.Position(id.Pos()),
+					Rule: "atomicmix",
+					Message: fmt.Sprintf("%s is accessed via %s at %s but read/written plainly here; use sync/atomic for every access",
+						obj.Name(), atomicName[obj], shortPosition(site)),
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return positionLess(findings[i].Pos, findings[j].Pos) })
+	return findings
+}

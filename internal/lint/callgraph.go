@@ -105,6 +105,7 @@ type CallGraph struct {
 
 	byFunc map[*types.Func]*FuncNode
 	byLit  map[*ast.FuncLit]*FuncNode
+	impls  *implIndex
 	// malformed collects bad //lint:hotpath-boundary directives (missing
 	// reason), reported through the framework like malformed ignores.
 	malformed []Finding
@@ -178,11 +179,42 @@ func buildCallGraph(pkgs []*Package) *CallGraph {
 	for _, pkg := range pkgs {
 		g.addPackageNodes(pkg)
 	}
-	impls := collectMethodImplementations(pkgs)
+	g.impls = collectMethodImplementations(pkgs)
 	for _, pkg := range pkgs {
-		g.addPackageEdges(pkg, impls)
+		g.addPackageEdges(pkg, g.impls)
 	}
 	return g
+}
+
+// CalleesAt resolves one call expression to the module nodes it may invoke:
+// the literal's node for an immediately invoked literal, the declared
+// function's node for a static call, and every class-hierarchy
+// implementation for an interface-method call. Calls through plain
+// function-typed values and out-of-module callees resolve to nothing.
+func (g *CallGraph) CalleesAt(pkg *Package, call *ast.CallExpr) []*FuncNode {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if n := g.byLit[lit]; n != nil {
+			return []*FuncNode{n}
+		}
+		return nil
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if target := g.byFunc[fn]; target != nil {
+		return []*FuncNode{target}
+	}
+	if recv := receiverInterface(fn); recv != nil {
+		var out []*FuncNode
+		for _, impl := range g.impls.implementations(recv, fn.Name()) {
+			if n := g.byFunc[impl]; n != nil {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // addPackageNodes creates a node per declaration and per literal, reading

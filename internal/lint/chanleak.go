@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// chanleak proves that every goroutine launched with `go` has a guaranteed
+// exit path. The body of the launched function — and everything reachable
+// from it through the call graph — must not contain a channel operation that
+// can block forever:
+//
+//   - a select is exit-safe when it has a default case or a guard case: a
+//     receive from ctx.Done(), from a chan struct{} done channel, or from a
+//     chan time.Time (timer/deadline);
+//   - a bare send is safe when the channel is provably buffered (created by
+//     make(chan T, cap) with a non-zero capacity — the repo's sized
+//     errCh/delivered idiom);
+//   - a bare receive or range is safe when the channel is close()d somewhere
+//     in the module (range then terminates; receive yields zero values).
+//
+// Everything else — unguarded selects, sends on unknown channels, receives
+// from never-closed channels, and calls through plain function values whose
+// termination cannot be inspected — is reported. The dynamic twin is
+// internal/testutil's goroutine-leak checker, which samples the same
+// invariant at test time; chanleak proves it for the statically visible
+// part of the spawn tree.
+var analyzerChanLeak = &Analyzer{
+	Name:      "chanleak",
+	Doc:       "every goroutine must have a guaranteed exit path: channel ops select-guarded by ctx/done, provably buffered, or provably closed",
+	RunModule: runChanLeak,
+}
+
+func runChanLeak(m *Module) []Finding {
+	facts := collectChanFacts(m)
+	var findings []Finding
+
+	// Collect go statements in deterministic order and resolve their roots.
+	type goSite struct {
+		pkg  *Package
+		stmt *ast.GoStmt
+		pos  token.Position
+	}
+	var sites []goSite
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					sites = append(sites, goSite{pkg: pkg, stmt: g, pos: pkg.Fset.Position(g.Pos())})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return positionLess(sites[i].pos, sites[j].pos) })
+
+	// BFS the spawn trees, remembering which go statement first reaches each
+	// node so findings carry their provenance.
+	rootOf := make(map[*FuncNode]token.Position)
+	var order []*FuncNode
+	for _, s := range sites {
+		roots := m.Graph.CalleesAt(s.pkg, s.stmt.Call)
+		if len(roots) == 0 {
+			findings = append(findings, Finding{
+				Pos:  s.pos,
+				Rule: "chanleak",
+				Message: "goroutine launched through a function value cannot be checked statically; " +
+					"launch a named function or literal, or audit the spawn site",
+			})
+			continue
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+		queue := roots
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if _, seen := rootOf[n]; seen {
+				continue
+			}
+			rootOf[n] = s.pos
+			order = append(order, n)
+			callees := append([]*FuncNode(nil), n.Callees...)
+			sort.Slice(callees, func(i, j int) bool { return callees[i].ID < callees[j].ID })
+			queue = append(queue, callees...)
+		}
+	}
+
+	for _, n := range order {
+		findings = append(findings, chanLeakCheck(n, rootOf[n], facts)...)
+	}
+	return findings
+}
+
+// chanLeakCheck scans one goroutine-reachable node's own statements.
+func chanLeakCheck(n *FuncNode, root token.Position, facts *chanFacts) []Finding {
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	pkg := n.Pkg
+	var findings []Finding
+	where := fmt.Sprintf("in %s, reachable from go statement at %s", shortID(n.ID), shortPosition(root))
+	report := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, Finding{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    "chanleak",
+			Message: fmt.Sprintf(format, args...) + " " + where,
+		})
+	}
+
+	var walkNode func(ast.Node)
+	var walkStmtList func([]ast.Stmt)
+	walkStmtList = func(stmts []ast.Stmt) {
+		for _, st := range stmts {
+			walkNode(st)
+		}
+	}
+	walkNode = func(node ast.Node) {
+		if node == nil {
+			return
+		}
+		ast.Inspect(node, func(an ast.Node) bool {
+			switch e := an.(type) {
+			case *ast.FuncLit:
+				// Its own graph node; checked separately via contains edge.
+				return false
+			case *ast.SelectStmt:
+				if !selectExitSafe(pkg, e, facts) {
+					report(e.Select, "select with no default and no done/ctx guard case can block forever")
+				}
+				for _, c := range e.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					// Comm channel ops are covered by the select-level
+					// verdict; only their sub-expressions are walked.
+					walkCommSubExprs(pkg, cc.Comm, walkNode)
+					walkStmtList(cc.Body)
+				}
+				return false
+			case *ast.SendStmt:
+				if !facts.bufferedChan(pkg, e.Chan) {
+					report(e.Arrow, "unguarded send on %s can block forever: channel is not provably buffered and no select guards it;",
+						chanDisplay(pkg, e.Chan))
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW && !facts.closedChan(pkg, e.X) {
+					report(e.OpPos, "unguarded receive from %s can block forever: channel is never closed in the module and no select guards it;",
+						chanDisplay(pkg, e.X))
+				}
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(e.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan && !facts.closedChan(pkg, e.X) {
+						report(e.For, "range over %s can block forever: channel is never closed in the module;",
+							chanDisplay(pkg, e.X))
+					}
+				}
+			case *ast.CallExpr:
+				if _, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+					break
+				}
+				if !isCheckableCall(pkg, e) {
+					break
+				}
+				if calleeFunc(pkg, e) == nil {
+					report(e.Pos(), "call through a function value cannot be proven to terminate;")
+				}
+			}
+			return true
+		})
+	}
+	walkNode(body)
+	return findings
+}
+
+// bufferedChan reports whether the channel expression resolves to a variable
+// created with a non-zero buffer.
+func (f *chanFacts) bufferedChan(pkg *Package, ch ast.Expr) bool {
+	obj := chanRootObj(pkg, ch)
+	return obj != nil && f.buffered[obj]
+}
+
+// closedChan reports whether the channel expression resolves to a variable
+// that is close()d somewhere in the module.
+func (f *chanFacts) closedChan(pkg *Package, ch ast.Expr) bool {
+	obj := chanRootObj(pkg, ch)
+	return obj != nil && f.closed[obj]
+}
+
+// selectExitSafe reports whether a select statement cannot block forever: it
+// has a default case, a guard receive (ctx.Done(), chan struct{}, or chan
+// time.Time), or any comm op with standalone exit evidence.
+func selectExitSafe(pkg *Package, sel *ast.SelectStmt, facts *chanFacts) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default case
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if facts.bufferedChan(pkg, comm.Chan) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if recv, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+				if isGuardChan(pkg, recv.X) || facts.closedChan(pkg, recv.X) {
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, e := range comm.Rhs {
+				if recv, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+					if isGuardChan(pkg, recv.X) || facts.closedChan(pkg, recv.X) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isGuardChan recognizes the exit-guard channels: ctx.Done() calls, chan
+// struct{} done channels, and chan time.Time (timers, time.After).
+func isGuardChan(pkg *Package, ch ast.Expr) bool {
+	if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+		if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "context" && fn.Name() == "Done" {
+			return true
+		}
+	}
+	t := pkg.Info.TypeOf(ch)
+	if t == nil {
+		return false
+	}
+	chT, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	elem := chT.Elem()
+	if st, ok := elem.Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+		return true
+	}
+	if named, ok := elem.(*types.Named); ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time" {
+		return true
+	}
+	return false
+}
+
+// walkCommSubExprs walks the sub-expressions of a select comm statement
+// without visiting the comm channel op itself.
+func walkCommSubExprs(pkg *Package, comm ast.Stmt, walk func(ast.Node)) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		walk(c.Value)
+	case *ast.ExprStmt:
+		if recv, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+			if call, ok := ast.Unparen(recv.X).(*ast.CallExpr); ok {
+				for _, a := range call.Args {
+					walk(a)
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range c.Rhs {
+			if recv, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+				continue
+			}
+			walk(e)
+		}
+	}
+}
+
+// chanDisplay names a channel expression for messages.
+func chanDisplay(pkg *Package, ch ast.Expr) string {
+	if obj := chanRootObj(pkg, ch); obj != nil {
+		return obj.Name()
+	}
+	return "channel expression"
+}

@@ -5,8 +5,8 @@
 // (go/parser, go/ast, go/types), so the repo stays offline-buildable with a
 // dependency-free go.mod.
 //
-// Ten analyzers make up the suite. Six intraprocedural rules run over every
-// package:
+// Fourteen analyzers make up the suite. Six intraprocedural rules run over
+// every package:
 //
 //   - determinism: forbids global math/rand functions and wall-clock calls
 //     (time.Now, time.Since, ...) inside the simulation packages; stochastic
@@ -28,7 +28,7 @@
 //     multiplication/division of two unit-typed values, and exported
 //     physics-package APIs that pass physical quantities as bare float64.
 //
-// Four interprocedural rules run over the module-wide call graph
+// Eight interprocedural rules run over the module-wide call graph
 // (callgraph.go), built from go/types object identity with closure tracking
 // and class-hierarchy analysis for interface dispatch:
 //
@@ -46,6 +46,19 @@
 //   - ctxflow: functions that accept a context.Context must propagate it to
 //     context-accepting callees, and context.Background/TODO are forbidden
 //     inside internal/ libraries.
+//   - lockorder: the module's lock-acquisition graph (lock B taken while
+//     lock A is held, directly or through a call chain) must be acyclic,
+//     and no lock may be re-acquired while held — the static deadlock
+//     check.
+//   - lockscope: no blocking operation (unguarded channel op, select
+//     without default, wg.Wait, time.Sleep, network I/O, or a call
+//     reaching one) while a mutex is held.
+//   - chanleak: every goroutine launched with `go` must have a guaranteed
+//     exit path — channel ops select-guarded by a ctx/done channel,
+//     provably buffered, or provably closed; the static twin of the
+//     internal/testutil goroutine-leak checker.
+//   - atomicmix: a variable accessed via sync/atomic anywhere must never
+//     be read or written plainly elsewhere.
 //
 // Any finding can be suppressed with a comment on the same line or the line
 // directly above:
@@ -67,6 +80,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // modulePath is the import path of the module vlclint guards. The
@@ -107,7 +121,7 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full vlclint suite in reporting order: the six
-// intraprocedural rules, then the four call-graph rules.
+// intraprocedural rules, then the eight call-graph rules.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerDeterminism,
@@ -120,6 +134,10 @@ func Analyzers() []*Analyzer {
 		analyzerSharedMut,
 		analyzerSeedFlow,
 		analyzerCtxFlow,
+		analyzerLockOrder,
+		analyzerLockScope,
+		analyzerChanLeak,
+		analyzerAtomicMix,
 	}
 }
 
@@ -128,30 +146,59 @@ func Analyzers() []*Analyzer {
 // //lint:ignore directives, reports malformed directives, and returns the
 // remainder sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := run(pkgs, analyzers, false)
+	return findings
+}
+
+// RuleTiming is one analyzer's wall-clock cost and surviving finding count,
+// reported by cmd/vlclint -timing. The pseudo-rule "callgraph" accounts for
+// building the shared module call graph.
+type RuleTiming struct {
+	Rule     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// RunTimed is Run plus per-rule timings, in suite order with the callgraph
+// entry (when built) first.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []RuleTiming) {
+	return run(pkgs, analyzers, true)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, timed bool) ([]Finding, []RuleTiming) {
 	var all []Finding
 	sup := suppressions{rules: make(map[string]map[int][]string)}
 	for _, pkg := range pkgs {
 		collectSuppressions(pkg, &sup)
 	}
 	all = append(all, sup.malformed...)
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a.Run == nil {
-				continue
-			}
-			all = append(all, a.Run(pkg)...)
-		}
-	}
+	var timings []RuleTiming
 	var mod *Module
 	for _, a := range analyzers {
 		if a.RunModule == nil {
 			continue
 		}
-		if mod == nil {
-			mod = NewModule(pkgs)
-			all = append(all, mod.Graph.malformed...)
+		start := time.Now()
+		mod = NewModule(pkgs)
+		all = append(all, mod.Graph.malformed...)
+		if timed {
+			timings = append(timings, RuleTiming{Rule: "callgraph", Elapsed: time.Since(start)})
 		}
-		all = append(all, a.RunModule(mod)...)
+		break
+	}
+	for _, a := range analyzers {
+		start := time.Now()
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				all = append(all, a.Run(pkg)...)
+			}
+		case a.RunModule != nil:
+			all = append(all, a.RunModule(mod)...)
+		}
+		if timed {
+			timings = append(timings, RuleTiming{Rule: a.Name, Elapsed: time.Since(start)})
+		}
 	}
 	kept := all[:0]
 	for _, f := range all {
@@ -160,6 +207,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 	}
 	all = kept
+	if timed {
+		counts := make(map[string]int)
+		for _, f := range all {
+			counts[f.Rule]++
+		}
+		for i := range timings {
+			timings[i].Findings = counts[timings[i].Rule]
+		}
+	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -173,7 +229,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return all
+	return all, timings
 }
 
 // ignorePrefix introduces a suppression directive comment.

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockorder builds the module's lock-acquisition graph and reports cyclic
+// acquisition orders — the static deadlock check. A directed edge A→B is
+// recorded whenever lock B is acquired (directly, or transitively through a
+// resolved call) while lock A is held; any edge that participates in a cycle
+// is a potential deadlock: two goroutines taking the two locks in opposite
+// orders can each block waiting for the other forever.
+//
+// Locks are identified by their declaration (the mu field of a type, not a
+// runtime instance), RLock counts as Lock (a read lock still deadlocks
+// against a writer in a cycle), and a lock acquired while already held —
+// including through a call chain — is reported as a possible self-deadlock,
+// since sync mutexes are not reentrant. Calls through plain function values
+// are outside the analysis, as everywhere in the call-graph rules.
+var analyzerLockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock-acquisition graph must be acyclic and locks must not be re-acquired while held (static deadlock check)",
+	RunModule: runLockOrder,
+}
+
+// lockAcq is one witness acquisition of a lock inside some function.
+type lockAcq struct {
+	name string
+	pos  token.Position
+}
+
+// lockEdge records "to acquired while from held" at site.
+type lockEdge struct {
+	from, to         *types.Var
+	fromName, toName string
+	site             token.Position
+	viaCall          string // callee ID for indirect edges, "" for direct
+	toAcq            token.Position
+}
+
+func runLockOrder(m *Module) []Finding {
+	nodes := m.Graph.SortedNodes()
+
+	// Pass 1: direct acquisitions per node, anywhere in the body.
+	direct := make(map[*FuncNode]map[*types.Var]lockAcq)
+	for _, n := range nodes {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		walkOwnStatements(body, func(an ast.Node) {
+			call, ok := an.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			kind, lockExpr := syncLockCall(n.Pkg, call)
+			if kind != lockAcquire {
+				return
+			}
+			obj := lockObject(n.Pkg, lockExpr)
+			if obj == nil {
+				return
+			}
+			if direct[n] == nil {
+				direct[n] = make(map[*types.Var]lockAcq)
+			}
+			if _, seen := direct[n][obj]; !seen {
+				direct[n][obj] = lockAcq{
+					name: lockDisplayName(n.Pkg, lockExpr, obj),
+					pos:  n.Pkg.Fset.Position(call.Pos()),
+				}
+			}
+		})
+	}
+
+	// Pass 2: transitive mayAcquire fixpoint over the call graph.
+	may := make(map[*FuncNode]map[*types.Var]lockAcq, len(nodes))
+	for _, n := range nodes {
+		may[n] = make(map[*types.Var]lockAcq, len(direct[n]))
+		for obj, acq := range direct[n] {
+			may[n][obj] = acq
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, c := range n.Callees {
+				for obj, acq := range may[c] {
+					if _, ok := may[n][obj]; !ok {
+						may[n][obj] = acq
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: held-region scan collecting order edges and re-acquisitions.
+	var findings []Finding
+	edges := make(map[*types.Var]map[*types.Var]*lockEdge)
+	addEdge := func(e lockEdge) {
+		if edges[e.from] == nil {
+			edges[e.from] = make(map[*types.Var]*lockEdge)
+		}
+		if prev := edges[e.from][e.to]; prev == nil || positionLess(e.site, prev.site) {
+			cp := e
+			edges[e.from][e.to] = &cp
+		}
+	}
+	reacqSeen := make(map[string]bool)
+	for _, n := range nodes {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		pkg := n.Pkg
+		scanHeldRegions(pkg, body, lockScanHooks{
+			acquire: func(lk heldLock, held []heldLock) {
+				site := pkg.Fset.Position(lk.pos)
+				for _, h := range held {
+					if h.obj == lk.obj {
+						key := fmt.Sprintf("%s:%d:%d", site.Filename, site.Line, site.Column)
+						if !reacqSeen[key] {
+							reacqSeen[key] = true
+							findings = append(findings, Finding{
+								Pos:  site,
+								Rule: "lockorder",
+								Message: fmt.Sprintf("%s acquired while already held (acquired at %s); sync mutexes are not reentrant",
+									lk.name, shortPosition(pkg.Fset.Position(h.pos))),
+							})
+						}
+						continue
+					}
+					addEdge(lockEdge{
+						from: h.obj, to: lk.obj,
+						fromName: h.name, toName: lk.name,
+						site: site, toAcq: site,
+					})
+				}
+			},
+			call: func(call *ast.CallExpr, held []heldLock) {
+				if len(held) == 0 {
+					return
+				}
+				targets := m.Graph.CalleesAt(pkg, call)
+				sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+				site := pkg.Fset.Position(call.Pos())
+				for _, t := range targets {
+					for _, obj := range sortedLockVars(may[t]) {
+						acq := may[t][obj]
+						for _, h := range held {
+							if h.obj == obj {
+								key := fmt.Sprintf("%s:%d:%d|%s", site.Filename, site.Line, site.Column, acq.name)
+								if !reacqSeen[key] {
+									reacqSeen[key] = true
+									findings = append(findings, Finding{
+										Pos:  site,
+										Rule: "lockorder",
+										Message: fmt.Sprintf("call to %s while holding %s may acquire it again (at %s); sync mutexes are not reentrant",
+											shortID(t.ID), h.name, shortPosition(acq.pos)),
+									})
+								}
+								continue
+							}
+							addEdge(lockEdge{
+								from: h.obj, to: obj,
+								fromName: h.name, toName: acq.name,
+								site: site, viaCall: shortID(t.ID), toAcq: acq.pos,
+							})
+						}
+					}
+				}
+			},
+		})
+	}
+
+	// Pass 4: cycle detection over the lock graph; each ordered pair on a
+	// cycle yields one finding at its earliest recorded site.
+	var flat []*lockEdge
+	for _, m := range edges {
+		for _, e := range m {
+			flat = append(flat, e)
+		}
+	}
+	sort.Slice(flat, func(i, j int) bool {
+		a, b := flat[i], flat[j]
+		if a.fromName != b.fromName {
+			return a.fromName < b.fromName
+		}
+		if a.toName != b.toName {
+			return a.toName < b.toName
+		}
+		return positionLess(a.site, b.site)
+	})
+	for _, e := range flat {
+		witness := findPathEdge(edges, e.to, e.from)
+		if witness == nil {
+			continue
+		}
+		via := ""
+		if e.viaCall != "" {
+			via = fmt.Sprintf(" (via call to %s)", e.viaCall)
+		}
+		findings = append(findings, Finding{
+			Pos:  e.site,
+			Rule: "lockorder",
+			Message: fmt.Sprintf("lock-order cycle: %s acquired while holding %s%s, but %s is acquired while holding %s at %s",
+				e.toName, e.fromName, via, witness.toName, witness.fromName, shortPosition(witness.site)),
+		})
+	}
+	return findings
+}
+
+// findPathEdge reports whether `to` is reachable from `from` in the lock
+// graph and returns the first edge on one such path (BFS, deterministic
+// neighbor order).
+func findPathEdge(edges map[*types.Var]map[*types.Var]*lockEdge, from, to *types.Var) *lockEdge {
+	type qent struct {
+		lock  *types.Var
+		first *lockEdge
+	}
+	queue := []qent{{lock: from}}
+	seen := map[*types.Var]bool{from: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := make([]*lockEdge, 0, len(edges[cur.lock]))
+		for _, e := range edges[cur.lock] {
+			next = append(next, e)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].toName < next[j].toName })
+		for _, e := range next {
+			first := cur.first
+			if first == nil {
+				first = e
+			}
+			if e.to == to {
+				return first
+			}
+			if !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, qent{lock: e.to, first: first})
+			}
+		}
+	}
+	return nil
+}
+
+// sortedLockVars orders a mayAcquire set deterministically by display name
+// then witness position.
+func sortedLockVars(set map[*types.Var]lockAcq) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for obj := range set {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := set[out[i]], set[out[j]]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return positionLess(a.pos, b.pos)
+	})
+	return out
+}
+
+// positionLess orders token.Positions lexicographically by file, line, col.
+func positionLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// shortPosition renders file:line for witness references inside messages.
+// Loaded filenames are repo-relative, so the form is stable across checkouts.
+func shortPosition(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// lockscope forbids blocking operations inside a mutex critical section: an
+// unguarded channel send or receive, a select without a default case, a
+// range over a channel, sync.WaitGroup.Wait, time.Sleep, or network I/O —
+// directly, or through any resolved call chain that reaches one. A goroutine
+// that blocks while holding a lock stalls every other goroutine contending
+// for it; the repo's convention (hub.deliver, udpController.Multicast) is to
+// copy state under the lock, release it, then perform the blocking work.
+//
+// The held set is tracked per branch with the early-unlock-and-return idiom
+// recognized, deferred Unlocks keep the lock to function end, and the
+// transitive pass uses the same call graph as hotalloc (calls through plain
+// function values are outside the analysis).
+var analyzerLockScope = &Analyzer{
+	Name:      "lockscope",
+	Doc:       "no blocking operation (unguarded channel op, wg.Wait, sleep, network I/O, or a call reaching one) while a mutex is held",
+	RunModule: runLockScope,
+}
+
+// blockingFact is the first blocking operation reachable from a node: either
+// direct (via == "") or through the named first callee.
+type blockingFact struct {
+	desc  string
+	where token.Position
+	via   string
+}
+
+func runLockScope(m *Module) []Finding {
+	facts := blockingReach(m)
+	var findings []Finding
+	for _, n := range m.Graph.SortedNodes() {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		pkg := n.Pkg
+		reported := make(map[token.Pos]bool)
+		scanHeldRegions(pkg, body, lockScanHooks{
+			blocking: func(desc string, pos token.Pos, held []heldLock) {
+				if len(held) == 0 || reported[pos] {
+					return
+				}
+				reported[pos] = true
+				findings = append(findings, Finding{
+					Pos:  pkg.Fset.Position(pos),
+					Rule: "lockscope",
+					Message: fmt.Sprintf("%s while holding %s; release the lock before blocking (copy state under the lock, then operate)",
+						desc, heldNames(held)),
+				})
+			},
+			call: func(call *ast.CallExpr, held []heldLock) {
+				if len(held) == 0 || reported[call.Pos()] {
+					return
+				}
+				targets := m.Graph.CalleesAt(pkg, call)
+				sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+				for _, t := range targets {
+					f, ok := facts[t]
+					if !ok {
+						continue
+					}
+					reported[call.Pos()] = true
+					findings = append(findings, Finding{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: "lockscope",
+						Message: fmt.Sprintf("call to %s while holding %s may block: %s at %s",
+							shortID(t.ID), heldNames(held), f.desc, shortPosition(f.where)),
+					})
+					break
+				}
+			},
+		})
+	}
+	return findings
+}
+
+// blockingReach computes, for every node that may block, the first blocking
+// operation it can reach: its own earliest blocking op if it has one,
+// otherwise the fact of its first (by ID) blocking callee. Memoized DFS with
+// an in-progress guard; a cycle's blocking member is found when the cycle is
+// entered through it.
+func blockingReach(m *Module) map[*FuncNode]*blockingFact {
+	direct := make(map[*FuncNode]*blockingFact)
+	for _, n := range m.Graph.SortedNodes() {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		pkg := n.Pkg
+		var best *blockingFact
+		scanHeldRegions(pkg, body, lockScanHooks{
+			blocking: func(desc string, pos token.Pos, held []heldLock) {
+				p := pkg.Fset.Position(pos)
+				if best == nil || positionLess(p, best.where) {
+					best = &blockingFact{desc: desc, where: p}
+				}
+			},
+		})
+		if best != nil {
+			direct[n] = best
+		}
+	}
+	memo := make(map[*FuncNode]*blockingFact)
+	state := make(map[*FuncNode]int) // 0 unvisited, 1 in progress, 2 done
+	var reach func(n *FuncNode) *blockingFact
+	reach = func(n *FuncNode) *blockingFact {
+		if state[n] == 2 {
+			return memo[n]
+		}
+		if state[n] == 1 {
+			return nil
+		}
+		state[n] = 1
+		var fact *blockingFact
+		if d, ok := direct[n]; ok {
+			fact = d
+		} else {
+			callees := append([]*FuncNode(nil), n.Callees...)
+			sort.Slice(callees, func(i, j int) bool { return callees[i].ID < callees[j].ID })
+			for _, c := range callees {
+				if cf := reach(c); cf != nil {
+					fact = &blockingFact{desc: cf.desc, where: cf.where, via: shortID(c.ID)}
+					break
+				}
+			}
+		}
+		state[n] = 2
+		memo[n] = fact
+		return fact
+	}
+	out := make(map[*FuncNode]*blockingFact)
+	for _, n := range m.Graph.SortedNodes() {
+		if f := reach(n); f != nil {
+			out[n] = f
+		}
+	}
+	return out
+}

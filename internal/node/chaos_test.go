@@ -12,6 +12,7 @@ import (
 	"densevlc/internal/chaos"
 	"densevlc/internal/clock"
 	"densevlc/internal/scenario"
+	"densevlc/internal/testutil"
 	"densevlc/internal/units"
 )
 
@@ -24,6 +25,7 @@ import (
 // closed-form prediction ties the mechanistic and analytic halves of the
 // repo together.
 func TestConformancePerRXGoodput(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	const (
 		rounds      = 3
 		framesPerRX = 6
@@ -106,6 +108,7 @@ func eightFailures() (*chaos.Schedule, []int) {
 // survivors within one control epoch and the health tracker confirming all
 // eight dead.
 func TestChaosEightTXFailuresRecoverInOneEpoch(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	schedule, txs := eightFailures()
 	res, err := Run(Config{
 		Setup:            scenario.Default(),
@@ -159,6 +162,7 @@ func TestChaosEightTXFailuresRecoverInOneEpoch(t *testing.T) {
 // schedule and virtual time, never on goroutine scheduling, so two
 // identically-configured runs produce byte-identical traces.
 func TestChaosTraceDeterministicAcrossRuns(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	schedule, err := chaos.Parse("0:txfail:7;1:rxblock:0:0.2;2:txrecover:7;2:rxunblock:0")
 	if err != nil {
 		t.Fatal(err)

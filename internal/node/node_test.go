@@ -8,6 +8,7 @@ import (
 	"densevlc/internal/geom"
 	"densevlc/internal/mobility"
 	"densevlc/internal/scenario"
+	"densevlc/internal/testutil"
 	"densevlc/internal/transport"
 )
 
@@ -20,6 +21,7 @@ func asyncTrajectories() []mobility.Trajectory {
 }
 
 func TestAsyncRunDeliversFrames(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	res, err := Run(Config{
 		Setup:            scenario.Default(),
 		Trajectories:     asyncTrajectories(),
@@ -61,6 +63,7 @@ func TestAsyncRunDeliversFrames(t *testing.T) {
 }
 
 func TestAsyncRunNoSyncCollapses(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	res, err := Run(Config{
 		Setup:            scenario.Default(),
 		Trajectories:     asyncTrajectories(),
@@ -83,6 +86,7 @@ func TestAsyncRunNoSyncCollapses(t *testing.T) {
 }
 
 func TestAsyncRunOverUDP(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	udp, err := transport.NewUDPNetwork()
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +115,7 @@ func TestAsyncRunOverUDP(t *testing.T) {
 }
 
 func TestAsyncRunMobility(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	traj := []mobility.Trajectory{
 		mobility.Waypoints{
 			Points: []geom.Vec{geom.V(0.75, 1.25, 0), geom.V(2.25, 1.25, 0)},
@@ -142,12 +147,14 @@ func TestAsyncRunMobility(t *testing.T) {
 }
 
 func TestAsyncRunErrors(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	if _, err := Run(Config{Setup: scenario.Default()}); err == nil {
 		t.Error("no receivers accepted")
 	}
 }
 
 func TestHubSnapshotAndPositions(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	hub := NewHub(scenario.Default(), asyncTrajectories(), nil, clock.MethodNLOSVLC, 0, 1)
 	hub.Configure(7, 0, 0.9, true)
 	h, s := hub.Snapshot()
@@ -167,6 +174,7 @@ func TestHubSnapshotAndPositions(t *testing.T) {
 }
 
 func TestHubPilotDeliversToAllReceivers(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	hub := NewHub(scenario.Default(), asyncTrajectories(), nil, clock.MethodNLOSVLC, 0, 1)
 	hub.Pilot(7)
 	for i := 0; i < 4; i++ {
@@ -199,6 +207,7 @@ func TestRxFromAddr(t *testing.T) {
 }
 
 func TestAsyncRunARQRecoversFromUplinkLoss(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	// Drop 30% of uplink frames (reports and ACKs): the controller's ARQ
 	// must retransmit and the dedup window must keep deliveries unique.
 	lossy := transport.NewLossyNetwork(transport.NewMemNetwork(), 0, 0.3, 11)

@@ -1,0 +1,90 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records failures instead of failing the real test, so the checker's
+// leak-detected path can itself be tested. Embedding testing.TB satisfies
+// the interface's unexported method.
+type fakeTB struct {
+	testing.TB
+	failures []string
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failures = append(f.failures, fmt.Sprintf(format, args...))
+}
+
+func TestCheckLeaksDetectsBlockedGoroutine(t *testing.T) {
+	fake := &fakeTB{}
+	check := CheckLeaksWithin(fake, 50*time.Millisecond)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	check()
+	close(release) // let the goroutine exit so it does not pollute other tests
+	if len(fake.failures) == 0 {
+		t.Fatal("checker did not report the blocked goroutine")
+	}
+	if !strings.Contains(fake.failures[0], "leaked goroutine") {
+		t.Errorf("unexpected failure message: %s", fake.failures[0])
+	}
+	if !strings.Contains(fake.failures[0], "TestCheckLeaksDetectsBlockedGoroutine") {
+		t.Errorf("failure should carry the leaking stack: %s", fake.failures[0])
+	}
+}
+
+func TestCheckLeaksSettlesOnExitingGoroutine(t *testing.T) {
+	fake := &fakeTB{}
+	check := CheckLeaksWithin(fake, 2*time.Second)
+	done := make(chan struct{})
+	go func() {
+		// Still running when check() starts, gone within the settle window.
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	check()
+	<-done
+	if len(fake.failures) != 0 {
+		t.Fatalf("checker flagged a goroutine that exited within the settle window: %v", fake.failures)
+	}
+}
+
+func TestCheckLeaksCleanByDefault(t *testing.T) {
+	defer CheckLeaks(t)()
+	ch := make(chan int, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ch <- 1
+	}()
+	<-done
+}
+
+func TestParseStacks(t *testing.T) {
+	dump := "goroutine 1 [running]:\nmain.main()\n\t/src/main.go:10 +0x1f\n\n" +
+		"goroutine 42 [chan receive]:\nmain.worker()\n\t/src/worker.go:5 +0x2a\n"
+	gs := parseStacks(dump)
+	if len(gs) != 2 {
+		t.Fatalf("want 2 goroutines, got %d", len(gs))
+	}
+	if gs[0].id != 1 || gs[0].state != "running" {
+		t.Errorf("first entry wrong: %+v", gs[0])
+	}
+	if gs[1].id != 42 || gs[1].state != "chan receive" {
+		t.Errorf("second entry wrong: %+v", gs[1])
+	}
+	if !strings.Contains(gs[1].stack, "main.worker") {
+		t.Errorf("stack not captured: %+v", gs[1])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"densevlc/internal/stats"
+	"densevlc/internal/testutil"
 )
 
 // drawLossSequence advances one chain n frames and returns the drop mask.
@@ -158,6 +159,7 @@ func TestGEDeterministicPerSeed(t *testing.T) {
 // gets its own stream in registration order: the first node's drops are
 // unchanged by whether a second node registers.
 func TestBurstyNetworkPerLinkStreams(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	drops := func(extraNode bool) []bool {
 		net := NewBurstyNetwork(NewMemNetwork(), GEParams{}, Uniform(0.5), 9)
 		defer net.Close()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"densevlc/internal/frame"
+	"densevlc/internal/testutil"
 )
 
 // networks under test, built fresh per case.
@@ -52,6 +53,7 @@ func recvWithin(t *testing.T, ch <-chan []byte, d time.Duration) []byte {
 }
 
 func TestMulticastReachesAllNodes(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	for _, fx := range fixtures(t) {
 		t.Run(fx.name, func(t *testing.T) {
 			defer fx.done()
@@ -70,6 +72,7 @@ func TestMulticastReachesAllNodes(t *testing.T) {
 }
 
 func TestUplinkReachesController(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	for _, fx := range fixtures(t) {
 		t.Run(fx.name, func(t *testing.T) {
 			defer fx.done()
@@ -91,6 +94,7 @@ func TestUplinkReachesController(t *testing.T) {
 }
 
 func TestRealFrameOverBothTransports(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	// End-to-end: a real Table 3 downlink survives each transport.
 	d := frame.Downlink{
 		Eth: frame.Eth{EtherType: frame.EtherTypeVLC},
@@ -120,6 +124,7 @@ func TestRealFrameOverBothTransports(t *testing.T) {
 }
 
 func TestIsolationBetweenDirections(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	// Uplink traffic must not appear on downlinks and vice versa.
 	mem := NewMemNetwork()
 	defer mem.Close()
@@ -143,6 +148,7 @@ func TestIsolationBetweenDirections(t *testing.T) {
 }
 
 func TestClosedNetworkErrors(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	mem := NewMemNetwork()
 	ctrl := mem.Controller()
 	node := mem.Node()
@@ -164,6 +170,7 @@ func TestClosedNetworkErrors(t *testing.T) {
 }
 
 func TestUDPCloseUnblocksLoops(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	udp, err := NewUDPNetwork()
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +202,7 @@ func TestUDPCloseUnblocksLoops(t *testing.T) {
 }
 
 func TestOversizedDatagramRejected(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	udp, err := NewUDPNetwork()
 	if err != nil {
 		t.Fatal(err)
@@ -214,6 +222,7 @@ func TestOversizedDatagramRejected(t *testing.T) {
 }
 
 func TestMemOverflowDropsInsteadOfBlocking(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	mem := NewMemNetwork()
 	defer mem.Close()
 	ctrl := mem.Controller()
@@ -227,6 +236,7 @@ func TestMemOverflowDropsInsteadOfBlocking(t *testing.T) {
 }
 
 func TestLossyNetworkDropRates(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	mem := NewMemNetwork()
 	lossy := NewLossyNetwork(mem, 0.5, 0.5, 7)
 	defer lossy.Close()
@@ -278,6 +288,7 @@ func TestLossyNetworkDropRates(t *testing.T) {
 }
 
 func TestLossyNetworkZeroLossTransparent(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	mem := NewMemNetwork()
 	lossy := NewLossyNetwork(mem, 0, 0, 1)
 	defer lossy.Close()
@@ -301,6 +312,7 @@ func TestLossyNetworkZeroLossTransparent(t *testing.T) {
 }
 
 func TestLossyNetworkCloseUnblocksFilter(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	mem := NewMemNetwork()
 	lossy := NewLossyNetwork(mem, 0.1, 0, 2)
 	node, err := lossy.NewNode()

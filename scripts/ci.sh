@@ -12,11 +12,13 @@
 #                     repo in step 5
 #   5. vlclint      — domain invariants: the six intraprocedural rules
 #                     (determinism, maporder, floatcmp, errdrop, apipanic,
-#                     unitsafety) plus the four interprocedural rules over
+#                     unitsafety) plus the eight interprocedural rules over
 #                     the module call graph (hotalloc, sharedmut, seedflow,
-#                     ctxflow), filtered through the audited baseline
+#                     ctxflow, lockorder, lockscope, chanleak, atomicmix),
+#                     filtered through the audited baseline
 #                     scripts/lint_baseline.json (see DESIGN.md
-#                     "Interprocedural analysis")
+#                     "Interprocedural analysis" and "Concurrency
+#                     discipline")
 #   6. go test      — the full unit/integration/property/golden suite,
 #                     with a statement-coverage profile (coverage.out)
 #   7. coverage gate — total coverage must not fall below
@@ -26,12 +28,18 @@
 #   8. go test -race — every package, including the parallel experiment
 #                     engine; the determinism test runs here so the
 #                     byte-identical guarantee is checked under the race
-#                     detector
+#                     detector, and the transport/node/chaos suites assert
+#                     the testutil goroutine-leak checker (chanleak's
+#                     dynamic twin) after every Close/RunContext
 #   9. chaos smoke  — one fault-injected end-to-end run per engine
-#                     (tx-blackout preset) plus the resilience experiment
-#  10. short fuzz   — a few seconds of the frame-codec and Manchester
-#                     round-trip fuzzers, enough to catch regressions on
-#                     the seeded corpora plus fresh mutations
+#                     (tx-blackout preset) plus the resilience experiment;
+#                     goroutine teardown after each run is the leak
+#                     checker's territory and is asserted by the -race
+#                     suites in step 8
+#  10. short fuzz   — a few seconds of the frame-codec, Manchester
+#                     round-trip, and chaos-spec grammar fuzzers, enough to
+#                     catch regressions on the seeded corpora plus fresh
+#                     mutations
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -96,9 +104,10 @@ go run ./cmd/experiments -quick resilience > /dev/null
 
 # Short fuzz budget: -fuzz requires exactly one matching target per package,
 # so each fuzzer gets its own invocation.
-echo "==> short fuzz (frame codec, Manchester demodulator)"
+echo "==> short fuzz (frame codec, Manchester demodulator, chaos spec)"
 go test -run='^$' -fuzz='^FuzzDownlinkRoundTrip$' -fuzztime=10s ./internal/frame/
 go test -run='^$' -fuzz='^FuzzManchesterRoundTrip$' -fuzztime=10s ./internal/dsp/
 go test -run='^$' -fuzz='^FuzzManchesterDecode$' -fuzztime=5s ./internal/dsp/
+go test -run='^$' -fuzz='^FuzzChaosSpec$' -fuzztime=5s ./internal/chaos/
 
 echo "==> ci.sh: all gates passed"
