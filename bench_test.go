@@ -16,10 +16,12 @@ import (
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/channel"
+	"densevlc/internal/cluster"
 	"densevlc/internal/experiments"
 	"densevlc/internal/frame"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
+	"densevlc/internal/units"
 	"densevlc/internal/vlcsync"
 )
 
@@ -82,6 +84,7 @@ func BenchmarkSec71FrontEnd(b *testing.B)        { benchExperiment(b, "frontend"
 func BenchmarkExtBlockage(b *testing.B)          { benchExperiment(b, "blockage") }
 func BenchmarkExtAdaptiveKappa(b *testing.B)     { benchExperiment(b, "adaptivekappa") }
 func BenchmarkExtRXOrientation(b *testing.B)     { benchExperiment(b, "orientation") }
+func BenchmarkExtClusterScale(b *testing.B)      { benchExperiment(b, "clusterscale") }
 
 // Serial-vs-parallel pairs for the Monte-Carlo workloads: identical
 // workload, Workers 1 vs 4. scripts/bench.sh runs these pairs and records
@@ -115,6 +118,12 @@ func BenchmarkExtAdaptationParallel(b *testing.B) {
 	opts := benchOpts()
 	opts.Workers = parallelWorkers
 	benchExperimentOpts(b, "adaptation", opts)
+}
+
+func BenchmarkExtClusterScaleParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = parallelWorkers
+	benchExperimentOpts(b, "clusterscale", opts)
 }
 
 func benchSweep(b *testing.B, workers int) {
@@ -226,6 +235,58 @@ func BenchmarkFrameDecode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := frame.DecodeDownlink(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Building-scale sharded-vs-global pair: the cell-free decision path at
+// N=1024 TXs, M=256 RXs (the full clusterscale floor). scripts/bench.sh
+// records the pair's ratio as the headline latency win of the sharded
+// solver; SteadyState pins the dirty-cache fast path.
+
+func floorEnv() (*alloc.Env, units.Watts) {
+	rows, cols, m := experiments.ClusterScaleDims(false)
+	set := scenario.FloorGrid(rows, cols)
+	rx := set.GridRXs(stats.NewRand(1), rows/2, cols/2, 1.0, scenario.InstanceJitter)
+	return set.Env(rx, nil), units.Watts(1.19 / 4 * float64(m))
+}
+
+func BenchmarkGlobalDecision1024(b *testing.B) {
+	env, budget := floorEnv()
+	policy := alloc.Heuristic{AllowPartial: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Allocate(env, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedDecision1024(b *testing.B) {
+	env, budget := floorEnv()
+	w := cluster.NewWorkspace(cluster.Spec{Threshold: 0.5},
+		alloc.Heuristic{AllowPartial: true}, parallelWorkers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(env, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedSteadyState1024(b *testing.B) {
+	env, budget := floorEnv()
+	w := cluster.NewWorkspace(cluster.Spec{Threshold: 0.5},
+		alloc.Heuristic{AllowPartial: true}, 1)
+	if _, err := w.Solve(env, budget); err != nil {
+		b.Fatal(err)
+	}
+	clean := func(int) bool { return false }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.SolveDirty(env, budget, clean); err != nil {
 			b.Fatal(err)
 		}
 	}

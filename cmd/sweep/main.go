@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N] [-workers N] [-warmstart]
+//	sweep [-scenario 1|2|3] [-points N] [-max W] [-optimal] [-seed N] [-workers N] [-warmstart] [-cluster SPEC]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"densevlc/internal/alloc"
+	"densevlc/internal/cluster"
 	"densevlc/internal/scenario"
 	"densevlc/internal/units"
 )
@@ -29,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (unused by the deterministic sweeps, kept for symmetry)")
 	workers := flag.Int("workers", 0, "worker goroutines per policy sweep (0 = all cores, 1 = serial; output is identical for every value)")
 	warmstart := flag.Bool("warmstart", false, "chain each budget point from the previous point's incumbent for policies that support it (the optimal solver); faster sweeps, same curve structure within solver tolerance")
+	clusterSpec := flag.String("cluster", "", "cooperation-clustering formation spec, e.g. threshold:0.5 or topk:4:none; each policy solves per cluster through the sharded solver (empty = global solves)")
 	flag.Parse()
 	_ = seed
 
@@ -48,6 +50,15 @@ func main() {
 	}
 	if *withOptimal {
 		policies = append(policies, alloc.Optimal{})
+	}
+	if *clusterSpec != "" {
+		sp, err := cluster.Parse(*clusterSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range policies {
+			policies[i] = cluster.Sharded{Inner: p, Spec: sp, Workers: *workers}
+		}
 	}
 
 	budgets := alloc.BudgetGrid(units.Watts(*max), *points)

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+)
+
+// paperEnv builds the paper's 36×4 environment for the given receiver
+// placement (the Fig. 7 instance by default).
+func paperEnv(t testing.TB) *alloc.Env {
+	t.Helper()
+	return scenario.Default().Env(scenario.Fig7Instance(), nil)
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{Mode: ModeThreshold, Threshold: 0.5},
+		{Mode: ModeThreshold, Threshold: 1},
+		{Mode: ModeTopK, TopK: 1},
+		{Mode: ModeTopK, TopK: 9, Merge: MergeNone},
+	}
+	for _, sp := range good {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", sp, err)
+		}
+	}
+	bad := []Spec{
+		{Mode: ModeThreshold, Threshold: -0.1},
+		{Mode: ModeThreshold, Threshold: 1.1},
+		{Mode: ModeThreshold, Threshold: math.NaN()},
+		{Mode: ModeThreshold, Threshold: math.Inf(1)},
+		{Mode: ModeTopK},
+		{Mode: ModeTopK, TopK: -3},
+		{Mode: Mode(99), Threshold: 0.5},
+		{Mode: ModeThreshold, Merge: Merge(99)},
+	}
+	for _, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", sp)
+		}
+	}
+}
+
+func TestSpecParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"threshold:0", Spec{}},
+		{"threshold:0.05", Spec{Threshold: 0.05}},
+		{"threshold:0.5:union", Spec{Threshold: 0.5}},
+		{"threshold:1:none", Spec{Threshold: 1, Merge: MergeNone}},
+		{"topk:1", Spec{Mode: ModeTopK, TopK: 1}},
+		{"topk:8:none", Spec{Mode: ModeTopK, TopK: 8, Merge: MergeNone}},
+		{" topk : 4 : union ", Spec{Mode: ModeTopK, TopK: 4}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		again, err := Parse(got.String())
+		if err != nil || again != got {
+			t.Errorf("round trip of %q via %q: %+v, %v", c.in, got.String(), again, err)
+		}
+	}
+	rejected := []string{
+		"", "threshold", "threshold:0.5:union:extra", "threshold:NaN",
+		"threshold:+Inf", "threshold:-Inf", "threshold:1.5", "threshold:-0.5",
+		"threshold:x", "topk:0", "topk:-1", "topk:1.5", "frob:3",
+		"threshold:0.5:both",
+	}
+	for _, in := range rejected {
+		if sp, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted as %+v", in, sp)
+		}
+	}
+	// Parse errors identify the offending spec.
+	if _, err := Parse("frob:3"); err == nil || !strings.Contains(err.Error(), "frob") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestFormThresholdZeroIsOneAllCoveringCluster(t *testing.T) {
+	env := paperEnv(t)
+	c, err := Form(env.H, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 1 {
+		t.Fatalf("threshold 0 formed %d clusters, want 1", c.K())
+	}
+	cl := c.Clusters[0]
+	if len(cl.RXs) != env.M() {
+		t.Errorf("cluster serves %d RXs, want %d", len(cl.RXs), env.M())
+	}
+	// Every TX with positive gain to any RX is owned; in the paper's room
+	// every TX reaches every RX, so that is all 36.
+	if len(cl.TXs) != env.N() {
+		t.Errorf("cluster owns %d TXs, want %d", len(cl.TXs), env.N())
+	}
+	for j, tx := range cl.TXs {
+		if tx != j {
+			t.Fatalf("TXs[%d] = %d, want identity map", j, tx)
+		}
+	}
+	for i, rx := range cl.RXs {
+		if rx != i {
+			t.Fatalf("RXs[%d] = %d, want identity map", i, rx)
+		}
+	}
+	if err := c.Validate(env.N(), env.M()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormThresholdOneKeepsArgmaxOnly(t *testing.T) {
+	env := paperEnv(t)
+	c, err := Form(env.H, Spec{Threshold: 1, Merge: MergeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != env.M() {
+		t.Fatalf("merge none formed %d clusters, want %d", c.K(), env.M())
+	}
+	for i, cl := range c.Clusters {
+		if len(cl.RXs) != 1 || cl.RXs[0] != i {
+			t.Fatalf("cluster %d serves %v, want [%d]", i, cl.RXs, i)
+		}
+		// At most the argmax TX (a TX contended by two argmaxes goes to the
+		// louder RX, so some clusters may be empty).
+		if len(cl.TXs) > 1 {
+			t.Errorf("cluster %d owns %v at threshold 1", i, cl.TXs)
+		}
+	}
+	if err := c.Validate(env.N(), env.M()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormTopK(t *testing.T) {
+	env := paperEnv(t)
+	for k := 1; k <= 6; k++ {
+		c, err := Form(env.H, Spec{Mode: ModeTopK, TopK: k, Merge: MergeNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(env.N(), env.M()); err != nil {
+			t.Fatalf("top-%d: %v", k, err)
+		}
+		// The serving sets behind the clustering hold exactly k TXs (every
+		// paper-room gain is positive), and each set contains the argmax.
+		for i := 0; i < env.M(); i++ {
+			if got := len(c.serve[i]); got != k {
+				t.Fatalf("top-%d: RX %d serving set has %d TXs", k, i, got)
+			}
+			arg := 0
+			for j := 1; j < env.N(); j++ {
+				if env.H.H[j][i] > env.H.H[arg][i] {
+					arg = j
+				}
+			}
+			found := false
+			for _, tx := range c.serve[i] {
+				if tx == arg {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("top-%d: RX %d serving set %v misses argmax %d", k, i, c.serve[i], arg)
+			}
+			// Every kept TX is at least as strong as every dropped one.
+			weakest := math.Inf(1)
+			for _, tx := range c.serve[i] {
+				if g := env.H.H[tx][i]; g < weakest {
+					weakest = g
+				}
+			}
+			for j := 0; j < env.N(); j++ {
+				kept := false
+				for _, tx := range c.serve[i] {
+					if tx == j {
+						kept = true
+					}
+				}
+				if !kept && env.H.H[j][i] > weakest {
+					t.Fatalf("top-%d: RX %d dropped TX %d (gain %g) but kept weaker %g",
+						k, i, j, env.H.H[j][i], weakest)
+				}
+			}
+		}
+	}
+}
+
+// TestFormOrderIndependence permutes the receiver columns and checks the
+// clustering is the same up to relabelling: formation depends only on gain
+// values, never on iteration order.
+func TestFormOrderIndependence(t *testing.T) {
+	rng := stats.NewRand(7)
+	setup := scenario.Default()
+	specs := []Spec{
+		{Threshold: 0.3},
+		{Threshold: 0.7},
+		{Mode: ModeTopK, TopK: 3},
+		{Mode: ModeTopK, TopK: 2, Merge: MergeNone},
+	}
+	for trial := 0; trial < 20; trial++ {
+		rx := setup.UniformRXs(rng, 6)
+		env := setup.Env(rx, nil)
+		m := env.M()
+		perm := rng.Perm(m)
+		hp := channel.NewMatrix(env.N(), m)
+		for j := 0; j < env.N(); j++ {
+			for i := 0; i < m; i++ {
+				hp.H[j][perm[i]] = env.H.H[j][i]
+			}
+		}
+		for _, sp := range specs {
+			a, err := Form(env.H, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Form(hp, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Validate(env.N(), m); err != nil {
+				t.Fatalf("trial %d %v: %v", trial, sp, err)
+			}
+			if a.K() != b.K() {
+				t.Fatalf("trial %d %v: %d clusters vs %d after permutation", trial, sp, a.K(), b.K())
+			}
+			// Cluster of rx i under a must equal cluster of perm[i] under b,
+			// as sets of TXs and permuted RXs.
+			for i := 0; i < m; i++ {
+				ca := a.Clusters[a.RXOf[i]]
+				cb := b.Clusters[b.RXOf[perm[i]]]
+				if !equalInts(ca.TXs, cb.TXs) {
+					t.Fatalf("trial %d %v: RX %d cluster TXs %v vs %v", trial, sp, i, ca.TXs, cb.TXs)
+				}
+				mapped := make([]int, len(ca.RXs))
+				for k, r := range ca.RXs {
+					mapped[k] = perm[r]
+				}
+				insertionSort(mapped)
+				if !equalInts(mapped, cb.RXs) {
+					t.Fatalf("trial %d %v: RX %d cluster RXs %v vs %v", trial, sp, i, mapped, cb.RXs)
+				}
+			}
+		}
+	}
+}
+
+func TestFormRandomMatricesInvariants(t *testing.T) {
+	rng := stats.NewRand(11)
+	for trial := 0; trial < 50; trial++ {
+		n, m := 1+rng.Intn(24), 1+rng.Intn(8)
+		h := channel.NewMatrix(n, m)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if rng.Float64() < 0.3 {
+					continue // sparse: some zero gains, some unhearable RXs
+				}
+				h.H[j][i] = rng.Float64()
+			}
+		}
+		sp := Spec{Threshold: rng.Float64()}
+		if rng.Intn(2) == 0 {
+			sp = Spec{Mode: ModeTopK, TopK: 1 + rng.Intn(n)}
+		}
+		if rng.Intn(2) == 0 {
+			sp.Merge = MergeNone
+		}
+		c, err := Form(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(n, m); err != nil {
+			t.Fatalf("trial %d (%dx%d, %v): %v", trial, n, m, sp, err)
+		}
+		if c.K() < 1 || c.K() > m {
+			t.Fatalf("trial %d: %d clusters outside [1,%d]", trial, c.K(), m)
+		}
+	}
+}
+
+// TestFormIntoReuseIsAllocationFree pins the steady-state re-formation: once
+// the scratch buffers have grown, re-forming the same topology stays off the
+// heap entirely.
+func TestFormIntoReuseIsAllocationFree(t *testing.T) {
+	env := paperEnv(t)
+	for _, sp := range []Spec{{Threshold: 0.4}, {Mode: ModeTopK, TopK: 4}} {
+		var c Clustering
+		if err := c.FormInto(env.H, sp); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := c.FormInto(env.H, sp); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%v: FormInto allocates %.1f times steady-state, want 0", sp, n)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

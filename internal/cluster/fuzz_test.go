@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClusterSpec asserts the formation-spec grammar is a clean round trip:
+// any spec Parse accepts renders via String to a spec that parses back
+// identically, String is a fixed point, every accepted spec passes Validate,
+// and no accepted threshold is NaN or ±Inf (which would slip through range
+// checks, since NaN compares false against every bound).
+func FuzzClusterSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"threshold:0",
+		"threshold:0.05",
+		"threshold:1:union",
+		"threshold:0.5:none",
+		"topk:1",
+		"topk:8:none",
+		" topk : 4 : union ",
+		"threshold:NaN",
+		"threshold:+Inf",
+		"threshold:-Inf",
+		"threshold:1e-3",
+		"threshold:5e-324",
+		"topk:0",
+		"topk:-1",
+		"topk:999999999999999999999",
+		"frob:3",
+		"threshold:0.5:both",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sp, err := Parse(spec)
+		if err != nil {
+			return // rejected inputs are out of scope; only accepted specs must round-trip
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted spec failing Validate: %v", spec, err)
+		}
+		if math.IsNaN(sp.Threshold) || math.IsInf(sp.Threshold, 0) {
+			t.Fatalf("Parse(%q) accepted non-finite threshold %v", spec, sp.Threshold)
+		}
+		rendered := sp.String()
+		sp2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) succeeded but its String() %q does not re-parse: %v", spec, rendered, err)
+		}
+		if sp2 != sp {
+			t.Fatalf("round trip of %q changed the spec: %+v vs %+v", spec, sp, sp2)
+		}
+		if again := sp2.String(); again != rendered {
+			t.Fatalf("String is not a fixed point: %q vs %q", rendered, again)
+		}
+	})
+}

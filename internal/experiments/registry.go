@@ -42,6 +42,7 @@ func All() []Generator {
 		{"resilience", Resilience},
 		{"adaptivekappa", AdaptiveKappaStudy},
 		{"orientation", RXOrientationStudy},
+		{"clusterscale", ClusterScale},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/channel"
+	"densevlc/internal/cluster"
 	"densevlc/internal/frame"
 	"densevlc/internal/led"
 	"densevlc/internal/units"
@@ -45,6 +46,13 @@ type Controller struct {
 	txEverSeen   []bool      // TX reported positive gain at least once
 	txZeroEpochs []int       // consecutive epochs with zero gain everywhere
 	txState      []LinkState // current classification
+
+	// Sharded re-allocation (EnableSharding): the cooperation-cluster
+	// workspace and a persistent environment whose channel matrix is
+	// refreshed in place, so the steady-state epoch loop allocates nothing
+	// on the solve path.
+	shard *cluster.Workspace
+	env   alloc.Env
 }
 
 // LinkState classifies the controller's view of one transmitter's link.
@@ -159,16 +167,80 @@ func (c *Controller) Acked(seq uint16) bool { return c.acked[seq] }
 // Env snapshots the controller's current channel knowledge as an
 // allocation environment. Rows of transmitters the health tracker has
 // declared dead are zeroed, so a stale (pre-failure) report can never earn a
-// dead transmitter swing.
+// dead transmitter swing. The returned environment is freshly allocated and
+// owned by the caller; the re-allocation path uses refreshEnv instead, which
+// reuses the controller's persistent matrix.
 func (c *Controller) Env() *alloc.Env {
 	h := channel.NewMatrix(c.N, c.M)
-	for j := 0; j < c.N; j++ {
-		if c.txState[j] == LinkDead {
-			continue // leave the row zero
-		}
-		copy(h.H[j], c.gains[j])
+	env := &alloc.Env{Params: c.Params, H: h, LED: c.LED}
+	c.fillEnv(env)
+	return env
+}
+
+// refreshEnv updates the controller's persistent environment in place —
+// allocation-free once the matrix exists — and returns it. Callers must not
+// retain the environment across epochs; Env is the snapshotting variant.
+func (c *Controller) refreshEnv() *alloc.Env {
+	if c.env.H == nil || c.env.H.N != c.N || c.env.H.M != c.M {
+		c.env.H = channel.NewMatrix(c.N, c.M)
 	}
-	return &alloc.Env{Params: c.Params, H: h, LED: c.LED}
+	c.fillEnv(&c.env)
+	return &c.env
+}
+
+// fillEnv copies the health-masked gain matrix and device models into env,
+// whose matrix must already be N×M.
+//
+//lint:hotpath
+func (c *Controller) fillEnv(env *alloc.Env) {
+	env.Params, env.LED = c.Params, c.LED
+	for j := 0; j < c.N; j++ {
+		row := env.H.H[j]
+		if c.txState[j] == LinkDead {
+			for i := range row {
+				row[i] = 0 // a stale report must not revive a dead TX
+			}
+			continue
+		}
+		copy(row, c.gains[j])
+	}
+}
+
+// EnableSharding routes Reallocate through a cooperation-cluster workspace:
+// clusters are re-formed from the health-masked gains each epoch, each
+// cluster is solved with the controller's policy on its budget share, and
+// only dirty clusters — those with a fresh report from a member receiver, or
+// any cluster after a membership change — are re-solved. Plans produced by
+// the sharded path alias the workspace stitch buffer and are valid until the
+// next Reallocate.
+//
+// Call before the first Reallocate; workers bounds the per-cluster fan-out
+// (0 = all cores). The stitched plan is identical for every workers value.
+func (c *Controller) EnableSharding(sp cluster.Spec, workers int) {
+	c.shard = cluster.NewWorkspace(sp, c.Policy, workers)
+}
+
+// Clustering exposes the shard map of the last sharded Reallocate, or nil
+// when sharding is disabled or no reallocation has happened yet.
+func (c *Controller) Clustering() *cluster.Clustering {
+	if c.shard == nil {
+		return nil
+	}
+	return c.shard.Clustering()
+}
+
+// clusterDirty reports whether cluster ci must be re-solved this epoch: true
+// when any member receiver reported since the last reallocation. Gains can
+// only change through reports, so a cluster with no fresh member kept the
+// exact sub-matrix it was last solved on (membership changes are handled
+// upstream by the workspace, which re-solves everything).
+func (c *Controller) clusterDirty(ci int) bool {
+	for _, rx := range c.shard.Clustering().Clusters[ci].RXs {
+		if c.fresh[rx] {
+			return true
+		}
+	}
+	return false
 }
 
 // updateHealth advances the link-state machine from the epoch's reports. It
@@ -253,8 +325,13 @@ func (c *Controller) UnhealthyTXs() []int {
 // excluded from this epoch's plan — detection-to-recovery is one epoch.
 func (c *Controller) Reallocate() (Plan, error) {
 	c.updateHealth()
-	env := c.Env()
-	swings, err := c.Policy.Allocate(env, c.Budget)
+	var swings channel.Swings
+	var err error
+	if c.shard != nil {
+		swings, err = c.shard.SolveDirty(c.refreshEnv(), c.Budget, c.clusterDirty)
+	} else {
+		swings, err = c.Policy.Allocate(c.Env(), c.Budget)
+	}
 	if err != nil {
 		return Plan{}, err
 	}

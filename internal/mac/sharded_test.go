@@ -1,0 +1,200 @@
+package mac
+
+import (
+	"sync"
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/cluster"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+	"densevlc/internal/testutil"
+	"densevlc/internal/units"
+)
+
+// countingPolicy counts Allocate calls; per-cluster solves may run
+// concurrently, so the counter is locked.
+type countingPolicy struct {
+	inner alloc.Policy
+	mu    sync.Mutex
+	calls int
+}
+
+func (p *countingPolicy) Name() string { return p.inner.Name() }
+
+func (p *countingPolicy) Allocate(env *alloc.Env, budget units.Watts) (channel.Swings, error) {
+	p.mu.Lock()
+	p.calls++
+	p.mu.Unlock()
+	return p.inner.Allocate(env, budget)
+}
+
+func (p *countingPolicy) take() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.calls
+	p.calls = 0
+	return n
+}
+
+// TestShardedControllerMatchesGlobal runs two controllers over the same
+// reports — one plain, one sharded with the all-covering formation — and
+// requires bit-identical plans: the controller-level face of the
+// cluster-vs-global equivalence contract.
+func TestShardedControllerMatchesGlobal(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	budget := units.Watts(1.19)
+	policy := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+
+	plain := NewController(env.H.N, env.H.M, policy, budget, set.Params, set.LED)
+	sharded := NewController(env.H.N, env.H.M, policy, budget, set.Params, set.LED)
+	sharded.EnableSharding(cluster.Spec{}, 4)
+
+	for epoch := 0; epoch < 3; epoch++ {
+		feedReports(t, plain, env.H.H, nil)
+		feedReports(t, sharded, env.H.H, nil)
+		pp, err := plain.Reallocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := sharded.Reallocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range pp.Swings {
+			for i := range pp.Swings[j] {
+				if pp.Swings[j][i] != ps.Swings[j][i] {
+					t.Fatalf("epoch %d: swing (%d,%d) = %v sharded, %v plain",
+						epoch, j, i, ps.Swings[j][i], pp.Swings[j][i])
+				}
+			}
+		}
+		for i := range pp.Leader {
+			if pp.Leader[i] != ps.Leader[i] {
+				t.Fatalf("epoch %d: leader[%d] = %d sharded, %d plain", epoch, i, ps.Leader[i], pp.Leader[i])
+			}
+		}
+	}
+	if c := sharded.Clustering(); c == nil || c.K() != 1 {
+		t.Fatalf("all-covering formation: clustering %+v, want 1 cluster", sharded.Clustering())
+	}
+	if plain.Clustering() != nil {
+		t.Error("plain controller reports a clustering")
+	}
+}
+
+// TestShardedControllerDirtyReuse checks the per-cluster re-allocation
+// contract: no fresh reports → no solves; a report from one cluster's
+// receiver re-solves only that cluster.
+func TestShardedControllerDirtyReuse(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	set := scenario.Default()
+	rng := stats.NewRand(29)
+	env := set.Env(set.UniformRXs(rng, 6), nil)
+	probe := &countingPolicy{inner: alloc.Heuristic{AllowPartial: true}}
+	ctrl := NewController(env.H.N, env.H.M, probe, 1.19, set.Params, set.LED)
+	ctrl.EnableSharding(cluster.Spec{Threshold: 0.6}, 1)
+
+	feedReports(t, ctrl, env.H.H, nil)
+	first, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ctrl.Clustering().K()
+	if k < 2 {
+		t.Fatalf("formation yielded %d clusters; the reuse test needs at least 2", k)
+	}
+	if calls := probe.take(); calls != k {
+		t.Fatalf("first epoch solved %d clusters, want %d", calls, k)
+	}
+
+	// Epoch with no reports: every cluster is clean, the plan is re-stitched
+	// from the caches unchanged.
+	again, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 0 {
+		t.Errorf("no-report epoch solved %d clusters, want 0", calls)
+	}
+	for j := range first.Swings {
+		for i := range first.Swings[j] {
+			if first.Swings[j][i] != again.Swings[j][i] {
+				t.Fatalf("no-report epoch changed swing (%d,%d)", j, i)
+			}
+		}
+	}
+
+	// One receiver reports (same gains): only its cluster re-solves.
+	rx := ctrl.Clustering().Clusters[0].RXs[0]
+	node := NewRXNode(rx, ctrl.N)
+	for tx := 0; tx < ctrl.N; tx++ {
+		if err := node.RecordMeasurement(tx, env.H.H[tx][rx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctrl.HandleUplink(node.BuildReport()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 1 {
+		t.Errorf("single-report epoch solved %d clusters, want 1", calls)
+	}
+}
+
+// TestShardedControllerRecovery kills a transmitter and checks the sharded
+// path excludes it within one control epoch, like the plain path does.
+func TestShardedControllerRecovery(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	ctrl := NewController(env.H.N, env.H.M, alloc.Heuristic{Kappa: 1.3, AllowPartial: true},
+		1.19, set.Params, set.LED)
+	ctrl.EnableSharding(cluster.Spec{Threshold: 0.5}, 2)
+
+	feedReports(t, ctrl, env.H.H, nil)
+	plan, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the busiest TX of the healthy plan.
+	victim := 0
+	for j := range plan.Swings {
+		if plan.Swings.TXTotal(j) > plan.Swings.TXTotal(victim) {
+			victim = j
+		}
+	}
+	feedReports(t, ctrl, env.H.H, map[int]bool{victim: true})
+	plan, err = ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Swings[victim] {
+		if plan.Swings[victim][i] > 0 {
+			t.Fatalf("killed TX %d still carries swing %v to RX %d", victim, plan.Swings[victim][i], i)
+		}
+	}
+	if p := plan.Swings.CommPower(set.Params.DynamicResistance); p > 1.19+1e-9 {
+		t.Errorf("post-failure plan power %v exceeds budget", p)
+	}
+}
+
+// TestRefreshEnvIsAllocationFree pins the Env() fix: the re-allocation path
+// refreshes the controller's persistent environment in place instead of
+// building a fresh matrix per call.
+func TestRefreshEnvIsAllocationFree(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	ctrl := NewController(env.H.N, env.H.M, alloc.Heuristic{AllowPartial: true},
+		1.19, set.Params, set.LED)
+	feedReports(t, ctrl, env.H.H, nil)
+	ctrl.refreshEnv() // warm the persistent matrix
+	if n := testing.AllocsPerRun(100, func() { ctrl.refreshEnv() }); n != 0 {
+		t.Errorf("refreshEnv allocates %.1f times steady-state, want 0", n)
+	}
+}

@@ -1,7 +1,9 @@
 // Package scenario encodes the paper's canonical experimental setups: the
 // 3 m × 3 m room with the 6×6 transmitter grid and Table 1 parameters, the
 // three receiver placements of Table 6, the Fig. 7 instance, and the Fig. 6
-// random-instance workload generator.
+// random-instance workload generator. FloorGrid scales the same geometry to
+// building-size deployments (hundreds to thousands of transmitters) for the
+// cell-free clustering path.
 //
 // Everything downstream — tests, experiments, examples, the live simulator —
 // builds its environment through this package so the paper's setup exists in
@@ -53,6 +55,64 @@ func Default() Setup {
 		Params:   paperParams(m),
 		RXPlaneZ: 0.8,
 	}
+}
+
+// FloorGrid returns a building-scale setup: a rows × cols transmitter grid
+// at the paper's 0.5 m spacing and 2.8 m mounting height, in a room sized so
+// every node keeps the paper's 0.25 m wall margin, receivers on the 0.8 m
+// plane, Table 1 parameters throughout. FloorGrid(6, 6) reproduces Default's
+// geometry exactly; FloorGrid(32, 32) is the 1024-TX floor of the
+// cluster-scaling experiment. Rows and cols must be positive.
+func FloorGrid(rows, cols int) Setup {
+	if rows < 1 || cols < 1 {
+		//lint:ignore apipanic dimensions are programmer-chosen constants, same contract as slice sizing
+		panic(fmt.Sprintf("scenario: floor grid %dx%d must be at least 1x1", rows, cols))
+	}
+	const spacing units.Meters = 0.5
+	m := led.CreeXTE()
+	room := geom.Room{
+		Width:  units.Meters(float64(cols) * spacing.M()),
+		Depth:  units.Meters(float64(rows) * spacing.M()),
+		Height: 2.8,
+	}
+	return Setup{
+		Room:     room,
+		Grid:     geom.CenteredGrid(room, rows, cols, spacing, 2.8),
+		LED:      m,
+		Params:   paperParams(m),
+		RXPlaneZ: 0.8,
+	}
+}
+
+// UniformRXs draws m receiver xy positions uniformly over the room floor —
+// the building-scale analogue of RandomInstance, whose anchors only exist on
+// the 6×6 grid.
+func (s Setup) UniformRXs(rng *rand.Rand, m int) []geom.Vec {
+	out := make([]geom.Vec, m)
+	for i := range out {
+		out[i] = geom.V(rng.Float64()*s.Room.Width.M(), rng.Float64()*s.Room.Depth.M(), 0)
+	}
+	return out
+}
+
+// GridRXs places rows × cols receivers near the nodes of a centered grid on
+// the receiver plane, each jittered by a uniform square of half-width
+// jitter and clamped to the room. It is the building-scale analogue of
+// RandomInstance's anchored placement: every receiver keeps a locally
+// dominant transmitter, the regime where the paper's SJR ranking serves
+// everyone (purely uniform placement can leave a receiver that is no
+// transmitter's argmax, starving it under Algorithm 1).
+func (s Setup) GridRXs(rng *rand.Rand, rows, cols int, spacing units.Meters, jitter float64) []geom.Vec {
+	anchors := geom.CenteredGrid(s.Room, rows, cols, spacing, 0)
+	out := make([]geom.Vec, anchors.N())
+	for i := range out {
+		p := anchors.Pos(i)
+		x := p.X + (rng.Float64()*2-1)*jitter
+		y := p.Y + (rng.Float64()*2-1)*jitter
+		q := s.Room.Clamp(geom.V(x, y, s.RXPlaneZ.M()))
+		out[i] = geom.V(q.X, q.Y, 0)
+	}
+	return out
 }
 
 // DefaultExperimental returns the testbed setup of Sec. 8: the same grid at

@@ -156,3 +156,61 @@ func TestScenarioString(t *testing.T) {
 		t.Error(Scenario2.String())
 	}
 }
+
+func TestFloorGridReproducesDefault(t *testing.T) {
+	f := FloorGrid(6, 6)
+	d := Default()
+	if f.Room != d.Room {
+		t.Errorf("room %+v, want %+v", f.Room, d.Room)
+	}
+	if f.Grid != d.Grid {
+		t.Errorf("grid %+v, want %+v", f.Grid, d.Grid)
+	}
+	if f.RXPlaneZ != d.RXPlaneZ || f.Params != d.Params {
+		t.Errorf("setup %+v, want %+v", f, d)
+	}
+}
+
+func TestFloorGridScales(t *testing.T) {
+	f := FloorGrid(32, 16)
+	if f.Grid.N() != 512 {
+		t.Errorf("N = %d", f.Grid.N())
+	}
+	if f.Room.Width != 8 || f.Room.Depth != 16 {
+		t.Errorf("room %v x %v, want 8 x 16", f.Room.Width, f.Room.Depth)
+	}
+	// Every node keeps the paper's 0.25 m wall margin.
+	for _, p := range []geom.Vec{f.Grid.Pos(0), f.Grid.Pos(f.Grid.N() - 1)} {
+		if p.X < 0.25-1e-12 || p.X > f.Room.Width.M()-0.25+1e-12 ||
+			p.Y < 0.25-1e-12 || p.Y > f.Room.Depth.M()-0.25+1e-12 {
+			t.Errorf("node at %+v breaks the wall margin", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FloorGrid(0, 6) did not panic")
+		}
+	}()
+	FloorGrid(0, 6)
+}
+
+func TestUniformRXsInRoom(t *testing.T) {
+	s := FloorGrid(12, 12)
+	rng := stats.NewRand(5)
+	pts := s.UniformRXs(rng, 200)
+	if len(pts) != 200 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > s.Room.Width.M() || p.Y < 0 || p.Y > s.Room.Depth.M() || p.Z != 0 {
+			t.Errorf("RX at %+v outside the room", p)
+		}
+	}
+	// Deterministic under the seed.
+	again := FloorGrid(12, 12).UniformRXs(stats.NewRand(5), 200)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("draw %d differs under the same seed", i)
+		}
+	}
+}

@@ -1,28 +1,34 @@
 #!/usr/bin/env bash
-# Benchmark harness for the solver fast path. Runs the optimal-allocator
-# macro benchmarks plus the kernel micro benchmarks and writes BENCH_pr4.json
-# at the repo root, with before/after pairs measured against a baseline git
-# ref (default: HEAD — run this with the PR's changes uncommitted, or pass
-# the pre-PR commit explicitly). Usage:
+# Benchmark harness for the solver fast paths. Runs the paired macro
+# benchmarks (before/after against a baseline git ref), the building-scale
+# sharded-vs-global decision pair, and the zero-alloc kernel micros, then
+# writes BENCH_pr8.json at the repo root including the measured sum-log gap
+# of every cooperation-clustering formation at N=1024, M=256 (the
+# clusterscale experiment). Usage:
 #
 #     ./scripts/bench.sh [output.json] [baseline-ref]
 #
 # The baseline runs from a temporary worktree under .bench-baseline/ and
-# only covers benchmarks that exist at that ref; the kernel micros are new,
-# so they appear after-only with their allocs/op (the zero-alloc acceptance
-# gate). Pass an empty baseline-ref ("") to skip the before side.
+# only covers benchmarks that exist at that ref (default: HEAD — run this
+# with the PR's changes uncommitted, or pass the pre-PR commit explicitly).
+# The building-scale pair and the cluster micros are new in this PR, so they
+# appear after-only; their headline number is the sharded_speedup ratio
+# (global decision latency / sharded decision latency on the same floor),
+# not a before/after delta. Pass an empty baseline-ref ("") to skip the
+# before side.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr8.json}"
 baseline="${2-HEAD}"
 
 # Static/dynamic alignment gate: every function whose allocs/op the bench
-# suite pins to zero (testing.AllocsPerRun in internal/alloc/kernel_test.go
-# and internal/optimize/fastpath_test.go) must carry the //lint:hotpath
-# annotation, so vlclint's hotalloc analyzer proves statically what
-# AllocsPerRun samples dynamically. Keep this list in sync with those tests.
+# suite pins to zero (testing.AllocsPerRun in internal/alloc/kernel_test.go,
+# internal/optimize/fastpath_test.go, internal/cluster/workspace_test.go and
+# internal/mac/sharded_test.go) must carry the //lint:hotpath annotation, so
+# vlclint's hotalloc analyzer proves statically what AllocsPerRun samples
+# dynamically. Keep this list in sync with those tests.
 echo "==> hotpath/AllocsPerRun alignment"
 hot=$(go run ./cmd/vlclint -graph ./... | awk '$1 == "hot" { print $2 }')
 for fn in \
@@ -31,18 +37,16 @@ for fn in \
     '(*densevlc/internal/alloc.problem).ValueGradient' \
     '(*densevlc/internal/alloc.problem).Project' \
     'densevlc/internal/optimize.ProjectCappedSimplex' \
-    'densevlc/internal/optimize.ProjectCappedSimplexScratch'; do
+    'densevlc/internal/optimize.ProjectCappedSimplexScratch' \
+    '(*densevlc/internal/cluster.Workspace).refresh' \
+    'densevlc/internal/cluster.sliceInto' \
+    'densevlc/internal/cluster.stitchInto' \
+    '(*densevlc/internal/mac.Controller).fillEnv'; do
     if ! grep -qxF "$fn" <<<"$hot"; then
         echo "bench.sh: $fn is AllocsPerRun-gated but not //lint:hotpath-annotated (see: go run ./cmd/vlclint -graph ./...)" >&2
         exit 1
     fi
 done
-
-# Benchmarks present both before and after: the paired macro path.
-pair_pat='Fig11HeuristicVsOptimal$|OptimalDecision$|HeuristicDecision$|OptimalSolve$'
-# After-only additions: kernel and projector micros, warm-vs-cold sweep.
-alloc_pat='ProblemValue$|ProblemGradient$|ProblemValueGradient$|ProblemProject$|SweepOptimal(Warm|Cold)Start$'
-opt_pat='ProjectCappedSimplex'
 
 run_benches() { # dir
     (
@@ -57,11 +61,26 @@ run_benches() { # dir
     ) 2>/dev/null | grep '^Benchmark' || true
 }
 
+# After-only additions: kernel and projector micros, warm-vs-cold sweep.
+alloc_pat='ProblemValue$|ProblemGradient$|ProblemValueGradient$|ProblemProject$|SweepOptimal(Warm|Cold)Start$'
+opt_pat='ProjectCappedSimplex'
+# The building-scale pair: global heuristic vs the sharded solver on the
+# 32×32 floor (N=1024, M=256), plus the zero-alloc steady-state re-solve.
+cluster_pat='GlobalDecision1024$|ShardedDecision1024$|ShardedSteadyState1024$'
+
 echo "==> after: working tree"
 after=$(run_benches .)
 after_alloc=$(go test -run='^$' -bench "$alloc_pat" -benchtime=0.5s -count=1 ./internal/alloc/ | grep '^Benchmark')
 after_opt=$(go test -run='^$' -bench "$opt_pat" -benchtime=0.5s -count=1 ./internal/optimize/ | grep '^Benchmark')
-printf '%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" >&2
+after_cluster=$(go test -run='^$' -bench "$cluster_pat" -benchtime=1x -count=3 . | grep '^Benchmark')
+printf '%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" >&2
+
+# The scaling curve behind the headline ratio: every formation of the
+# coverage ladder on the full floor, with its sum-log gap to the global
+# solve (row 0 of the clusterscale experiment, bit-identical to the global
+# heuristic by the equivalence contract).
+echo "==> cluster-scale gap curve (clusterscale experiment, full floor)"
+cluster_csv=$(go run ./cmd/experiments -format csv clusterscale | grep -v '^#')
 
 before=""
 if [[ -n "$baseline" ]] && git rev-parse --verify --quiet "$baseline^{commit}" >/dev/null; then
@@ -76,9 +95,22 @@ fi
 GOMAXPROCS_N=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 
 {
-    printf '%s\n' "$after" "$after_alloc" "$after_opt" | sed 's/^/after /'
+    printf '%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" | sed 's/^/after /'
     [[ -n "$before" ]] && printf '%s\n' "$before" | sed 's/^/before /'
+    printf '%s\n' "$cluster_csv" | sed 's/^/curve /'
 } | awk -v out="$out" -v procs="$GOMAXPROCS_N" -v ref="$(git rev-parse --short "${baseline:-HEAD}" 2>/dev/null || echo none)" '
+$1 == "curve" {
+    # CSV rows of the clusterscale table: formation, clusters, max TXs per
+    # cluster, decision [s], sum-log, gap vs global. Skip the header row
+    # (whose second field is not numeric) and keep everything else verbatim.
+    line = $0
+    sub(/^curve /, "", line)
+    nf = split(line, c, ",")
+    if (nf < 6 || c[2] + 0 != c[2]) next
+    curves[nc++] = sprintf("{\"formation\": \"%s\", \"clusters\": %s, \"max_txs_per_cluster\": %s, \"decision_s\": %s, \"sum_log\": %s, \"gap_vs_global\": %s}", \
+        c[1], c[2], c[3], c[4], c[5], (c[6] == "starved" ? "null" : c[6]))
+    next
+}
 {
     side = $1
     name = $2
@@ -91,8 +123,10 @@ GOMAXPROCS_N=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
     if (side == "after" && $NF == "allocs/op") allocs[name] = $(NF-1)
 }
 END {
-    printf "{\n  \"pr\": 4,\n  \"suite\": \"optimal allocator fast path\",\n  \"gomaxprocs\": %d,\n  \"baseline_ref\": \"%s\",\n", procs, ref > out
-    printf "  \"note\": \"before numbers measured from a worktree at baseline_ref; kernel micros are new in this PR and report after-only with their allocs/op\",\n" >> out
+    printf "{\n  \"pr\": 8,\n  \"suite\": \"cooperation clustering and sharded allocation\",\n  \"gomaxprocs\": %d,\n  \"baseline_ref\": \"%s\",\n", procs, ref > out
+    printf "  \"note\": \"before numbers measured from a worktree at baseline_ref; the 1024-scale pair and cluster micros are new in this PR and report after-only, with sharded_speedup (global/sharded decision latency at N=1024, M=256) as the headline ratio\",\n" >> out
+    if (("after", "BenchmarkGlobalDecision1024") in ns && ("after", "BenchmarkShardedDecision1024") in ns)
+        printf "  \"sharded_speedup\": %.2f,\n", ns["after", "BenchmarkGlobalDecision1024"] / ns["after", "BenchmarkShardedDecision1024"] >> out
     printf "  \"benchmarks\": [\n" >> out
     for (i = 0; i < n; i++) {
         name = order[i]
@@ -100,6 +134,9 @@ END {
         if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name] >> out
         printf "}%s\n", (i < n-1 ? "," : "") >> out
     }
+    printf "  ],\n  \"cluster_scale\": [\n" >> out
+    for (i = 0; i < nc; i++)
+        printf "    %s%s\n", curves[i], (i < nc-1 ? "," : "") >> out
     printf "  ],\n  \"pairs\": [\n" >> out
     first = 1
     for (i = 0; i < n; i++) {

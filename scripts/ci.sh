@@ -36,10 +36,14 @@
 #                     goroutine teardown after each run is the leak
 #                     checker's territory and is asserted by the -race
 #                     suites in step 8
-#  10. short fuzz   — a few seconds of the frame-codec, Manchester
-#                     round-trip, and chaos-spec grammar fuzzers, enough to
-#                     catch regressions on the seeded corpora plus fresh
-#                     mutations
+#  10. cluster-scale smoke — the building-scale clusterscale experiment at
+#                     full size (N=1024 TXs, M=256 RXs, heuristic per
+#                     cluster) under the race detector, time-bounded so a
+#                     solver regression cannot hang the gate
+#  11. short fuzz   — a few seconds of the frame-codec, Manchester
+#                     round-trip, chaos-spec and cluster-spec grammar
+#                     fuzzers, enough to catch regressions on the seeded
+#                     corpora plus fresh mutations
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -102,12 +106,20 @@ go run ./cmd/densevlc -rounds 4 -udp=false -chaos tx-blackout > /dev/null
 go run ./cmd/densevlc -rounds 4 -udp=false -async -chaos tx-blackout > /dev/null
 go run ./cmd/experiments -quick resilience > /dev/null
 
+# Cluster-scale smoke: the full building floor (N=1024, M=256) through the
+# sharded heuristic ladder, under the race detector. timeout(1) bounds the
+# gate: the run finishes in seconds today, so ten minutes only trips on a
+# genuine scaling regression or a deadlock in the per-cluster fan-out.
+echo "==> cluster-scale smoke (N=1024, M=256, -race, time-bounded)"
+timeout 600 go run -race ./cmd/experiments clusterscale > /dev/null
+
 # Short fuzz budget: -fuzz requires exactly one matching target per package,
 # so each fuzzer gets its own invocation.
-echo "==> short fuzz (frame codec, Manchester demodulator, chaos spec)"
+echo "==> short fuzz (frame codec, Manchester demodulator, chaos spec, cluster spec)"
 go test -run='^$' -fuzz='^FuzzDownlinkRoundTrip$' -fuzztime=10s ./internal/frame/
 go test -run='^$' -fuzz='^FuzzManchesterRoundTrip$' -fuzztime=10s ./internal/dsp/
 go test -run='^$' -fuzz='^FuzzManchesterDecode$' -fuzztime=5s ./internal/dsp/
 go test -run='^$' -fuzz='^FuzzChaosSpec$' -fuzztime=5s ./internal/chaos/
+go test -run='^$' -fuzz='^FuzzClusterSpec$' -fuzztime=5s ./internal/cluster/
 
 echo "==> ci.sh: all gates passed"
