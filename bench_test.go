@@ -19,6 +19,7 @@ import (
 	"densevlc/internal/cluster"
 	"densevlc/internal/experiments"
 	"densevlc/internal/frame"
+	"densevlc/internal/geom"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
 	"densevlc/internal/units"
@@ -303,5 +304,129 @@ func BenchmarkNLOSSyncExchange(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		session.Synchronize(f)
+	}
+}
+
+// Incremental re-allocation pairs: the cost of one receiver moving on the
+// building-scale floor (N=1024, M=256), from-scratch vs the dirty-tracking
+// path. scripts/bench.sh records the ratio as BENCH_pr9.json's headline.
+
+// floorRXToggle returns the moved receiver's two alternating positions — a
+// small in-cell move, the steady-state mobility case.
+func floorRXToggle(rx []geom.Vec) (a, bpos geom.Vec) {
+	a = rx[7]
+	return a, geom.V(a.X+0.04, a.Y, 0)
+}
+
+func BenchmarkSingleRXMoveFullResolve(b *testing.B) {
+	rows, cols, m := experiments.ClusterScaleDims(false)
+	set := scenario.FloorGrid(rows, cols)
+	rx := set.GridRXs(stats.NewRand(1), rows/2, cols/2, 1.0, scenario.InstanceJitter)
+	budget := units.Watts(1.19 / 4 * float64(m))
+	w := cluster.NewWorkspace(cluster.Spec{Threshold: 0.5}, alloc.Heuristic{AllowPartial: true}, 1)
+	posA, posB := floorRXToggle(rx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			rx[7] = posB
+		} else {
+			rx[7] = posA
+		}
+		env := set.Env(rx, nil) // full channel rebuild
+		if _, err := w.Solve(env, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleRXMoveIncremental(b *testing.B) {
+	rows, cols, m := experiments.ClusterScaleDims(false)
+	set := scenario.FloorGrid(rows, cols)
+	rx := set.GridRXs(stats.NewRand(1), rows/2, cols/2, 1.0, scenario.InstanceJitter)
+	budget := units.Watts(1.19 / 4 * float64(m))
+	mv := set.NewMover(rx, nil)
+	env := mv.Env()
+	w := cluster.NewWorkspace(cluster.Spec{Threshold: 0.5}, alloc.Heuristic{AllowPartial: true}, 1)
+	if _, err := w.Solve(env, budget); err != nil {
+		b.Fatal(err)
+	}
+	posA, posB := floorRXToggle(rx)
+	dirty := func(ci int) bool { return ci == w.Clustering().RXOf[7] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			mv.MoveRX(7, posB) // one column refreshed
+		} else {
+			mv.MoveRX(7, posA)
+		}
+		if _, err := w.SolveDirty(env, budget, dirty); err != nil { // one cluster re-solved
+			b.Fatal(err)
+		}
+	}
+}
+
+// Batch pair: 64 independent paper-room instances, a sequential Allocate
+// loop vs SolveBatch's warm-worker pool. Results are byte-identical (see
+// internal/alloc's equivalence suite); the ratio is pure throughput.
+
+func batchBenchItems() []alloc.BatchItem {
+	set := scenario.Default()
+	insts := set.RandomInstances(stats.NewRand(2), 64)
+	items := make([]alloc.BatchItem, len(insts))
+	for i, inst := range insts {
+		items[i] = alloc.BatchItem{Env: set.Env(inst, nil), Budget: 1.19}
+	}
+	return items
+}
+
+func BenchmarkBatchSequential(b *testing.B) {
+	items := batchBenchItems()
+	policy := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, it := range items {
+			if _, err := policy.Allocate(it.Env, it.Budget); err != nil {
+				b.Fatalf("item %d: %v", k, err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchSolve(b *testing.B) {
+	items := batchBenchItems()
+	policy := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 0 workers = all cores; on a single-core box the win is the warm
+		// per-worker scratch alone, on multicore the fan-out stacks on top.
+		out, err := alloc.SolveBatch(context.Background(), policy, items, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(items) {
+			b.Fatalf("%d results", len(out))
+		}
+	}
+}
+
+// BenchmarkMoveRX1024 pins the geometry kernel alone: one receiver move on
+// the 1024-TX floor is one 1024-gain column refresh, zero allocations.
+func BenchmarkMoveRX1024(b *testing.B) {
+	rows, cols, _ := experiments.ClusterScaleDims(false)
+	set := scenario.FloorGrid(rows, cols)
+	rx := set.GridRXs(stats.NewRand(1), rows/2, cols/2, 1.0, scenario.InstanceJitter)
+	mv := set.NewMover(rx, nil)
+	posA, posB := floorRXToggle(rx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			mv.MoveRX(7, posB)
+		} else {
+			mv.MoveRX(7, posA)
+		}
 	}
 }

@@ -7,6 +7,8 @@
 //
 //	densevlc [-rounds N] [-budget W] [-kappa K] [-speed M/S] [-udp] [-waveform]
 //	         [-chaos PRESET|SPEC] [-failures K] [-chaos-seed N]
+//	         [-incremental] [-trigger-delta D] [-trigger-stale K]
+//	         [-cache] [-cache-quantum M]
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"densevlc/internal/alloc"
 	"densevlc/internal/chaos"
 	"densevlc/internal/clock"
+	"densevlc/internal/mac"
 	"densevlc/internal/mobility"
 	"densevlc/internal/node"
 	"densevlc/internal/scenario"
@@ -40,6 +43,11 @@ func main() {
 	useUDP := flag.Bool("udp", true, "carry the control plane over UDP loopback sockets")
 	waveform := flag.Bool("waveform", false, "run the sample-level PHY data phase (slow)")
 	async := flag.Bool("async", false, "run every node as its own goroutine with timeouts (event-driven, like the distributed prototype)")
+	incremental := flag.Bool("incremental", false, "enable event-driven re-allocation: skip the solve when no reported gain moved more than -trigger-delta since the last plan")
+	triggerDelta := flag.Float64("trigger-delta", 0.05, "relative per-receiver gain change that triggers a re-solve (with -incremental)")
+	triggerStale := flag.Int("trigger-stale", 16, "max consecutive trigger-skipped rounds before a forced full re-solve (0 = no bound, with -incremental)")
+	useCache := flag.Bool("cache", false, "memoise allocations by quantised receiver geometry and live-TX mask, replaying them when positions revisit a cell")
+	cacheQuantum := flag.Float64("cache-quantum", 0.05, "position-snapping pitch of the geometry cache in metres (with -cache)")
 	seed := flag.Int64("seed", 1, "random seed")
 	chaosArg := flag.String("chaos", "", "fault schedule: a preset ("+
 		strings.Join(scenario.ChaosPresetNames(), ", ")+") or a raw spec like \"2:txfail:7;4:rxblock:0:0.1\"")
@@ -113,6 +121,12 @@ func main() {
 		Network:          network,
 		Chaos:            schedule,
 		Seed:             *seed,
+	}
+	if *incremental {
+		cfg.Trigger = mac.Trigger{RelDelta: *triggerDelta, MaxStaleEpochs: *triggerStale}
+	}
+	if *useCache {
+		cfg.CacheQuantum = units.Meters(*cacheQuantum)
 	}
 
 	res, err := sim.Run(cfg)

@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"context"
+	"fmt"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/parallel"
+	"densevlc/internal/units"
+)
+
+// BatchItem is one independent allocation problem of a batch: an
+// environment and the budget to solve it under.
+type BatchItem struct {
+	Env    *Env
+	Budget units.Watts
+}
+
+// BatchWorker is a reusable solver: scratch buffers persist across
+// consecutive Solve calls, amortising setup over a batch. Results must be
+// identical to the owning policy's Allocate and owned by the caller. A
+// worker is single-goroutine state.
+type BatchWorker interface {
+	Solve(env *Env, budget units.Watts) (channel.Swings, error)
+}
+
+// BatchSolver is implemented by policies that can hand out warm workers for
+// SolveBatch. Policies without it are still batchable — each item just runs
+// through plain Allocate.
+type BatchSolver interface {
+	Policy
+	// NewBatchWorker returns a fresh reusable solver. SolveBatch creates
+	// one per parallel worker, so implementations need no locking.
+	NewBatchWorker() BatchWorker
+}
+
+// SolveBatch solves many independent allocation problems on at most workers
+// goroutines (≤ 0 selects all cores), amortising solver setup: when the
+// policy implements BatchSolver, each goroutine holds one warm worker whose
+// scratch is reused across its chunk of consecutive items. Items are split
+// into contiguous chunks and every item is solved independently, so the
+// result — position i holds item i's swing matrix — is byte-identical to a
+// sequential Allocate loop at every worker count. The first failing item of
+// the lowest-indexed failing chunk aborts the batch, wrapped with its item
+// index.
+func SolveBatch(ctx context.Context, policy Policy, items []BatchItem, workers int) ([]channel.Swings, error) {
+	if len(items) == 0 {
+		return nil, ctx.Err()
+	}
+	w := parallel.Workers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	batcher, warm := policy.(BatchSolver)
+	chunks, err := parallel.Map(ctx, w, w, func(ci int) ([]channel.Swings, error) {
+		lo, hi := chunkBounds(len(items), w, ci)
+		out := make([]channel.Swings, 0, hi-lo)
+		var worker BatchWorker
+		if warm {
+			worker = batcher.NewBatchWorker()
+		}
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var got channel.Swings
+			var err error
+			if worker != nil {
+				got, err = worker.Solve(items[i].Env, items[i].Budget)
+			} else {
+				got, err = policy.Allocate(items[i].Env, items[i].Budget)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("alloc: batch item %d: %w", i, err)
+			}
+			out = append(out, got)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]channel.Swings, 0, len(items))
+	for _, chunk := range chunks {
+		results = append(results, chunk...)
+	}
+	return results, nil
+}
+
+// chunkBounds splits n items into w contiguous chunks as evenly as
+// possible (the first n%w chunks get one extra item) and returns chunk
+// ci's half-open range.
+func chunkBounds(n, w, ci int) (lo, hi int) {
+	base, extra := n/w, n%w
+	lo = ci*base + min(ci, extra)
+	hi = lo + base
+	if ci < extra {
+		hi++
+	}
+	return lo, hi
+}

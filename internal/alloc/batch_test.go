@@ -1,0 +1,167 @@
+package alloc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/geom"
+	"densevlc/internal/units"
+)
+
+// batchItems builds n independent Fig. 7-style instances with randomised
+// receiver positions and budgets.
+func batchItems(rng *rand.Rand, n int) []BatchItem {
+	items := make([]BatchItem, n)
+	for k := range items {
+		rx := make([]geom.Vec, 3+rng.Intn(3))
+		for i := range rx {
+			rx[i] = geom.V(rng.Float64()*3, rng.Float64()*3, 0)
+		}
+		items[k] = BatchItem{Env: testEnv(rx), Budget: units.Watts(0.3 + rng.Float64())}
+	}
+	return items
+}
+
+// failAfter is a policy that errors on its (n+1)-th Allocate call.
+type failAfter struct {
+	inner Policy
+	left  int
+}
+
+func (f *failAfter) Name() string { return "fail-after" }
+
+func (f *failAfter) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
+	if f.left <= 0 {
+		return nil, fmt.Errorf("budget oracle refused")
+	}
+	f.left--
+	return f.inner.Allocate(env, budget)
+}
+
+// plainPolicy strips the BatchSolver interface off a policy so SolveBatch
+// exercises its fallback Allocate path.
+type plainPolicy struct{ inner Policy }
+
+func (p plainPolicy) Name() string { return "plain" }
+
+func (p plainPolicy) Allocate(env *Env, budget units.Watts) (channel.Swings, error) {
+	return p.inner.Allocate(env, budget)
+}
+
+// TestIncrementalVsScratchBatch is the batch equivalence property: whatever
+// the worker count and whether the policy hands out warm workers or not,
+// SolveBatch's result is byte-identical to a sequential Allocate loop.
+func TestIncrementalVsScratchBatch(t *testing.T) {
+	policies := map[string]Policy{
+		"heuristic": Heuristic{Kappa: 1.3, AllowPartial: true},
+		"adaptive":  AdaptiveKappa{KappaLow: 1.0, KappaHigh: 2.0, AllowPartial: true},
+		"plain":     plainPolicy{inner: Heuristic{Kappa: 1.3, AllowPartial: true}},
+	}
+	for name, policy := range policies {
+		items := batchItems(rand.New(rand.NewSource(97)), 11)
+		want := make([]channel.Swings, len(items))
+		for i, it := range items {
+			s, err := policy.Allocate(it.Env, it.Budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = s
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			got, err := SolveBatch(context.Background(), policy, items, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d results for %d items", name, workers, len(got), len(items))
+			}
+			for k := range want {
+				for j := range want[k] {
+					for i := range want[k][j] {
+						if got[k][j][i] != want[k][j][i] {
+							t.Fatalf("%s workers=%d: item %d swing (%d,%d) = %v batched, %v sequential",
+								name, workers, k, j, i, got[k][j][i], want[k][j][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchErrorCarriesItemIndex: a failing item aborts the batch and
+// the error names the item.
+func TestSolveBatchErrorCarriesItemIndex(t *testing.T) {
+	items := batchItems(rand.New(rand.NewSource(101)), 6)
+	policy := &failAfter{inner: Heuristic{Kappa: 1.3, AllowPartial: true}, left: 2}
+	_, err := SolveBatch(context.Background(), policy, items, 1)
+	if err == nil {
+		t.Fatal("failing policy produced no error")
+	}
+	if want := "batch item 2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the failing item (%q)", err, want)
+	}
+}
+
+// TestSolveBatchHonoursCancellation: a cancelled context aborts the batch.
+func TestSolveBatchHonoursCancellation(t *testing.T) {
+	items := batchItems(rand.New(rand.NewSource(103)), 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveBatch(ctx, Heuristic{Kappa: 1.3, AllowPartial: true}, items, 2); err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if got, err := SolveBatch(ctx, Heuristic{Kappa: 1.3}, nil, 2); got != nil || err == nil {
+		t.Error("empty batch under a cancelled context must surface ctx.Err()")
+	}
+}
+
+// TestBatchWorkerRegrowsAcrossDimensions: a warm worker must survive a batch
+// whose items change problem dimensions mid-stream.
+func TestBatchWorkerRegrowsAcrossDimensions(t *testing.T) {
+	for name, policy := range map[string]BatchSolver{
+		"heuristic": Heuristic{Kappa: 1.3, AllowPartial: true},
+		"adaptive":  AdaptiveKappa{KappaLow: 1.0, KappaHigh: 2.0, AllowPartial: true},
+	} {
+		worker := policy.NewBatchWorker()
+		for _, m := range []int{4, 2, 6, 4} {
+			rx := make([]geom.Vec, m)
+			for i := range rx {
+				rx[i] = geom.V(0.4+0.5*float64(i), 1.1, 0)
+			}
+			env := testEnv(rx)
+			want, err := policy.Allocate(env, 1.19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := worker.Solve(env, 1.19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				for i := range want[j] {
+					if got[j][i] != want[j][i] {
+						t.Fatalf("%s m=%d: swing (%d,%d) = %v warm, %v scratch", name, m, j, i, got[j][i], want[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchWorkerValidatesLikeAllocate: the warm path rejects the same bad
+// inputs the cold path does.
+func TestBatchWorkerValidatesLikeAllocate(t *testing.T) {
+	worker := Heuristic{Kappa: 1.3}.NewBatchWorker()
+	env := testEnv(fig7RX())
+	if _, err := worker.Solve(env, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := worker.Solve(&Env{Params: env.Params, LED: env.LED}, 1); err == nil {
+		t.Error("nil matrix accepted")
+	}
+}

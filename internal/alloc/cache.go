@@ -1,0 +1,175 @@
+package alloc
+
+import (
+	"container/list"
+	"math"
+
+	"densevlc/internal/channel"
+	"densevlc/internal/geom"
+	"densevlc/internal/units"
+)
+
+// GeoCache memoises allocation decisions by quantised receiver geometry:
+// the key is every receiver's position snapped to a Quantum-sized grid plus
+// the live-transmitter mask, so a waypoint loop that revisits (almost) the
+// same positions under the same TX health answers from the cache instead of
+// re-solving. Entries are kept LRU up to Capacity.
+//
+// Reuse is validated, not assumed: Get re-checks the stored swing matrix
+// against the caller's current environment and budget — dimensions, the
+// per-TX swing bound (6), the total power budget (7), and that no swing
+// rides a link the current channel says is gone — and treats a failed check
+// as a miss, evicting the entry. Hits return the stored matrix itself;
+// the cache deep-copies on Put, so callers must not mutate a hit (clone it
+// to mutate) and hits stay byte-identical across time.
+//
+// A GeoCache is single-goroutine state, like the solver workspaces it
+// fronts.
+type GeoCache struct {
+	// Quantum is the position-snapping pitch. Positions within the same
+	// Quantum-sized cell share a key; smaller quanta trade hit rate for
+	// fidelity.
+	Quantum units.Meters
+	// Capacity bounds the entry count; inserting beyond it evicts the
+	// least recently used entry.
+	Capacity int
+
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	key    string
+	swings channel.Swings
+}
+
+// NewGeoCache builds an empty cache with the given quantum and capacity.
+func NewGeoCache(quantum units.Meters, capacity int) *GeoCache {
+	if quantum <= 0 {
+		quantum = 0.05
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &GeoCache{
+		Quantum:  quantum,
+		Capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Key derives the cache key from receiver xy positions and the optional
+// live-transmitter mask (nil = all transmitters live). Positions are
+// rounded to the nearest Quantum so nearby geometries collide on purpose.
+func (c *GeoCache) Key(rx []geom.Vec, liveTX []bool) string {
+	q := c.Quantum.M()
+	buf := make([]byte, 0, 8*2*len(rx)+len(liveTX)/8+9)
+	for _, p := range rx {
+		buf = appendQuantised(buf, p.X, q)
+		buf = appendQuantised(buf, p.Y, q)
+	}
+	buf = append(buf, '|')
+	acc, nbits := byte(0), 0
+	for _, live := range liveTX {
+		acc <<= 1
+		if live {
+			acc |= 1
+		}
+		if nbits++; nbits == 8 {
+			buf = append(buf, acc)
+			acc, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		buf = append(buf, acc)
+	}
+	return string(buf)
+}
+
+func appendQuantised(buf []byte, v, quantum float64) []byte {
+	n := int64(math.Round(v / quantum))
+	return append(buf,
+		byte(n>>56), byte(n>>48), byte(n>>40), byte(n>>32),
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+}
+
+// Get returns the cached swing matrix for key if one exists and it is still
+// feasible for the current environment and budget. An infeasible entry — a
+// receiver drifted within its quantisation cell until a cached swing rides
+// a dead link, or the budget shrank — is evicted and reported as a miss.
+func (c *GeoCache) Get(key string, env *Env, budget units.Watts) (channel.Swings, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	entry := el.Value.(*cacheEntry)
+	if !feasible(entry.swings, env, budget) {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return entry.swings, true
+}
+
+// Put stores a deep copy of the swing matrix under key, evicting the least
+// recently used entry beyond capacity.
+func (c *GeoCache) Put(key string, s channel.Swings) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).swings = s.Clone()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, swings: s.Clone()})
+	for c.order.Len() > c.Capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Hits and Misses expose the lookup counters; Len the live entry count.
+func (c *GeoCache) Hits() int   { return c.hits }
+func (c *GeoCache) Misses() int { return c.misses }
+func (c *GeoCache) Len() int    { return c.order.Len() }
+
+// feasible re-validates a cached decision against the current problem: the
+// dimensions must match, every transmitter must respect the swing bound (6),
+// the summed communication power must fit the budget (7) — with one ULP of
+// slack so a decision solved at this exact budget revalidates — and no
+// transmitter may put swing on a receiver the current channel gives it zero
+// gain to (a swing into a dead link wastes power and interferes).
+func feasible(s channel.Swings, env *Env, budget units.Watts) bool {
+	h := env.H
+	if len(s) != h.N {
+		return false
+	}
+	const slack = 1 + 1e-12
+	total := units.Watts(0)
+	for j := range s {
+		if len(s[j]) != h.M {
+			return false
+		}
+		rowSwing := units.Amperes(0)
+		for i, sw := range s[j] {
+			if sw < 0 {
+				return false
+			}
+			if sw > 0 && h.H[j][i] <= 0 {
+				return false
+			}
+			rowSwing += sw
+		}
+		if rowSwing.A() > env.LED.MaxSwing.A()*slack {
+			return false
+		}
+		total += env.LED.CommPower(rowSwing)
+	}
+	return budget <= 0 || total.W() <= budget.W()*slack
+}

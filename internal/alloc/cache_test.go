@@ -1,0 +1,185 @@
+package alloc
+
+import (
+	"testing"
+
+	"densevlc/internal/geom"
+	"densevlc/internal/units"
+)
+
+// TestGeoCacheKeyQuantisation: positions within the same quantum cell share
+// a key; positions a cell apart, reordered receivers, and differing live
+// masks do not.
+func TestGeoCacheKeyQuantisation(t *testing.T) {
+	c := NewGeoCache(0.05, 8)
+	base := []geom.Vec{geom.V(1.00, 1.00, 0), geom.V(2.00, 0.50, 0)}
+	same := []geom.Vec{geom.V(1.01, 0.99, 0), geom.V(2.02, 0.49, 0)}
+	far := []geom.Vec{geom.V(1.10, 1.00, 0), geom.V(2.00, 0.50, 0)}
+	swapped := []geom.Vec{base[1], base[0]}
+
+	if c.Key(base, nil) != c.Key(same, nil) {
+		t.Error("positions inside one quantum cell produced distinct keys")
+	}
+	if c.Key(base, nil) == c.Key(far, nil) {
+		t.Error("positions a cell apart collided")
+	}
+	if c.Key(base, nil) == c.Key(swapped, nil) {
+		t.Error("receiver order is part of the geometry; swapped receivers collided")
+	}
+	live := make([]bool, 36)
+	for i := range live {
+		live[i] = true
+	}
+	allLive := c.Key(base, live)
+	live[17] = false
+	if allLive == c.Key(base, live) {
+		t.Error("a dead transmitter did not change the key")
+	}
+	if c.Key(base, nil) == allLive {
+		t.Error("nil mask and explicit all-live mask collided; callers must pick one convention")
+	}
+}
+
+// TestGeoCacheHitIsByteIdentical: a hit returns exactly the stored decision,
+// detached from the matrix that was Put.
+func TestGeoCacheHitIsByteIdentical(t *testing.T) {
+	env := testEnv(fig7RX())
+	budget := units.Watts(1.19)
+	s, err := Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGeoCache(0.05, 8)
+	key := c.Key(fig7RX(), nil)
+	c.Put(key, s)
+	s[0][0] = 42 // mutating the caller's copy must not reach the cache
+
+	got, ok := c.Get(key, env, budget)
+	if !ok {
+		t.Fatal("fresh entry missed")
+	}
+	s[0][0] = 0
+	for j := range s {
+		for i := range s[j] {
+			if got[j][i] != s[j][i] {
+				t.Fatalf("swing (%d,%d) = %v cached, %v solved", j, i, got[j][i], s[j][i])
+			}
+		}
+	}
+	if c.Hits() != 1 || c.Misses() != 0 {
+		t.Errorf("counters hits=%d misses=%d after one hit", c.Hits(), c.Misses())
+	}
+}
+
+// TestGeoCacheLRUEviction: inserting past capacity drops the least recently
+// used key, and a Get refreshes recency.
+func TestGeoCacheLRUEviction(t *testing.T) {
+	env := testEnv(fig7RX())
+	s, err := Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, 1.19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGeoCache(0.05, 2)
+	keyAt := func(x float64) string {
+		return c.Key([]geom.Vec{geom.V(x, 1, 0)}, nil)
+	}
+	// The stored swings only need to be consistent for eviction-order
+	// purposes; use the same decision under every key.
+	c.Put(keyAt(0.0), s)
+	c.Put(keyAt(1.0), s)
+	if _, ok := c.Get(keyAt(0.0), env, 1.19); !ok { // refresh key 0.0
+		t.Fatal("entry 0.0 missing before eviction")
+	}
+	c.Put(keyAt(2.0), s) // evicts 1.0, the LRU
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after eviction, want 2", c.Len())
+	}
+	if _, ok := c.Get(keyAt(1.0), env, 1.19); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keyAt(0.0), env, 1.19); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	// Overwriting an existing key must not grow the cache.
+	c.Put(keyAt(0.0), s)
+	if c.Len() != 2 {
+		t.Errorf("len = %d after overwrite, want 2", c.Len())
+	}
+}
+
+// TestGeoCacheRevalidation: a cached decision that is no longer feasible —
+// the budget shrank, or a swing rides a link the current channel zeroed —
+// is a miss and the entry is evicted.
+func TestGeoCacheRevalidation(t *testing.T) {
+	env := testEnv(fig7RX())
+	budget := units.Watts(1.19)
+	s, err := Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGeoCache(0.05, 8)
+	key := c.Key(fig7RX(), nil)
+
+	// Budget shrink: the decision spends more than the new cap allows.
+	c.Put(key, s)
+	if _, ok := c.Get(key, env, budget/100); ok {
+		t.Error("over-budget decision served from cache")
+	}
+	if c.Len() != 0 {
+		t.Error("infeasible entry kept alive")
+	}
+
+	// Dead link: zero the channel under some active swing.
+	c.Put(key, s)
+	zeroed := false
+	for j := range s {
+		for i := range s[j] {
+			if s[j][i] > 0 && !zeroed {
+				env.H.H[j][i] = 0
+				zeroed = true
+			}
+		}
+	}
+	if !zeroed {
+		t.Fatal("no active swing to invalidate")
+	}
+	if _, ok := c.Get(key, env, budget); ok {
+		t.Error("decision riding a dead link served from cache")
+	}
+
+	// Dimension change: a different receiver count can never reuse.
+	c.Put(key, s)
+	if _, ok := c.Get(key, testEnv(fig7RX()[:2]), budget); ok {
+		t.Error("mis-dimensioned decision served from cache")
+	}
+	if c.Misses() != 3 {
+		t.Errorf("misses = %d, want 3", c.Misses())
+	}
+}
+
+// TestGeoCacheExactBudgetRevalidates: a decision solved at exactly the
+// budget must revalidate under the same budget despite float rounding in
+// the power sum.
+func TestGeoCacheExactBudgetRevalidates(t *testing.T) {
+	env := testEnv(fig7RX())
+	// A budget that the partial-swing path exhausts exactly.
+	budget := units.Watts(0.1)
+	s, err := Heuristic{Kappa: 1.3, AllowPartial: true}.Allocate(env, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGeoCache(0.05, 8)
+	key := c.Key(fig7RX(), nil)
+	c.Put(key, s)
+	if _, ok := c.Get(key, env, budget); !ok {
+		t.Error("exactly-at-budget decision failed to revalidate")
+	}
+}
+
+// TestGeoCacheDefaults: zero-value knobs select the documented defaults.
+func TestGeoCacheDefaults(t *testing.T) {
+	c := NewGeoCache(0, 0)
+	if c.Quantum != 0.05 || c.Capacity != 256 {
+		t.Errorf("defaults quantum=%v capacity=%d, want 0.05 and 256", c.Quantum, c.Capacity)
+	}
+}

@@ -1,0 +1,42 @@
+package channel
+
+import (
+	"densevlc/internal/optics"
+)
+
+// UpdateColumn recomputes the gains from every emitter to the single
+// detector det and writes them into column rx of the matrix: the row-local
+// channel refresh behind incremental re-allocation. When one receiver moves
+// only its column of H changes, so the O(N) kernel replaces the O(N·M)
+// BuildMatrix rebuild. The per-entry arithmetic is exactly BuildMatrix's,
+// so updating every column in turn reproduces a full rebuild bit for bit.
+// A non-nil blocker zeroes occluded links.
+//
+//lint:hotpath
+func (m *Matrix) UpdateColumn(rx int, emitters []optics.Emitter, det optics.Detector, blocker Blocker) {
+	if rx < 0 || rx >= m.M || len(emitters) != m.N {
+		//lint:ignore apipanic dimension mismatch is a caller bug; hot callers size emitters from the same Setup as H
+		panic("channel: UpdateColumn: rx or emitter dimensions disagree with the matrix")
+	}
+	for j := range emitters {
+		if blocker != nil && blocker.Blocked(emitters[j].Pos, det.Pos) {
+			m.H[j][rx] = 0
+			continue
+		}
+		m.H[j][rx] = optics.Gain(emitters[j], det)
+	}
+}
+
+// ColumnInto copies the gains from every TX to rx into dst, the
+// allocation-free sibling of Column. dst must have length N.
+//
+//lint:hotpath
+func (m *Matrix) ColumnInto(dst []float64, rx int) {
+	if len(dst) != m.N {
+		//lint:ignore apipanic dimension mismatch is a caller bug; hot callers size dst from the same matrix
+		panic("channel: ColumnInto: dst length disagrees with the matrix")
+	}
+	for j := 0; j < m.N; j++ {
+		dst[j] = m.H[j][rx]
+	}
+}

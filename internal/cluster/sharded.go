@@ -61,6 +61,29 @@ func (s Sharded) Allocate(env *alloc.Env, budget units.Watts) (channel.Swings, e
 	return got.Clone(), nil // detach from the workspace buffer
 }
 
+// NewBatchWorker implements alloc.BatchSolver: each batch worker holds a
+// private Workspace, so a batch of instances over the same floor reuses
+// formation scratch, sub-environments and the stitch buffer instead of
+// rebuilding them per item. Every item is solved all-dirty — the workspace
+// sub-plan cache never leaks between instances — so results match Allocate
+// bit for bit.
+func (s Sharded) NewBatchWorker() alloc.BatchWorker {
+	w := NewWorkspace(s.Spec, s.Inner, s.Workers)
+	w.BoundaryTolerance = s.BoundaryTolerance
+	return &batchWorker{w: w}
+}
+
+type batchWorker struct{ w *Workspace }
+
+// Solve implements alloc.BatchWorker.
+func (b *batchWorker) Solve(env *alloc.Env, budget units.Watts) (channel.Swings, error) {
+	got, err := b.w.Solve(env, budget)
+	if err != nil {
+		return nil, err
+	}
+	return got.Clone(), nil // detach from the workspace buffer
+}
+
 // Workspace is the reusable state of a sharded solver: the clustering and
 // its formation scratch, one sub-environment per cluster (channel matrices
 // resized only when the topology changes), the per-cluster solution cache,
@@ -113,7 +136,14 @@ func (w *Workspace) Clustering() *Clustering { return &w.clus }
 // swing matrix aliases the workspace stitch buffer — it is valid until the
 // next Solve; callers that retain it must Clone.
 func (w *Workspace) Solve(env *alloc.Env, budget units.Watts) (channel.Swings, error) {
-	return w.SolveDirty(env, budget, nil)
+	//lint:ignore ctxflow context-free convenience wrapper over SolveContext, which accepts the caller's context
+	return w.SolveDirtyContext(context.Background(), env, budget, nil)
+}
+
+// SolveContext is Solve under the caller's context: cancellation stops the
+// per-cluster fan-out between cluster solves.
+func (w *Workspace) SolveContext(ctx context.Context, env *alloc.Env, budget units.Watts) (channel.Swings, error) {
+	return w.SolveDirtyContext(ctx, env, budget, nil)
 }
 
 // SolveDirty is Solve with per-cluster reuse: clusters for which dirty
@@ -122,6 +152,16 @@ func (w *Workspace) Solve(env *alloc.Env, budget units.Watts) (channel.Swings, e
 // every cluster dirty. Membership changes force a re-solve regardless, so a
 // stale cache can never leak across topologies.
 func (w *Workspace) SolveDirty(env *alloc.Env, budget units.Watts, dirty func(c int) bool) (channel.Swings, error) {
+	//lint:ignore ctxflow context-free convenience wrapper over SolveDirtyContext, which accepts the caller's context
+	return w.SolveDirtyContext(context.Background(), env, budget, dirty)
+}
+
+// SolveDirtyContext is SolveDirty under the caller's context. Clean
+// clusters skip both the re-solve and the sub-environment refresh — their
+// cached sub-plans were computed from the gains they already hold — so a
+// steady-state epoch costs formation, the dirty check and the stitch, not
+// O(N·M) copying.
+func (w *Workspace) SolveDirtyContext(ctx context.Context, env *alloc.Env, budget units.Watts, dirty func(c int) bool) (channel.Swings, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,7 +175,6 @@ func (w *Workspace) SolveDirty(env *alloc.Env, budget units.Watts, dirty func(c 
 	if !sameTopology {
 		w.rebuild(env)
 	}
-	w.refresh(env)
 
 	k := w.clus.K()
 	w.shares = w.splitBudget(budget)
@@ -145,6 +184,7 @@ func (w *Workspace) SolveDirty(env *alloc.Env, budget units.Watts, dirty func(c 
 		// this cluster finished) always forces a re-solve.
 		w.dirty[c] = !sameTopology || dirty == nil || dirty(c) || w.subs[c].swings == nil
 	}
+	w.refresh(env)
 
 	// Per-cluster solves are independent (disjoint TXs, private sub-envs)
 	// and collected by cluster index, so the stitched matrix is identical at
@@ -153,12 +193,15 @@ func (w *Workspace) SolveDirty(env *alloc.Env, budget units.Watts, dirty func(c 
 	// steady-state AllocsPerRun pin measures.
 	if parallel.Workers(w.Workers) == 1 || k == 1 {
 		for c := 0; c < k; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := w.solveCluster(c); err != nil {
 				return nil, err
 			}
 		}
 	} else {
-		if err := parallel.ForEach(ctx(), w.Workers, k, w.solveCluster); err != nil {
+		if err := parallel.ForEach(ctx, w.Workers, k, w.solveCluster); err != nil {
 			return nil, err
 		}
 	}
@@ -194,12 +237,6 @@ func (w *Workspace) solveCluster(c int) error {
 	//lint:ignore sharedmut per-cluster write: ForEach hands index c to exactly one worker and sub is w.subs[c]
 	sub.swings = got
 	return nil
-}
-
-// ctx returns the solve context.
-func ctx() context.Context {
-	//lint:ignore ctxflow Policy.Allocate is context-free by design (pure function of setup, gains and budget); the per-cluster fan-out is CPU-bound, bounded by Workers
-	return context.Background()
 }
 
 // splitBudget divides the budget across clusters in proportion to their
@@ -292,13 +329,17 @@ func (w *Workspace) sameMembers(n, m int) bool {
 }
 
 // refresh copies the clusters' gain rows/columns from the global matrix into
-// the sub-environments.
+// the sub-environments — dirty clusters only. A clean cluster's cached
+// sub-plan was solved from the gains its sub-env already holds, and the
+// cluster is re-sliced the moment it next goes dirty, so skipping it keeps
+// the cache and its inputs consistent while making the steady state
+// O(dirty), not O(N·M).
 //
 //lint:hotpath
 func (w *Workspace) refresh(env *alloc.Env) {
 	for c := range w.subs {
 		sub := w.subs[c]
-		if sub.n == 0 {
+		if sub.n == 0 || !w.dirty[c] {
 			continue
 		}
 		cl := w.clus.Clusters[c]

@@ -43,6 +43,7 @@ func All() []Generator {
 		{"adaptivekappa", AdaptiveKappaStudy},
 		{"orientation", RXOrientationStudy},
 		{"clusterscale", ClusterScale},
+		{"incremental", IncrementalStudy},
 	}
 }
 

@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,11 +37,27 @@ type Controller struct {
 	// excluded even if later reports go missing.
 	DeadAfterEpochs int
 
+	// Trigger selects event-driven re-allocation: fresh reports whose gain
+	// columns moved less than the threshold since the last solve keep the
+	// cached plan instead of forcing a re-solve. The zero value disables
+	// the trigger and every epoch with fresh reports re-solves (the legacy
+	// fixed-epoch behaviour).
+	Trigger Trigger
+
 	gains   [][]float64 // gains[tx][rx], latest reports
 	fresh   []bool      // fresh[rx]: a report arrived since last Reallocate
 	seq     uint16
 	acked   map[uint16]bool
 	current Plan
+
+	// Event-driven trigger state: the gain snapshot the current plan was
+	// solved from (per-column basis for the delta check), the per-RX dirty
+	// scratch, the dirty set the in-flight solve filters clusters with, and
+	// the count of consecutive trigger-skipped epochs.
+	solved      [][]float64
+	rxDirty     []bool
+	epochDirty  []bool
+	staleEpochs int
 
 	// Link-health tracking (fault detection, Sec. 6 resilience).
 	txEverSeen   []bool      // TX reported positive gain at least once
@@ -115,8 +132,27 @@ func NewController(n, m int, policy alloc.Policy, budget units.Watts, params cha
 		txEverSeen:      make([]bool, n),
 		txZeroEpochs:    make([]int, n),
 		txState:         make([]LinkState, n),
+		rxDirty:         make([]bool, m),
 	}
 }
+
+// Trigger is the controller's event-driven re-allocation policy. With a
+// positive RelDelta, an epoch's fresh reports only force a re-solve when
+// some receiver's gain column moved by more than RelDelta (relative to the
+// column's peak gain at the last solve); quieter epochs return the cached
+// plan after an O(N·fresh) dirty check. MaxStaleEpochs bounds how many
+// consecutive epochs the trigger may skip before a full re-solve is forced
+// regardless of deltas (0 = unbounded). Health transitions always force a
+// full re-solve.
+type Trigger struct {
+	// RelDelta is the relative per-column gain change above which a
+	// receiver is dirty. Zero or negative disables the trigger.
+	RelDelta float64
+	// MaxStaleEpochs caps consecutive trigger-skipped epochs (0 = no cap).
+	MaxStaleEpochs int
+}
+
+func (tr Trigger) enabled() bool { return tr.RelDelta > 0 }
 
 // HandleUplink ingests one uplink MAC frame (report or ack).
 func (c *Controller) HandleUplink(m frame.MAC) error {
@@ -173,36 +209,51 @@ func (c *Controller) Acked(seq uint16) bool { return c.acked[seq] }
 func (c *Controller) Env() *alloc.Env {
 	h := channel.NewMatrix(c.N, c.M)
 	env := &alloc.Env{Params: c.Params, H: h, LED: c.LED}
-	c.fillEnv(env)
+	c.fillEnv(env, nil)
 	return env
 }
 
 // refreshEnv updates the controller's persistent environment in place —
-// allocation-free once the matrix exists — and returns it. Callers must not
-// retain the environment across epochs; Env is the snapshotting variant.
-func (c *Controller) refreshEnv() *alloc.Env {
+// allocation-free once the matrix exists — and returns it. A non-nil
+// rxDirty restricts the copy to the dirty receivers' columns; the clean
+// columns keep the basis of the last solve, which is exactly what the
+// cached per-cluster sub-plans were computed from. Callers must not retain
+// the environment across epochs; Env is the snapshotting variant.
+func (c *Controller) refreshEnv(rxDirty []bool) *alloc.Env {
 	if c.env.H == nil || c.env.H.N != c.N || c.env.H.M != c.M {
 		c.env.H = channel.NewMatrix(c.N, c.M)
+		rxDirty = nil // fresh matrix: every column needs its first fill
 	}
-	c.fillEnv(&c.env)
+	c.fillEnv(&c.env, rxDirty)
 	return &c.env
 }
 
 // fillEnv copies the health-masked gain matrix and device models into env,
-// whose matrix must already be N×M.
+// whose matrix must already be N×M. A non-nil rxDirty copies only the dirty
+// receivers' columns (dead transmitter rows are zeroed in full either way —
+// a stale report must not revive a dead TX).
 //
 //lint:hotpath
-func (c *Controller) fillEnv(env *alloc.Env) {
+func (c *Controller) fillEnv(env *alloc.Env, rxDirty []bool) {
 	env.Params, env.LED = c.Params, c.LED
 	for j := 0; j < c.N; j++ {
 		row := env.H.H[j]
 		if c.txState[j] == LinkDead {
 			for i := range row {
-				row[i] = 0 // a stale report must not revive a dead TX
+				row[i] = 0
 			}
 			continue
 		}
-		copy(row, c.gains[j])
+		if rxDirty == nil {
+			copy(row, c.gains[j])
+			continue
+		}
+		g := c.gains[j]
+		for i, d := range rxDirty {
+			if d {
+				row[i] = g[i]
+			}
+		}
 	}
 }
 
@@ -230,24 +281,29 @@ func (c *Controller) Clustering() *cluster.Clustering {
 }
 
 // clusterDirty reports whether cluster ci must be re-solved this epoch: true
-// when any member receiver reported since the last reallocation. Gains can
-// only change through reports, so a cluster with no fresh member kept the
-// exact sub-matrix it was last solved on (membership changes are handled
-// upstream by the workspace, which re-solves everything).
+// when any member receiver is in the epoch's dirty set — the fresh reports
+// by default, the trigger-filtered subset when the trigger is active. Gains
+// can only change through reports, so a cluster with no dirty member kept
+// the exact sub-matrix it was last solved on (membership changes are
+// handled upstream by the workspace, which re-solves everything).
 func (c *Controller) clusterDirty(ci int) bool {
+	dirtyRX := c.fresh
+	if c.epochDirty != nil {
+		dirtyRX = c.epochDirty
+	}
 	for _, rx := range c.shard.Clustering().Clusters[ci].RXs {
-		if c.fresh[rx] {
+		if dirtyRX[rx] {
 			return true
 		}
 	}
 	return false
 }
 
-// updateHealth advances the link-state machine from the epoch's reports. It
-// only runs when at least one receiver reported this epoch — no reports
-// means no evidence, and a transmitter must not die of the controller's own
-// deafness.
-func (c *Controller) updateHealth() {
+// updateHealth advances the link-state machine from the epoch's reports and
+// reports whether any transmitter changed state. It only runs when at least
+// one receiver reported this epoch — no reports means no evidence, and a
+// transmitter must not die of the controller's own deafness.
+func (c *Controller) updateHealth() (changed bool) {
 	anyFresh := false
 	for _, f := range c.fresh {
 		if f {
@@ -256,13 +312,14 @@ func (c *Controller) updateHealth() {
 		}
 	}
 	if !anyFresh {
-		return
+		return false
 	}
 	deadAfter := c.DeadAfterEpochs
 	if deadAfter <= 0 {
 		deadAfter = 2
 	}
 	for j := 0; j < c.N; j++ {
+		was := c.txState[j]
 		maxG := 0.0
 		for i := 0; i < c.M; i++ {
 			if c.gains[j][i] > maxG {
@@ -273,18 +330,19 @@ func (c *Controller) updateHealth() {
 			c.txEverSeen[j] = true
 			c.txZeroEpochs[j] = 0
 			c.txState[j] = LinkHealthy
-			continue
+		} else if c.txEverSeen[j] {
+			c.txZeroEpochs[j]++
+			if c.txZeroEpochs[j] >= deadAfter {
+				c.txState[j] = LinkDead
+			} else {
+				c.txState[j] = LinkStale
+			}
 		}
-		if !c.txEverSeen[j] {
-			continue // never measured: withhold judgement
-		}
-		c.txZeroEpochs[j]++
-		if c.txZeroEpochs[j] >= deadAfter {
-			c.txState[j] = LinkDead
-		} else {
-			c.txState[j] = LinkStale
+		if c.txState[j] != was {
+			changed = true
 		}
 	}
+	return changed
 }
 
 // TXState returns the health classification of transmitter tx.
@@ -323,19 +381,88 @@ func (c *Controller) UnhealthyTXs() []int {
 // new plan. It clears the freshness flags so the next round's reports can
 // be awaited. Link health advances first, so this epoch's failures are
 // excluded from this epoch's plan — detection-to-recovery is one epoch.
+//
+// On a quiet epoch — no fresh reports and no health transition — the cached
+// plan is returned without touching the solver: the inputs of the last
+// solve are untouched, so the decision would reproduce itself. With the
+// Trigger enabled, epochs whose fresh reports all moved less than the
+// threshold are likewise answered from the cache after an O(N·fresh) dirty
+// check.
 func (c *Controller) Reallocate() (Plan, error) {
-	c.updateHealth()
+	//lint:ignore ctxflow context-free convenience wrapper over ReallocateContext, which accepts the caller's context
+	return c.ReallocateContext(context.Background())
+}
+
+// ReallocateContext is Reallocate under the caller's context: cancellation
+// stops the sharded per-cluster fan-out between cluster solves.
+func (c *Controller) ReallocateContext(ctx context.Context) (Plan, error) {
+	healthChanged := c.updateHealth()
+	anyFresh := false
+	for _, f := range c.fresh {
+		if f {
+			anyFresh = true
+			break
+		}
+	}
+
+	// Quiet epoch: nothing the solver reads has changed, so the cached
+	// plan IS this epoch's decision. Seq stays put — transmitters apply
+	// duplicate allocation commands idempotently — and the staleness
+	// counter does not advance: no evidence arrived, so the plan is not
+	// growing stale, merely unchallenged.
+	if c.current.Swings != nil && !anyFresh && !healthChanged {
+		return c.current, nil
+	}
+
+	// Event-driven trigger: measure each fresh receiver's gain column
+	// against the basis of the last solve and keep the cached plan when
+	// every delta is below the threshold. Health transitions and the
+	// staleness bound force the full path.
+	var rxDirty []bool
+	if c.Trigger.enabled() && c.current.Swings != nil && !healthChanged && c.solved != nil {
+		rxDirty = c.refreshRXDirty()
+		anyDirty := false
+		for _, d := range rxDirty {
+			if d {
+				anyDirty = true
+				break
+			}
+		}
+		if !anyDirty {
+			if c.Trigger.MaxStaleEpochs <= 0 || c.staleEpochs+1 < c.Trigger.MaxStaleEpochs {
+				c.staleEpochs++
+				for i := range c.fresh {
+					c.fresh[i] = false
+				}
+				return c.current, nil
+			}
+			rxDirty = nil // staleness bound hit: force a full re-solve
+		}
+	}
+
+	c.epochDirty = rxDirty
 	var swings channel.Swings
 	var err error
 	if c.shard != nil {
-		swings, err = c.shard.SolveDirty(c.refreshEnv(), c.Budget, c.clusterDirty)
+		swings, err = c.shard.SolveDirtyContext(ctx, c.refreshEnv(rxDirty), c.Budget, c.clusterDirty)
 	} else {
-		swings, err = c.Policy.Allocate(c.Env(), c.Budget)
+		swings, err = c.Policy.Allocate(c.refreshEnv(rxDirty), c.Budget)
 	}
+	c.epochDirty = nil
 	if err != nil {
 		return Plan{}, err
 	}
+	if c.Trigger.enabled() {
+		c.snapshotSolved(rxDirty)
+	}
+	c.staleEpochs = 0
+	return c.adopt(swings), nil
+}
 
+// adopt derives beamspots and leaders from a solved swing matrix, installs
+// the result as the current plan under a fresh sequence number, and clears
+// the report freshness flags.
+func (c *Controller) adopt(swings channel.Swings) Plan {
 	plan := Plan{
 		Swings:   swings,
 		ServedBy: make([][]int, c.M),
@@ -363,7 +490,90 @@ func (c *Controller) Reallocate() (Plan, error) {
 		c.fresh[i] = false
 	}
 	c.current = plan
-	return plan, nil
+	return plan
+}
+
+// AdoptPlan installs an externally produced swing matrix — a
+// geometry-cache hit, typically — as the current plan without running the
+// solver. Link health still advances from the epoch's reports, and the
+// matrix must match the controller's dimensions. The caller is responsible
+// for the matrix being feasible for the current environment (the
+// alloc.GeoCache validates exactly that on lookup).
+func (c *Controller) AdoptPlan(swings channel.Swings) (Plan, error) {
+	if len(swings) != c.N {
+		return Plan{}, fmt.Errorf("mac: adopted plan has %d TX rows, controller wants %d", len(swings), c.N)
+	}
+	for j := range swings {
+		if len(swings[j]) != c.M {
+			return Plan{}, fmt.Errorf("mac: adopted plan row %d has %d RX columns, controller wants %d", j, len(swings[j]), c.M)
+		}
+	}
+	c.updateHealth()
+	if c.Trigger.enabled() {
+		c.refreshEnv(nil) // the basis the delta check measures against
+		c.snapshotSolved(nil)
+	}
+	c.staleEpochs = 0
+	return c.adopt(swings), nil
+}
+
+// refreshRXDirty recomputes the per-receiver dirty flags: a fresh receiver
+// is dirty when some transmitter's gain to it moved by more than
+// Trigger.RelDelta of its column's peak at the last solve basis (an
+// all-zero basis column treats any positive gain as dirty). Receivers
+// without a fresh report cannot have changed and stay clean.
+//
+//lint:hotpath
+func (c *Controller) refreshRXDirty() []bool {
+	for i := 0; i < c.M; i++ {
+		c.rxDirty[i] = false
+		if !c.fresh[i] {
+			continue
+		}
+		peak, maxDelta := 0.0, 0.0
+		for j := 0; j < c.N; j++ {
+			base := c.solved[j][i]
+			if base > peak {
+				peak = base
+			}
+			delta := c.gains[j][i] - base
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+		c.rxDirty[i] = maxDelta > c.Trigger.RelDelta*peak
+	}
+	return c.rxDirty
+}
+
+// snapshotSolved records the solve basis for the next delta check: the
+// columns that entered this solve (all of them when rxDirty is nil). Clean
+// columns keep their previous basis — the environment still holds their old
+// gains, so deltas keep accumulating against what was actually solved.
+func (c *Controller) snapshotSolved(rxDirty []bool) {
+	if c.solved == nil {
+		c.solved = make([][]float64, c.N)
+		buf := make([]float64, c.N*c.M)
+		for j := range c.solved {
+			c.solved[j], buf = buf[:c.M], buf[c.M:]
+		}
+		rxDirty = nil
+	}
+	for j := 0; j < c.N; j++ {
+		if rxDirty == nil {
+			copy(c.solved[j], c.env.H.H[j])
+			continue
+		}
+		row := c.env.H.H[j]
+		for i, d := range rxDirty {
+			if d {
+				c.solved[j][i] = row[i]
+			}
+		}
+	}
 }
 
 // Plan returns the current plan.

@@ -193,8 +193,8 @@ func TestRefreshEnvIsAllocationFree(t *testing.T) {
 	ctrl := NewController(env.H.N, env.H.M, alloc.Heuristic{AllowPartial: true},
 		1.19, set.Params, set.LED)
 	feedReports(t, ctrl, env.H.H, nil)
-	ctrl.refreshEnv() // warm the persistent matrix
-	if n := testing.AllocsPerRun(100, func() { ctrl.refreshEnv() }); n != 0 {
+	ctrl.refreshEnv(nil) // warm the persistent matrix
+	if n := testing.AllocsPerRun(100, func() { ctrl.refreshEnv(nil) }); n != 0 {
 		t.Errorf("refreshEnv allocates %.1f times steady-state, want 0", n)
 	}
 }

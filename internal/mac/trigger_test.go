@@ -1,0 +1,315 @@
+package mac
+
+import (
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/cluster"
+	"densevlc/internal/geom"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+	"densevlc/internal/units"
+)
+
+// TestQuietEpochReturnsCachedPlan is the quiet-epoch regression pin: a
+// Reallocate with no fresh reports and no health transition returns the
+// cached plan without a single solver call, on the plain path.
+func TestQuietEpochReturnsCachedPlan(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	probe := &countingPolicy{inner: alloc.Heuristic{AllowPartial: true}}
+	ctrl := NewController(env.H.N, env.H.M, probe, 1.19, set.Params, set.LED)
+
+	feedReports(t, ctrl, env.H.H, nil)
+	first, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 1 {
+		t.Fatalf("first epoch made %d solver calls, want 1", calls)
+	}
+
+	again, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 0 {
+		t.Errorf("quiet epoch made %d solver calls, want 0", calls)
+	}
+	if again.Seq != first.Seq {
+		t.Errorf("quiet epoch advanced Seq to %d; the cached plan is the same decision (%d)", again.Seq, first.Seq)
+	}
+	for j := range first.Swings {
+		for i := range first.Swings[j] {
+			if again.Swings[j][i] != first.Swings[j][i] {
+				t.Fatalf("quiet epoch changed swing (%d,%d)", j, i)
+			}
+		}
+	}
+
+	// Fresh evidence ends the quiet streak: the next reported epoch solves.
+	feedReports(t, ctrl, env.H.H, nil)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 1 {
+		t.Errorf("reported epoch made %d solver calls, want 1", calls)
+	}
+}
+
+// TestQuietEpochIsAllocationFree pins the quiet-epoch fast path to the
+// advertised 0 allocs/op: a no-news Reallocate is a freshness scan and a
+// cached return.
+func TestQuietEpochIsAllocationFree(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	ctrl := NewController(env.H.N, env.H.M, alloc.Heuristic{AllowPartial: true}, 1.19, set.Params, set.LED)
+	feedReports(t, ctrl, env.H.H, nil)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := ctrl.Reallocate(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("quiet-epoch Reallocate allocates %.1f times, want 0", n)
+	}
+}
+
+// driftReports feeds one epoch of reports equal to gains scaled by factor.
+func driftReports(t *testing.T, ctrl *Controller, gains [][]float64, factor float64) {
+	t.Helper()
+	scaled := make([][]float64, len(gains))
+	for j := range gains {
+		scaled[j] = make([]float64, len(gains[j]))
+		for i := range gains[j] {
+			scaled[j][i] = gains[j][i] * factor
+		}
+	}
+	feedReports(t, ctrl, scaled, nil)
+}
+
+// TestTriggerSkipsSubThresholdDeltas: with the event trigger enabled, an
+// epoch whose reports moved less than RelDelta keeps the cached plan at
+// zero solver calls; a report beyond the threshold re-solves.
+func TestTriggerSkipsSubThresholdDeltas(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	probe := &countingPolicy{inner: alloc.Heuristic{AllowPartial: true}}
+	ctrl := NewController(env.H.N, env.H.M, probe, 1.19, set.Params, set.LED)
+	ctrl.Trigger = Trigger{RelDelta: 0.05}
+
+	feedReports(t, ctrl, env.H.H, nil)
+	first, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.take()
+
+	// 1% drift: below the 5% threshold — cached plan, no solve.
+	driftReports(t, ctrl, env.H.H, 1.01)
+	skipped, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 0 {
+		t.Errorf("sub-threshold epoch made %d solver calls, want 0", calls)
+	}
+	if skipped.Seq != first.Seq {
+		t.Errorf("sub-threshold epoch advanced Seq to %d, want cached %d", skipped.Seq, first.Seq)
+	}
+	if ctrl.HaveFreshReports() {
+		t.Error("skip left freshness flags set; next epoch would re-check stale evidence")
+	}
+
+	// 20% drift: the trigger fires and the new gains are solved.
+	driftReports(t, ctrl, env.H.H, 1.2)
+	resolved, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 1 {
+		t.Errorf("above-threshold epoch made %d solver calls, want 1", calls)
+	}
+	if resolved.Seq == first.Seq {
+		t.Error("above-threshold epoch kept the cached Seq; a new plan was due")
+	}
+}
+
+// TestTriggerAccumulatesDrift: deltas measure against the basis of the last
+// solve, not the last report, so slow drift cannot sneak under a per-epoch
+// threshold forever.
+func TestTriggerAccumulatesDrift(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	probe := &countingPolicy{inner: alloc.Heuristic{AllowPartial: true}}
+	ctrl := NewController(env.H.N, env.H.M, probe, 1.19, set.Params, set.LED)
+	ctrl.Trigger = Trigger{RelDelta: 0.05}
+
+	feedReports(t, ctrl, env.H.H, nil)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	probe.take()
+
+	// 3% per epoch: epoch one is under the 5% threshold, epoch two is 6%
+	// cumulative and must fire.
+	driftReports(t, ctrl, env.H.H, 1.03)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 0 {
+		t.Fatalf("3%% cumulative drift solved %d times, want 0", calls)
+	}
+	driftReports(t, ctrl, env.H.H, 1.06)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := probe.take(); calls != 1 {
+		t.Errorf("6%% cumulative drift solved %d times, want 1", calls)
+	}
+}
+
+// TestTriggerMaxStaleEpochsBoundsSkips: the staleness bound forces a full
+// re-solve even when every delta stays under the threshold.
+func TestTriggerMaxStaleEpochsBoundsSkips(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	probe := &countingPolicy{inner: alloc.Heuristic{AllowPartial: true}}
+	ctrl := NewController(env.H.N, env.H.M, probe, 1.19, set.Params, set.LED)
+	ctrl.Trigger = Trigger{RelDelta: 0.5, MaxStaleEpochs: 2}
+
+	feedReports(t, ctrl, env.H.H, nil)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	probe.take()
+
+	solves := []int{0, 1, 0, 1} // skip, forced, skip, forced
+	for epoch, want := range solves {
+		driftReports(t, ctrl, env.H.H, 1.001)
+		if _, err := ctrl.Reallocate(); err != nil {
+			t.Fatal(err)
+		}
+		if calls := probe.take(); calls != want {
+			t.Errorf("stale epoch %d solved %d times, want %d", epoch, calls, want)
+		}
+	}
+}
+
+// TestTriggerSkipIsAllocationFree pins the event-driven steady state: a
+// below-threshold epoch costs the O(N·fresh) dirty check and nothing on the
+// heap.
+func TestTriggerSkipIsAllocationFree(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	ctrl := NewController(env.H.N, env.H.M, alloc.Heuristic{AllowPartial: true}, 1.19, set.Params, set.LED)
+	ctrl.Trigger = Trigger{RelDelta: 0.05}
+	feedReports(t, ctrl, env.H.H, nil)
+	if _, err := ctrl.Reallocate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for i := range ctrl.fresh {
+			ctrl.fresh[i] = true // same gains re-reported: delta is zero
+		}
+		if _, err := ctrl.Reallocate(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("trigger-skip Reallocate allocates %.1f times, want 0", n)
+	}
+}
+
+// TestIncrementalVsScratchController is the controller-level equivalence
+// property: a sharded controller with the event trigger enabled produces
+// bit-identical plans to an untriggered one across a mobility sequence, as
+// long as every epoch's movement crosses the threshold for the receiver
+// that moved (clean receivers' columns hold exactly the gains the cached
+// sub-plans were solved on).
+func TestIncrementalVsScratchController(t *testing.T) {
+	set := scenario.Default()
+	rng := stats.NewRand(89)
+	mv := set.NewMover(set.UniformRXs(rng, 6), nil)
+	env := mv.Env()
+
+	policy := alloc.Heuristic{AllowPartial: true}
+	budget := units.Watts(1.19)
+	mk := func(trigger Trigger) *Controller {
+		c := NewController(env.H.N, env.H.M, policy, budget, set.Params, set.LED)
+		c.Trigger = trigger
+		c.EnableSharding(cluster.Spec{Threshold: 0.6}, 1)
+		return c
+	}
+	triggered := mk(Trigger{RelDelta: 1e-9})
+	scratch := mk(Trigger{})
+
+	for epoch := 0; epoch < 8; epoch++ {
+		if epoch > 0 {
+			mv.MoveRX(epoch%env.H.M, geom.V(rng.Float64()*set.Room.Width.M(), rng.Float64()*set.Room.Depth.M(), 0))
+		}
+		feedReports(t, triggered, env.H.H, nil)
+		feedReports(t, scratch, env.H.H, nil)
+		pt, err := triggered.Reallocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := scratch.Reallocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ps.Swings {
+			for i := range ps.Swings[j] {
+				if pt.Swings[j][i] != ps.Swings[j][i] {
+					t.Fatalf("epoch %d: swing (%d,%d) = %v triggered, %v scratch",
+						epoch, j, i, pt.Swings[j][i], ps.Swings[j][i])
+				}
+			}
+		}
+	}
+}
+
+// TestAdoptPlanInstallsExternalDecision: AdoptPlan validates dimensions,
+// derives beamspots and leaders exactly like a solved plan, advances Seq
+// and clears freshness — the geometry-cache hit path.
+func TestAdoptPlanInstallsExternalDecision(t *testing.T) {
+	set := scenario.Default()
+	env := set.Env(scenario.Fig7Instance(), nil)
+	policy := alloc.Heuristic{AllowPartial: true}
+	ctrl := NewController(env.H.N, env.H.M, policy, 1.19, set.Params, set.LED)
+
+	if _, err := ctrl.AdoptPlan(channel.NewSwings(2, 2)); err == nil {
+		t.Fatal("mis-dimensioned plan adopted without error")
+	}
+
+	feedReports(t, ctrl, env.H.H, nil)
+	want, err := ctrl.Reallocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feedReports(t, ctrl, env.H.H, nil)
+	got, err := ctrl.AdoptPlan(want.Swings.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != want.Seq+1 {
+		t.Errorf("adopted Seq = %d, want %d", got.Seq, want.Seq+1)
+	}
+	if ctrl.HaveFreshReports() {
+		t.Error("AdoptPlan left freshness flags set")
+	}
+	for i := range want.Leader {
+		if got.Leader[i] != want.Leader[i] {
+			t.Errorf("leader[%d] = %d adopted, %d solved", i, got.Leader[i], want.Leader[i])
+		}
+		if len(got.ServedBy[i]) != len(want.ServedBy[i]) {
+			t.Errorf("ServedBy[%d] has %d TXs adopted, %d solved", i, len(got.ServedBy[i]), len(want.ServedBy[i]))
+		}
+	}
+	if ctrl.Plan().Seq != got.Seq {
+		t.Error("AdoptPlan did not install the plan as current")
+	}
+}

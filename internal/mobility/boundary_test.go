@@ -1,0 +1,109 @@
+package mobility
+
+import (
+	"testing"
+
+	"densevlc/internal/geom"
+	"densevlc/internal/stats"
+	"densevlc/internal/units"
+)
+
+// TestRandomWaypointDrawDeterminism pins draw itself: equal seeds yield the
+// same destination stream, inside the region, at the configured height.
+func TestRandomWaypointDrawDeterminism(t *testing.T) {
+	mk := func(seed int64) *RandomWaypoint {
+		return NewRandomWaypoint(stats.NewRand(seed), 0.5, 0.25, 2.5, 2.75, 0.8, 0.5)
+	}
+	a, b := mk(11), mk(11)
+	for i := 0; i < 200; i++ {
+		pa, pb := a.draw(), b.draw()
+		if pa != pb {
+			t.Fatalf("draw %d diverged under one seed: %v vs %v", i, pa, pb)
+		}
+		if pa.X < 0.5 || pa.X > 2.5 || pa.Y < 0.25 || pa.Y > 2.75 {
+			t.Fatalf("draw %d left the region: %v", i, pa)
+		}
+		if pa.Z != 0.8 {
+			t.Fatalf("draw %d lost the height: %v", i, pa)
+		}
+	}
+	if c := mk(12); c.draw() == a.draw() {
+		t.Error("distinct seeds produced the same draw stream")
+	}
+}
+
+// TestWaypointsNegativeTimeHoldsStart: times at or before zero clamp to the
+// first waypoint.
+func TestWaypointsNegativeTimeHoldsStart(t *testing.T) {
+	w := Waypoints{Points: []geom.Vec{geom.V(1, 2, 0), geom.V(2, 2, 0)}, Speed: 1}
+	if got := w.Position(-5); got != geom.V(1, 2, 0) {
+		t.Errorf("Position(-5) = %v, want the start", got)
+	}
+	if got := w.Position(0); got != geom.V(1, 2, 0) {
+		t.Errorf("Position(0) = %v, want the start", got)
+	}
+}
+
+// TestWaypointsZeroDurationLegs: repeated points are zero-length legs; the
+// interpolator must step over them without dividing by zero, both mid-path
+// and under Loop.
+func TestWaypointsZeroDurationLegs(t *testing.T) {
+	w := Waypoints{
+		Points: []geom.Vec{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(1, 0, 0), geom.V(2, 0, 0)},
+		Speed:  1,
+	}
+	cases := []struct {
+		t    units.Seconds
+		want geom.Vec
+	}{
+		{0.5, geom.V(0.5, 0, 0)},
+		{1, geom.V(1, 0, 0)},     // landing exactly on the doubled point
+		{1.5, geom.V(1.5, 0, 0)}, // past the zero-length leg
+		{2, geom.V(2, 0, 0)},
+		{9, geom.V(2, 0, 0)}, // holds the end
+	}
+	for _, c := range cases {
+		if got := w.Position(c.t); got.Dist(c.want) > 1e-12 {
+			t.Errorf("Position(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if d := w.Duration(); d != 2 {
+		t.Errorf("Duration = %v, want 2 (zero-length legs add no time)", d)
+	}
+
+	loop := Waypoints{
+		Points: []geom.Vec{geom.V(0, 0, 0), geom.V(0, 0, 0), geom.V(1, 0, 0)},
+		Speed:  1,
+		Loop:   true,
+	}
+	// Period 2 s: 0 → (0-length) → 1 → back to 0.
+	if got := loop.Position(2.5); got.Dist(geom.V(0.5, 0, 0)) > 1e-12 {
+		t.Errorf("loop Position(2.5) = %v, want (0.5,0)", got)
+	}
+	if d := loop.Duration(); d != 2 {
+		t.Errorf("loop Duration = %v, want 2", d)
+	}
+}
+
+// TestWaypointsAllPointsCoincident: a looped path of identical points has
+// zero total length and must hold position instead of NaN-ing.
+func TestWaypointsAllPointsCoincident(t *testing.T) {
+	w := Waypoints{
+		Points: []geom.Vec{geom.V(1, 1, 0), geom.V(1, 1, 0), geom.V(1, 1, 0)},
+		Speed:  1,
+		Loop:   true,
+	}
+	if got := w.Position(3); got != geom.V(1, 1, 0) {
+		t.Errorf("coincident loop Position(3) = %v, want (1,1)", got)
+	}
+}
+
+// TestRandomWaypointTimeGoingBackwards: earlier query times return the
+// current position rather than rewinding the walk.
+func TestRandomWaypointTimeGoingBackwards(t *testing.T) {
+	r := NewRandomWaypoint(stats.NewRand(13), 0, 0, 3, 3, 0, 0.5)
+	at10 := r.Position(10)
+	if got := r.Position(5); got != at10 {
+		t.Errorf("Position(5) after Position(10) = %v, want %v (no rewind)", got, at10)
+	}
+}

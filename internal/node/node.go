@@ -249,7 +249,7 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 		rs := RoundStats{Round: round, ReportsOK: ctrl.HaveFreshReports(), ChaosEvents: chaosEvents}
 
 		// Decision phase.
-		plan, err := ctrl.Reallocate()
+		plan, err := ctrl.ReallocateContext(ctx)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"densevlc/internal/alloc"
+	"densevlc/internal/channel"
+	"densevlc/internal/geom"
+	"densevlc/internal/optics"
+)
+
+// Mover maintains an allocation environment under receiver motion with
+// row-local channel updates: moving one receiver recomputes only its column
+// of H (N gain evaluations) instead of rebuilding the full N×M matrix. The
+// cached emitters make the steady-state MoveRX allocation-free, and the
+// column arithmetic is BuildMatrix's, so the maintained environment stays
+// bit-identical to Setup.Env at the current positions.
+type Mover struct {
+	setup    Setup
+	emitters []optics.Emitter
+	blocker  channel.Blocker
+	pos      []geom.Vec
+	env      *alloc.Env
+}
+
+// NewMover builds the environment for receivers at the given xy positions
+// and prepares the incremental-update state. The blocker, if any, applies
+// to every subsequent column refresh exactly as it does to the initial
+// build.
+func (s Setup) NewMover(rx []geom.Vec, blocker channel.Blocker) *Mover {
+	pos := make([]geom.Vec, len(rx))
+	copy(pos, rx)
+	return &Mover{
+		setup:    s,
+		emitters: s.Emitters(),
+		blocker:  blocker,
+		pos:      pos,
+		env:      s.Env(rx, blocker),
+	}
+}
+
+// Env returns the maintained environment. The pointer is stable across
+// moves: MoveRX mutates the matrix in place.
+func (mv *Mover) Env() *alloc.Env { return mv.env }
+
+// Pos returns receiver i's current xy position.
+func (mv *Mover) Pos(i int) geom.Vec { return mv.pos[i] }
+
+// Positions returns the current xy positions of every receiver; the slice
+// is the Mover's own and must not be mutated.
+func (mv *Mover) Positions() []geom.Vec { return mv.pos }
+
+// MoveRX moves receiver i to the xy position p and refreshes its column of
+// the gain matrix in place: O(N) work, no allocation.
+//
+//lint:hotpath
+func (mv *Mover) MoveRX(i int, p geom.Vec) {
+	mv.pos[i] = geom.V(p.X, p.Y, 0)
+	det := optics.NewUpwardDetector(geom.V(p.X, p.Y, mv.setup.RXPlaneZ.M()), PhotodiodeArea, ReceiverFOV)
+	mv.env.H.UpdateColumn(i, mv.emitters, det, mv.blocker)
+}

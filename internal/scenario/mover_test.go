@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"testing"
+
+	"densevlc/internal/geom"
+	"densevlc/internal/stats"
+)
+
+// TestIncrementalVsScratchMover is the geometry-level equivalence property:
+// after any sequence of single-receiver moves, the Mover's incrementally
+// maintained environment is bit-identical to Setup.Env built from scratch
+// at the current positions.
+func TestIncrementalVsScratchMover(t *testing.T) {
+	rng := stats.NewRand(61)
+	setup := Default()
+	pos := setup.UniformRXs(rng, 5)
+	mv := setup.NewMover(pos, nil)
+
+	for step := 0; step < 40; step++ {
+		i := rng.Intn(len(pos))
+		p := geom.V(rng.Float64()*setup.Room.Width.M(), rng.Float64()*setup.Room.Depth.M(), 0)
+		mv.MoveRX(i, p)
+		pos[i] = p
+
+		want := setup.Env(pos, nil)
+		got := mv.Env()
+		for j := 0; j < want.H.N; j++ {
+			for k := 0; k < want.H.M; k++ {
+				if got.H.H[j][k] != want.H.H[j][k] {
+					t.Fatalf("step %d: H[%d][%d] = %v incrementally, %v from scratch",
+						step, j, k, got.H.H[j][k], want.H.H[j][k])
+				}
+			}
+		}
+		if got := mv.Pos(i); got != p {
+			t.Fatalf("step %d: Pos(%d) = %v, want %v", step, i, got, p)
+		}
+	}
+}
+
+func TestMoverEnvPointerIsStable(t *testing.T) {
+	setup := Default()
+	mv := setup.NewMover([]geom.Vec{geom.V(1, 1, 0)}, nil)
+	env := mv.Env()
+	mv.MoveRX(0, geom.V(2, 2, 0))
+	if mv.Env() != env {
+		t.Fatal("MoveRX replaced the environment; callers hold the pointer across moves")
+	}
+	if len(mv.Positions()) != 1 {
+		t.Fatalf("Positions() has %d entries, want 1", len(mv.Positions()))
+	}
+}
+
+// TestMoveRXIsAllocationFree pins the steady-state cost of a receiver move:
+// one column refresh, zero heap allocations.
+func TestMoveRXIsAllocationFree(t *testing.T) {
+	rng := stats.NewRand(67)
+	setup := Default()
+	mv := setup.NewMover(setup.UniformRXs(rng, 4), nil)
+	p := geom.V(1.5, 1.5, 0)
+	if n := testing.AllocsPerRun(100, func() { mv.MoveRX(2, p) }); n != 0 {
+		t.Errorf("MoveRX allocates %.1f times, want 0", n)
+	}
+}

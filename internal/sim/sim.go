@@ -71,6 +71,19 @@ type Config struct {
 	// engine replays them fully deterministically: same seed + schedule
 	// gives byte-identical traces and metrics.
 	Chaos *chaos.Schedule
+	// Trigger enables the controller's event-driven re-allocation gate:
+	// epochs whose reported gains all moved less than Trigger.RelDelta
+	// since the last solve reuse the cached plan at zero solver cost (see
+	// mac.Trigger). The zero value keeps the solve-every-round behaviour.
+	Trigger mac.Trigger
+	// CacheQuantum, when positive, enables the quantised-geometry
+	// allocation cache: decisions are memoised by the receiver positions
+	// snapped to this pitch plus the live-TX mask, and replayed — after
+	// feasibility re-validation against the live channel — when the
+	// geometry revisits a cell. Zero disables caching.
+	CacheQuantum units.Meters
+	// CacheSize bounds the cache entry count (0 selects 256).
+	CacheSize int
 	// Seed makes the run reproducible.
 	Seed int64
 }
@@ -234,6 +247,12 @@ func Run(cfg Config) (*Result, error) {
 	ctrlLink := net.Controller()
 
 	ctrl := mac.NewController(n, m, cfg.Policy, cfg.Budget, cfg.Setup.Params, cfg.Setup.LED)
+	ctrl.Trigger = cfg.Trigger
+	var cache *alloc.GeoCache
+	if cfg.CacheQuantum > 0 {
+		cache = alloc.NewGeoCache(cfg.CacheQuantum, cfg.CacheSize)
+	}
+	liveTX := make([]bool, n)
 	txNodes := make([]*mac.TXNode, n)
 	txLinks := make([]transport.NodeLink, n)
 	for j := 0; j < n; j++ {
@@ -363,7 +382,22 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// --- Decision phase. ---
-		plan, err := ctrl.Reallocate()
+		trueEnv := &alloc.Env{Params: cfg.Setup.Params, H: trueH, LED: cfg.Setup.LED}
+		var plan mac.Plan
+		var err error
+		if cache != nil {
+			for j := range liveTX {
+				liveTX[j] = !faults.failed[j]
+			}
+			key := cache.Key(pos, liveTX)
+			if s, ok := cache.Get(key, trueEnv, cfg.Budget); ok {
+				plan, err = ctrl.AdoptPlan(s)
+			} else if plan, err = ctrl.Reallocate(); err == nil {
+				cache.Put(key, plan.Swings)
+			}
+		} else {
+			plan, err = ctrl.Reallocate()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +437,6 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// --- Data phase. ---
-		trueEnv := &alloc.Env{Params: cfg.Setup.Params, H: trueH, LED: cfg.Setup.LED}
 		rm := RoundMetrics{
 			Round:       round,
 			Time:        t,

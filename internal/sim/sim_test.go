@@ -7,6 +7,7 @@ import (
 	"densevlc/internal/channel"
 	"densevlc/internal/clock"
 	"densevlc/internal/geom"
+	"densevlc/internal/mac"
 	"densevlc/internal/mobility"
 	"densevlc/internal/scenario"
 	"densevlc/internal/transport"
@@ -211,5 +212,47 @@ func TestRunOverUDPNetwork(t *testing.T) {
 	}
 	if res.Rounds[0].ActiveTXs == 0 {
 		t.Error("no active TXs over UDP transport")
+	}
+}
+
+// TestRunIncrementalModes: the trigger and the geometry cache are opt-in
+// knobs on the same engine. A static noiseless scenario is the friendliest
+// case for both — the trigger skips every steady epoch and the cache
+// replays round one's decision — and either run must land on exactly the
+// full-solve numbers, since the reused plan IS the plan a solve reproduces.
+func TestRunIncrementalModes(t *testing.T) {
+	base := Config{
+		Setup:        scenario.Default(),
+		Trajectories: staticTrajectories(),
+		Policy:       alloc.Heuristic{Kappa: 1.3, AllowPartial: true},
+		Budget:       0.6,
+		Rounds:       4,
+		Seed:         7,
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	triggered := base
+	triggered.Trigger = mac.Trigger{RelDelta: 0.05, MaxStaleEpochs: 16}
+	cached := base
+	cached.CacheQuantum = 0.05
+	for name, cfg := range map[string]Config{"trigger": triggered, "cache": cached} {
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.MeanSystemThroughput != want.MeanSystemThroughput {
+			t.Errorf("%s: mean throughput %v, full solve %v", name, got.MeanSystemThroughput, want.MeanSystemThroughput)
+		}
+		if got.MeanCommPower != want.MeanCommPower {
+			t.Errorf("%s: mean power %v, full solve %v", name, got.MeanCommPower, want.MeanCommPower)
+		}
+		for round, r := range got.Rounds {
+			if r.ActiveTXs != want.Rounds[round].ActiveTXs {
+				t.Errorf("%s round %d: %d active TXs, full solve %d", name, round, r.ActiveTXs, want.Rounds[round].ActiveTXs)
+			}
+		}
 	}
 }

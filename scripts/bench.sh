@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark harness for the solver fast paths. Runs the paired macro
 # benchmarks (before/after against a baseline git ref), the building-scale
-# sharded-vs-global decision pair, and the zero-alloc kernel micros, then
-# writes BENCH_pr8.json at the repo root including the measured sum-log gap
-# of every cooperation-clustering formation at N=1024, M=256 (the
+# sharded-vs-global decision pair, the incremental re-allocation pairs
+# (single-receiver move and batch solve), and the zero-alloc kernel micros,
+# then writes BENCH_pr9.json at the repo root including the measured sum-log
+# gap of every cooperation-clustering formation at N=1024, M=256 (the
 # clusterscale experiment). Usage:
 #
 #     ./scripts/bench.sh [output.json] [baseline-ref]
@@ -11,23 +12,26 @@
 # The baseline runs from a temporary worktree under .bench-baseline/ and
 # only covers benchmarks that exist at that ref (default: HEAD — run this
 # with the PR's changes uncommitted, or pass the pre-PR commit explicitly).
-# The building-scale pair and the cluster micros are new in this PR, so they
-# appear after-only; their headline number is the sharded_speedup ratio
-# (global decision latency / sharded decision latency on the same floor),
-# not a before/after delta. Pass an empty baseline-ref ("") to skip the
-# before side.
+# The incremental pairs are new in this PR, so they appear after-only; the
+# headline numbers are incremental_speedup (full rebuild+solve / column
+# refresh+dirty re-solve for one receiver move at N=1024, M=256) and
+# batch_speedup (sequential Allocate loop / SolveBatch over 64 instances),
+# alongside the inherited sharded_speedup. Pass an empty baseline-ref ("")
+# to skip the before side.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 baseline="${2-HEAD}"
 
 # Static/dynamic alignment gate: every function whose allocs/op the bench
 # suite pins to zero (testing.AllocsPerRun in internal/alloc/kernel_test.go,
-# internal/optimize/fastpath_test.go, internal/cluster/workspace_test.go and
-# internal/mac/sharded_test.go) must carry the //lint:hotpath annotation, so
-# vlclint's hotalloc analyzer proves statically what AllocsPerRun samples
+# internal/optimize/fastpath_test.go, internal/cluster/workspace_test.go,
+# internal/mac/sharded_test.go and trigger_test.go, and the incremental
+# kernels in internal/channel/incremental_test.go and
+# internal/scenario/mover_test.go) must carry the //lint:hotpath annotation,
+# so vlclint's hotalloc analyzer proves statically what AllocsPerRun samples
 # dynamically. Keep this list in sync with those tests.
 echo "==> hotpath/AllocsPerRun alignment"
 hot=$(go run ./cmd/vlclint -graph ./... | awk '$1 == "hot" { print $2 }')
@@ -41,7 +45,11 @@ for fn in \
     '(*densevlc/internal/cluster.Workspace).refresh' \
     'densevlc/internal/cluster.sliceInto' \
     'densevlc/internal/cluster.stitchInto' \
-    '(*densevlc/internal/mac.Controller).fillEnv'; do
+    '(*densevlc/internal/mac.Controller).fillEnv' \
+    '(*densevlc/internal/mac.Controller).refreshRXDirty' \
+    '(*densevlc/internal/channel.Matrix).UpdateColumn' \
+    '(*densevlc/internal/channel.Matrix).ColumnInto' \
+    '(*densevlc/internal/scenario.Mover).MoveRX'; do
     if ! grep -qxF "$fn" <<<"$hot"; then
         echo "bench.sh: $fn is AllocsPerRun-gated but not //lint:hotpath-annotated (see: go run ./cmd/vlclint -graph ./...)" >&2
         exit 1
@@ -67,13 +75,18 @@ opt_pat='ProjectCappedSimplex'
 # The building-scale pair: global heuristic vs the sharded solver on the
 # 32×32 floor (N=1024, M=256), plus the zero-alloc steady-state re-solve.
 cluster_pat='GlobalDecision1024$|ShardedDecision1024$|ShardedSteadyState1024$'
+# The incremental re-allocation pairs: one receiver moving on the full floor
+# (from-scratch rebuild+solve vs column refresh + one dirty cluster), the
+# geometry kernel alone, and the warm-worker batch pair.
+incr_pat='SingleRXMoveFullResolve$|SingleRXMoveIncremental$|MoveRX1024$|BatchSequential$|BatchSolve$'
 
 echo "==> after: working tree"
 after=$(run_benches .)
 after_alloc=$(go test -run='^$' -bench "$alloc_pat" -benchtime=0.5s -count=1 ./internal/alloc/ | grep '^Benchmark')
 after_opt=$(go test -run='^$' -bench "$opt_pat" -benchtime=0.5s -count=1 ./internal/optimize/ | grep '^Benchmark')
 after_cluster=$(go test -run='^$' -bench "$cluster_pat" -benchtime=1x -count=3 . | grep '^Benchmark')
-printf '%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" >&2
+after_incr=$(go test -run='^$' -bench "$incr_pat" -benchtime=5x -count=3 . | grep '^Benchmark')
+printf '%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" "$after_incr" >&2
 
 # The scaling curve behind the headline ratio: every formation of the
 # coverage ladder on the full floor, with its sum-log gap to the global
@@ -95,7 +108,7 @@ fi
 GOMAXPROCS_N=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 
 {
-    printf '%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" | sed 's/^/after /'
+    printf '%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" "$after_incr" | sed 's/^/after /'
     [[ -n "$before" ]] && printf '%s\n' "$before" | sed 's/^/before /'
     printf '%s\n' "$cluster_csv" | sed 's/^/curve /'
 } | awk -v out="$out" -v procs="$GOMAXPROCS_N" -v ref="$(git rev-parse --short "${baseline:-HEAD}" 2>/dev/null || echo none)" '
@@ -123,8 +136,14 @@ $1 == "curve" {
     if (side == "after" && $NF == "allocs/op") allocs[name] = $(NF-1)
 }
 END {
-    printf "{\n  \"pr\": 8,\n  \"suite\": \"cooperation clustering and sharded allocation\",\n  \"gomaxprocs\": %d,\n  \"baseline_ref\": \"%s\",\n", procs, ref > out
-    printf "  \"note\": \"before numbers measured from a worktree at baseline_ref; the 1024-scale pair and cluster micros are new in this PR and report after-only, with sharded_speedup (global/sharded decision latency at N=1024, M=256) as the headline ratio\",\n" >> out
+    printf "{\n  \"pr\": 9,\n  \"suite\": \"incremental re-allocation: row-local updates, event triggers, geometry cache, batch solve\",\n  \"gomaxprocs\": %d,\n  \"baseline_ref\": \"%s\",\n", procs, ref > out
+    printf "  \"note\": \"before numbers measured from a worktree at baseline_ref; the incremental pairs are new in this PR and report after-only, with incremental_speedup (full rebuild+solve / column refresh+dirty re-solve for one RX move at N=1024, M=256) and batch_speedup (sequential Allocate loop / SolveBatch, warm workers) as the headline ratios; on a single-core box batch_speedup hovers around 1 (no fan-out possible) and batch_alloc_ratio (sequential allocs/op / SolveBatch allocs/op) carries the warm-worker economy\",\n" >> out
+    if (("after", "BenchmarkSingleRXMoveFullResolve") in ns && ("after", "BenchmarkSingleRXMoveIncremental") in ns)
+        printf "  \"incremental_speedup\": %.2f,\n", ns["after", "BenchmarkSingleRXMoveFullResolve"] / ns["after", "BenchmarkSingleRXMoveIncremental"] >> out
+    if (("after", "BenchmarkBatchSequential") in ns && ("after", "BenchmarkBatchSolve") in ns)
+        printf "  \"batch_speedup\": %.2f,\n", ns["after", "BenchmarkBatchSequential"] / ns["after", "BenchmarkBatchSolve"] >> out
+    if (("BenchmarkBatchSequential" in allocs) && ("BenchmarkBatchSolve" in allocs) && allocs["BenchmarkBatchSolve"] + 0 > 0)
+        printf "  \"batch_alloc_ratio\": %.2f,\n", allocs["BenchmarkBatchSequential"] / allocs["BenchmarkBatchSolve"] >> out
     if (("after", "BenchmarkGlobalDecision1024") in ns && ("after", "BenchmarkShardedDecision1024") in ns)
         printf "  \"sharded_speedup\": %.2f,\n", ns["after", "BenchmarkGlobalDecision1024"] / ns["after", "BenchmarkShardedDecision1024"] >> out
     printf "  \"benchmarks\": [\n" >> out

@@ -30,7 +30,9 @@
 #                     byte-identical guarantee is checked under the race
 #                     detector, and the transport/node/chaos suites assert
 #                     the testutil goroutine-leak checker (chanleak's
-#                     dynamic twin) after every Close/RunContext
+#                     dynamic twin) after every Close/RunContext; the
+#                     incremental-vs-scratch equivalence properties also get
+#                     an explicit -race invocation (see below)
 #   9. chaos smoke  — one fault-injected end-to-end run per engine
 #                     (tx-blackout preset) plus the resilience experiment;
 #                     goroutine teardown after each run is the leak
@@ -97,6 +99,16 @@ go test -race ./...
 # on few-core runners.
 echo "==> determinism under -race (explicit)"
 go test -race -run 'TestParallelDeterminism' ./internal/experiments/
+
+# The incremental re-allocation machinery promises bit-identical results to
+# from-scratch solves at every layer (column refresh, all-dirty workspace
+# re-solve, triggered controller, batch solver). The full -race pass covers
+# these, but run them once more explicitly so the equivalence contract is
+# named in the gate and a future rename cannot silently drop it.
+echo "==> incremental-vs-scratch equivalence under -race (explicit)"
+go test -race -run 'TestIncrementalVsScratch' \
+    ./internal/channel/ ./internal/scenario/ ./internal/cluster/ \
+    ./internal/mac/ ./internal/alloc/
 
 # Chaos smoke: one fault-injected end-to-end run per engine. The tx-blackout
 # preset kills every receiver's best server mid-run; the commands fail on any
