@@ -13,17 +13,21 @@ package densevlc
 import (
 	"context"
 	"testing"
+	"time"
 
 	"densevlc/internal/alloc"
 	"densevlc/internal/channel"
+	"densevlc/internal/clock"
 	"densevlc/internal/cluster"
 	"densevlc/internal/experiments"
 	"densevlc/internal/frame"
 	"densevlc/internal/geom"
+	"densevlc/internal/node"
 	"densevlc/internal/scenario"
 	"densevlc/internal/stats"
 	"densevlc/internal/units"
 	"densevlc/internal/vlcsync"
+	"densevlc/internal/workload"
 )
 
 // benchOpts shrinks the experiment workloads so a full -bench=. pass stays
@@ -66,6 +70,7 @@ func BenchmarkFig08ThroughputVsPower(b *testing.B) { benchExperiment(b, "fig8") 
 func BenchmarkFig09SwingWaterfall(b *testing.B)    { benchExperiment(b, "fig9") }
 func BenchmarkFig10SwingCDF(b *testing.B)          { benchExperiment(b, "fig10") }
 func BenchmarkFig11HeuristicVsOptimal(b *testing.B) {
+	b.ReportAllocs() // bench.sh's alignment gate keys on allocs_per_op
 	benchExperiment(b, "fig11")
 }
 func BenchmarkSec5Speedup(b *testing.B)          { benchExperiment(b, "speedup") }
@@ -410,6 +415,122 @@ func BenchmarkBatchSolve(b *testing.B) {
 			b.Fatalf("%d results", len(out))
 		}
 	}
+}
+
+// Service-grade churn benchmarks: the PR 10 headline. ChurnDecisions1024
+// measures sustained allocation decisions/sec on the building-scale floor
+// (N=1024 TXs, 256 tenancy slots) with the workload engine churning the
+// population every epoch — each decision is a dirty-tracked sharded solve
+// on the masked channel, the controller's incremental path. The wire Report
+// format carries at most 255 gains, so building scale exercises the
+// decision kernel directly; ChurnFrames covers the full MAC/transport path
+// at paper scale. Both publish custom metrics scripts/bench.sh parses into
+// BENCH_pr10.json: decisions/s and frames/s (higher is better), p50-ns and
+// p99-ns decision latency (lower is better).
+
+func BenchmarkChurnDecisions1024(b *testing.B) {
+	rows, cols, m := experiments.ClusterScaleDims(false)
+	set := scenario.FloorGrid(rows, cols)
+	budget := units.Watts(1.19 / 4 * float64(m))
+	sp := workload.DefaultSpec()
+	sp.ArrivalRate = 16 // heavy churn: many arrivals and departures per epoch
+	sp.MeanDwell = 8
+	sp.Fleet = m
+	sp.Speed = 0.25
+	engine, err := workload.NewEngine(sp, set, budget, stats.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := make([]geom.Vec, m)
+	for i := range start {
+		start[i] = engine.Position(i, 0)
+	}
+	mv := set.NewMover(start, nil)
+	work := mv.Env().H.Clone() // masked working copy the workspace solves on
+	engine.Mask(work)
+	env := &alloc.Env{Params: set.Params, H: work, LED: set.LED}
+	w := cluster.NewWorkspace(cluster.Spec{Threshold: 0.5},
+		alloc.Heuristic{AllowPartial: true}, parallelWorkers)
+	if _, err := w.Solve(env, budget); err != nil {
+		b.Fatal(err)
+	}
+	prevActive := make([]bool, m)
+	dirty := make(map[int]bool, m)
+	lat := make([]float64, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := units.Seconds(i)
+		engine.Step(t0, 1)
+		rxOf := w.Clustering().RXOf
+		clear(dirty)
+		for s := 0; s < m; s++ {
+			active := engine.Active(s)
+			switch {
+			case active: // tenant moved (or just arrived): refresh its column
+				mv.MoveRX(s, engine.Position(s, t0))
+				src := mv.Env().H
+				for j := 0; j < work.N; j++ {
+					work.H[j][s] = src.H[j][s]
+				}
+				dirty[rxOf[s]] = true
+			case prevActive[s]: // departed this epoch: the column goes dark
+				for j := 0; j < work.N; j++ {
+					work.H[j][s] = 0
+				}
+				dirty[rxOf[s]] = true
+			}
+			prevActive[s] = active
+		}
+		sw := stats.StartStopwatch()
+		if _, err := w.SolveDirty(env, budget, func(c int) bool { return dirty[c] }); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, float64(sw.Elapsed().Nanoseconds()))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+	b.ReportMetric(stats.Percentile(lat, 50), "p50-ns")
+	b.ReportMetric(stats.Percentile(lat, 99), "p99-ns")
+}
+
+// BenchmarkChurnFrames runs the full asynchronous deployment — goroutine
+// per node, real MAC frames over the in-memory transport — under churn and
+// reports sustained acknowledged frames per wall-clock second.
+func BenchmarkChurnFrames(b *testing.B) {
+	sp := workload.DefaultSpec()
+	sp.ArrivalRate = 2
+	sp.MeanDwell = 10
+	sp.Fleet = 4
+	sp.PeakFrames = 6
+	acked := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := node.RunChurn(context.Background(), node.ChurnConfig{
+			Setup:         scenario.Default(),
+			Workload:      sp,
+			Budget:        1.19,
+			Sync:          clock.MethodNLOSVLC,
+			Rounds:        3,
+			RoundDuration: 1,
+			FramesPerRX:   6,
+			Seed:          int64(i + 1),
+			AckTimeout:    200 * time.Millisecond,
+			Timeout:       60 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rounds {
+			acked += r.FramesAckd
+		}
+	}
+	b.StopTimer()
+	if acked == 0 {
+		b.Fatal("no frames acknowledged under churn")
+	}
+	b.ReportMetric(float64(acked)/b.Elapsed().Seconds(), "frames/s")
 }
 
 // BenchmarkMoveRX1024 pins the geometry kernel alone: one receiver move on

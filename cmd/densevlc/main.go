@@ -9,9 +9,11 @@
 //	         [-chaos PRESET|SPEC] [-failures K] [-chaos-seed N]
 //	         [-incremental] [-trigger-delta D] [-trigger-stale K]
 //	         [-cache] [-cache-quantum M]
+//	         [-churn] [-arrival-rate L] [-fleet M]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +32,7 @@ import (
 	"densevlc/internal/stats"
 	"densevlc/internal/transport"
 	"densevlc/internal/units"
+	"densevlc/internal/workload"
 )
 
 func main() {
@@ -48,6 +51,9 @@ func main() {
 	triggerStale := flag.Int("trigger-stale", 16, "max consecutive trigger-skipped rounds before a forced full re-solve (0 = no bound, with -incremental)")
 	useCache := flag.Bool("cache", false, "memoise allocations by quantised receiver geometry and live-TX mask, replaying them when positions revisit a cell")
 	cacheQuantum := flag.Float64("cache-quantum", 0.05, "position-snapping pitch of the geometry cache in metres (with -cache)")
+	churn := flag.Bool("churn", false, "drive the receiver fleet with a churn workload: Poisson arrivals, exponential dwell, waypoint mobility and per-user traffic instead of the fixed 4-receiver fleet")
+	arrivalRate := flag.Float64("arrival-rate", 0.5, "user arrivals per second (with -churn)")
+	fleet := flag.Int("fleet", 8, "receiver tenancy slots (with -churn)")
 	seed := flag.Int64("seed", 1, "random seed")
 	chaosArg := flag.String("chaos", "", "fault schedule: a preset ("+
 		strings.Join(scenario.ChaosPresetNames(), ", ")+") or a raw spec like \"2:txfail:7;4:rxblock:0:0.1\"")
@@ -79,11 +85,26 @@ func main() {
 	}
 
 	// Receivers start at the scenario-2 positions and then roam the area
-	// of interest on their gantries.
+	// of interest on their gantries. Under -churn the fleet is tenancy
+	// slots instead: the workload engine owns arrivals, dwell and motion.
 	var traj []mobility.Trajectory
-	for range scenario.Scenario2.RXPositions() {
-		traj = append(traj, mobility.NewRandomWaypoint(
-			stats.SplitRand(rng), 0.4, 0.4, 2.6, 2.6, 0, units.MetersPerSecond(*speed)))
+	var churnSpec workload.Spec
+	numRX := 0
+	if *churn {
+		churnSpec = workload.DefaultSpec()
+		churnSpec.ArrivalRate = *arrivalRate
+		churnSpec.Fleet = *fleet
+		churnSpec.Speed = units.MetersPerSecond(*speed)
+		if err := churnSpec.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		numRX = *fleet
+	} else {
+		for range scenario.Scenario2.RXPositions() {
+			traj = append(traj, mobility.NewRandomWaypoint(
+				stats.SplitRand(rng), 0.4, 0.4, 2.6, 2.6, 0, units.MetersPerSecond(*speed)))
+		}
+		numRX = len(traj)
 	}
 
 	policy := alloc.Heuristic{Kappa: *kappa, AllowPartial: true}
@@ -99,10 +120,22 @@ func main() {
 		fmt.Println("control plane: in-memory bus")
 	}
 
-	fmt.Printf("deployment: %d TXs, %d RXs, budget %.2f W, policy %s\n\n",
-		setup.Grid.N(), len(traj), *budget, policy.Name())
+	if *churn {
+		fmt.Printf("deployment: %d TXs, %d tenancy slots, budget %.2f W, policy %s, churn %s\n\n",
+			setup.Grid.N(), numRX, *budget, policy.Name(), churnSpec.String())
+	} else {
+		fmt.Printf("deployment: %d TXs, %d RXs, budget %.2f W, policy %s\n\n",
+			setup.Grid.N(), numRX, *budget, policy.Name())
+	}
 
 	if *async {
+		if *churn {
+			if schedule.Len() > 0 {
+				log.Fatal("-chaos is not supported with -async -churn (the workload engine owns the fleet)")
+			}
+			runAsyncChurn(setup, churnSpec, policy, network, units.Watts(*budget), *rounds, *seed)
+			return
+		}
 		runAsync(setup, traj, policy, network, units.Watts(*budget), *rounds, *seed, schedule)
 		return
 	}
@@ -121,6 +154,9 @@ func main() {
 		Network:          network,
 		Chaos:            schedule,
 		Seed:             *seed,
+	}
+	if *churn {
+		cfg.Workload = &churnSpec
 	}
 	if *incremental {
 		cfg.Trigger = mac.Trigger{RelDelta: *triggerDelta, MaxStaleEpochs: *triggerStale}
@@ -148,6 +184,11 @@ func main() {
 		}
 		if len(r.FailedTXs) > 0 {
 			fmt.Printf("  dark TXs %v", r.FailedTXs)
+		}
+		if r.Churn != nil {
+			fmt.Printf("  pop %d (+%d/-%d) handovers %d",
+				r.Churn.Step.Population, r.Churn.Step.Arrivals, r.Churn.Step.Departures,
+				r.Churn.Handover.Handovers)
 		}
 		fmt.Println()
 	}
@@ -199,4 +240,40 @@ func runAsync(setup scenario.Setup, traj []mobility.Trajectory, policy alloc.Pol
 	}
 	printTrace(res.Trace)
 	fmt.Printf("\n%d application payloads delivered end to end\n", res.Delivered)
+}
+
+// runAsyncChurn is runAsync under a churn workload: every tenancy slot is a
+// receiver goroutine whose photodiode lights up when a user arrives, and
+// the per-round demand follows each user's traffic model.
+func runAsyncChurn(setup scenario.Setup, sp workload.Spec, policy alloc.Policy,
+	network transport.Network, budget units.Watts, rounds int, seed int64) {
+
+	res, err := node.RunChurn(context.Background(), node.ChurnConfig{
+		Setup:            setup,
+		Workload:         sp,
+		Policy:           policy,
+		Budget:           budget,
+		Sync:             clock.MethodNLOSVLC,
+		Network:          network,
+		Rounds:           rounds,
+		RoundDuration:    1.0,
+		FramesPerRX:      8,
+		MeasurementNoise: 0.02,
+		Seed:             seed,
+		Timeout:          time.Duration(rounds+5) * 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("churn run: %v", err)
+	}
+	for k, r := range res.Rounds {
+		fmt.Printf("round %2d  reports ok %-5v  active TXs %2d  sent %2d  delivered %2d  decision %s",
+			r.Round, r.ReportsOK, r.ActiveTXs, r.FramesSent, r.FramesAckd, r.DecisionTime.Round(time.Microsecond))
+		if k < len(res.Steps) {
+			st := res.Steps[k]
+			fmt.Printf("  pop %d (+%d/-%d, %d rejected)", st.Population, st.Arrivals, st.Departures, st.Rejections)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d application payloads delivered end to end\nchurn trace:\n%s",
+		res.Delivered, res.WorkloadTrace)
 }

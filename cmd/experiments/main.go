@@ -6,9 +6,10 @@
 //	experiments [-quick] [-seed N] [-instances N] [-workers N] [name ...]
 //
 // With no names, every experiment runs in paper order. Names follow the
-// registry (table1, fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11,
-// speedup, fig12, table4, table5, fig18, fig19, fig20, fig21, density,
-// blockage, adaptivekappa, orientation).
+// registry (table1, table2, table3, table6, fig2..fig12, speedup, frontend,
+// table4, table5, fig18..fig21, density, precoding, ofdm, adaptation,
+// nlosrobustness, blockage, resilience, adaptivekappa, orientation,
+// clusterscale, incremental, churn); use -list for the full set.
 package main
 
 import (

@@ -44,6 +44,7 @@ func All() []Generator {
 		{"orientation", RXOrientationStudy},
 		{"clusterscale", ClusterScale},
 		{"incremental", IncrementalStudy},
+		{"churn", ChurnStudy},
 	}
 }
 

@@ -1,0 +1,196 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/clock"
+	"densevlc/internal/mac"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+	"densevlc/internal/transport"
+	"densevlc/internal/units"
+	"densevlc/internal/workload"
+)
+
+// ChurnConfig wires an asynchronous deployment under a churn workload: the
+// full goroutine-per-node runtime of Run, with the receiver fleet's tenancy
+// driven by a workload.Engine instead of fixed trajectories.
+type ChurnConfig struct {
+	Setup    scenario.Setup
+	Workload workload.Spec
+	Policy   alloc.Policy
+	Budget   units.Watts
+	Sync     clock.Method
+	// Network carries the control plane; nil selects in-memory. The run
+	// closes it on exit.
+	Network transport.Network
+	// Controller loop parameters (see Config).
+	Rounds           int
+	RoundDuration    units.Seconds
+	FramesPerRX      int // per-user demand cap; the traffic model decides per round
+	MeasurementNoise float64
+	Seed             int64
+	// ARQ pacing (zero: ControllerConfig defaults). The in-memory
+	// transport delivers in microseconds, so benchmarks and smoke tests
+	// tighten these: the defaults only matter when frames are lost.
+	MaxAttempts   int
+	ReportTimeout time.Duration
+	AckTimeout    time.Duration
+	// Timeout bounds the whole run (zero: 60 s).
+	Timeout time.Duration
+	// Trigger enables the controller's event-driven re-allocation gate,
+	// the incremental path churn is meant to exercise.
+	Trigger mac.Trigger
+}
+
+// ChurnResult is the outcome of an asynchronous churn run.
+type ChurnResult struct {
+	Rounds []RoundStats
+	// Steps is the workload engine's per-round population summary, index-
+	// aligned with Rounds.
+	Steps []workload.StepStats
+	// Delivered counts application payloads handed to receivers.
+	Delivered int
+	// WorkloadTrace is the engine's canonical churn event log: byte-
+	// identical across runs with the same seed and spec.
+	WorkloadTrace []byte
+}
+
+// RunChurn spawns the controller, every transmitter and every fleet-slot
+// receiver as goroutines over the transport and runs the configured number
+// of rounds under population churn. The engine steps on the controller
+// goroutine at each round boundary (workload.Engine is single-goroutine);
+// free slots are modelled as opaque photodiodes via the hub's attenuation
+// control, so the real pilot/report path delivers their dark channels to
+// the controller and the allocator withdraws their swing — the same
+// mechanism the chaos layer uses for blockage.
+func RunChurn(ctx context.Context, cfg ChurnConfig) (*ChurnResult, error) {
+	if cfg.Policy == nil {
+		cfg.Policy = alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	n := cfg.Setup.Grid.N()
+
+	engine, err := workload.NewEngine(cfg.Workload, cfg.Setup, cfg.Budget, stats.NewRand(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Workload.Fleet
+
+	net := cfg.Network
+	if net == nil {
+		net = transport.NewMemNetwork()
+	}
+	defer func() { _ = net.Close() }() // teardown; transport errors have no recovery path here
+
+	// The hub reads slot positions through the engine-backed trajectories,
+	// always from the controller goroutine (AdvanceTime under BeforeRound's
+	// ordering), so the engine's single-goroutine contract holds.
+	hub := NewHub(cfg.Setup, engine.Trajectories(), nil, cfg.Sync, cfg.MeasurementNoise, cfg.Seed)
+	for i := 0; i < m; i++ {
+		hub.SetRXAttenuation(i, 0) // every slot starts free: dark photodiode
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n+m)
+	spawn := func(f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}()
+	}
+
+	for j := 0; j < n; j++ {
+		link, err := net.NewNode()
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("node: TX %d link: %w", j, err)
+		}
+		id := j
+		spawn(func() error { return RunTX(ctx, id, link, hub) })
+	}
+	delivered := make(chan Delivery, 1024)
+	for i := 0; i < m; i++ {
+		link, err := net.NewNode()
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("node: RX %d link: %w", i, err)
+		}
+		id := i
+		spawn(func() error { return RunRX(ctx, id, n, link, hub, delivered) })
+	}
+
+	ctrl := mac.NewController(n, m, cfg.Policy, cfg.Budget, cfg.Setup.Params, cfg.Setup.LED)
+	ctrl.Trigger = cfg.Trigger
+
+	var steps []workload.StepStats
+	var roundT units.Seconds
+	dt := cfg.RoundDuration
+	if dt <= 0 {
+		dt = 1
+	}
+	rounds, runErr := RunController(ctx, net.Controller(), hub, ctrl, ControllerConfig{
+		N: n, M: m,
+		Rounds:        cfg.Rounds,
+		RoundDuration: cfg.RoundDuration,
+		FramesPerRX:   cfg.FramesPerRX,
+		MaxAttempts:   cfg.MaxAttempts,
+		ReportTimeout: cfg.ReportTimeout,
+		AckTimeout:    cfg.AckTimeout,
+		BeforeRound: func(round int, t units.Seconds) {
+			roundT = t
+			st := engine.Step(t, dt)
+			steps = append(steps, st)
+			for i := 0; i < m; i++ {
+				keep := 0.0
+				if engine.Active(i) {
+					keep = 1
+				}
+				hub.SetRXAttenuation(i, keep)
+			}
+		},
+		Demand: func(rx int) int {
+			want := engine.Demand(rx, roundT)
+			if cfg.FramesPerRX > 0 && want > cfg.FramesPerRX {
+				want = cfg.FramesPerRX
+			}
+			return want
+		},
+	})
+
+	cancel()
+	wg.Wait()
+	close(delivered)
+
+	res := &ChurnResult{Rounds: rounds, Steps: steps, WorkloadTrace: engine.TraceBytes()}
+	for range delivered {
+		res.Delivered++
+	}
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return res, runErr
+	}
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package node
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"densevlc/internal/clock"
+	"densevlc/internal/scenario"
+	"densevlc/internal/testutil"
+	"densevlc/internal/workload"
+)
+
+func churnSpec() workload.Spec {
+	sp := workload.DefaultSpec()
+	sp.ArrivalRate = 2 // population builds within the first rounds
+	sp.MeanDwell = 10
+	sp.Fleet = 4
+	sp.PeakFrames = 4
+	return sp
+}
+
+// TestChurnRunDeliversUnderChurn is the end-to-end churn exercise: the full
+// goroutine-per-node runtime under a live workload engine — arrivals light
+// up photodiodes, the real pilot/report path carries their channels, the
+// allocator serves them, and payload frames land.
+func TestChurnRunDeliversUnderChurn(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	res, err := RunChurn(context.Background(), ChurnConfig{
+		Setup:            scenario.Default(),
+		Workload:         churnSpec(),
+		Budget:           1.19,
+		Sync:             clock.MethodNLOSVLC,
+		Rounds:           6,
+		RoundDuration:    1,
+		FramesPerRX:      4,
+		MeasurementNoise: 0.02,
+		Seed:             3,
+		AckTimeout:       300 * time.Millisecond,
+		Timeout:          60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 6 || len(res.Steps) != 6 {
+		t.Fatalf("%d rounds, %d steps", len(res.Rounds), len(res.Steps))
+	}
+	population := 0
+	for _, st := range res.Steps {
+		if st.Population > population {
+			population = st.Population
+		}
+	}
+	if population == 0 {
+		t.Fatal("no arrivals in 6 rounds at rate 2: the run exercised nothing")
+	}
+	decisions := 0
+	for _, r := range res.Rounds {
+		if !r.ReportsOK {
+			t.Errorf("round %d: reports incomplete", r.Round)
+		}
+		if r.DecisionTime > 0 {
+			decisions++
+		}
+	}
+	if decisions == 0 {
+		t.Error("no round recorded a positive decision time")
+	}
+	if res.Delivered == 0 {
+		t.Error("no payloads delivered under churn")
+	}
+	if len(res.WorkloadTrace) == 0 {
+		t.Error("empty workload trace")
+	}
+}
+
+// TestChurnRunTraceDeterministic: the engine's churn trace is isolated from
+// the async runtime's scheduling noise — same seed, byte-identical trace
+// and per-round population stats, regardless of goroutine interleaving.
+func TestChurnRunTraceDeterministic(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	run := func() *ChurnResult {
+		res, err := RunChurn(context.Background(), ChurnConfig{
+			Setup:         scenario.Default(),
+			Workload:      churnSpec(),
+			Budget:        1.19,
+			Sync:          clock.MethodNLOSVLC,
+			Rounds:        3,
+			RoundDuration: 1,
+			FramesPerRX:   2,
+			Seed:          8,
+			AckTimeout:    300 * time.Millisecond,
+			Timeout:       60 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.WorkloadTrace, b.WorkloadTrace) {
+		t.Fatalf("traces diverged:\n%s\nvs\n%s", a.WorkloadTrace, b.WorkloadTrace)
+	}
+	for k := range a.Steps {
+		if a.Steps[k] != b.Steps[k] {
+			t.Fatalf("step %d: %+v vs %+v", k, a.Steps[k], b.Steps[k])
+		}
+	}
+}
+
+// TestChurnRunRejectsInvalidWorkload: spec validation fails before any
+// goroutine spawns.
+func TestChurnRunRejectsInvalidWorkload(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	sp := churnSpec()
+	sp.Fleet = 0
+	if _, err := RunChurn(context.Background(), ChurnConfig{
+		Setup:    scenario.Default(),
+		Workload: sp,
+		Budget:   1.19,
+		Rounds:   1,
+	}); err == nil {
+		t.Fatal("fleet 0 accepted")
+	}
+}
+
+// TestChurnRunHonoursContext: a pre-cancelled context unwinds the whole
+// deployment promptly and leaks nothing.
+func TestChurnRunHonoursContext(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunChurn(ctx, ChurnConfig{
+		Setup:         scenario.Default(),
+		Workload:      churnSpec(),
+		Budget:        1.19,
+		Sync:          clock.MethodNLOSVLC,
+		Rounds:        50,
+		RoundDuration: 1,
+		Seed:          1,
+		Timeout:       60 * time.Second,
+	})
+	_ = err // cancellation may surface as nil (0 rounds) or context.Canceled
+}
+
+// TestChurnRunDefaults: zero Timeout and RoundDuration fall back to the
+// documented defaults (60 s bound, 1 s rounds) instead of an instant
+// deadline or a frozen clock.
+func TestChurnRunDefaults(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
+	res, err := RunChurn(context.Background(), ChurnConfig{
+		Setup:       scenario.Default(),
+		Workload:    churnSpec(),
+		Budget:      1.19,
+		Sync:        clock.MethodNLOSVLC,
+		Rounds:      1,
+		FramesPerRX: 2,
+		Seed:        5,
+		AckTimeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 || len(res.Steps) != 1 {
+		t.Fatalf("%d rounds, %d steps", len(res.Rounds), len(res.Steps))
+	}
+}

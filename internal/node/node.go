@@ -11,6 +11,7 @@ import (
 	"densevlc/internal/chaos"
 	"densevlc/internal/frame"
 	"densevlc/internal/mac"
+	"densevlc/internal/stats"
 	"densevlc/internal/transport"
 	"densevlc/internal/units"
 )
@@ -135,6 +136,15 @@ type ControllerConfig struct {
 	// at round boundaries (virtual time), keeping the applied-event trace
 	// deterministic even in this asynchronous runtime.
 	Injector *chaos.Injector
+	// BeforeRound, when non-nil, runs on the controller goroutine at each
+	// round boundary before the hub's clock advances — the churn engine's
+	// hook: it steps the population and flips slot attenuations so the
+	// epoch's pilots already see the arrivals and departures.
+	BeforeRound func(round int, t units.Seconds)
+	// Demand, when non-nil, overrides FramesPerRX per receiver per round
+	// (a churn workload's per-user traffic model). Zero-demand receivers
+	// send nothing that round.
+	Demand func(rx int) int
 }
 
 func (c *ControllerConfig) defaults() {
@@ -178,6 +188,9 @@ type RoundStats struct {
 	// this round's plan — the paper's graceful-degradation promise is that
 	// this stays zero while transmitters remain to serve everyone.
 	StarvedRXs int
+	// DecisionTime is the wall-clock cost of this round's Reallocate call —
+	// the sample the churn benchmarks reduce to p50/p99 decision latency.
+	DecisionTime time.Duration
 	// SystemThroughput is the analytic Eq. 12 score of the commanded
 	// allocation against the true channel at round time.
 	SystemThroughput units.BitsPerSecond
@@ -201,6 +214,9 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 			return out, err
 		}
 		t := units.Seconds(float64(round) * cfg.RoundDuration.S())
+		if cfg.BeforeRound != nil {
+			cfg.BeforeRound(round, t)
+		}
 		hub.AdvanceTime(t)
 
 		// Fault injection happens at the round boundary, before the pilot
@@ -249,7 +265,9 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 		rs := RoundStats{Round: round, ReportsOK: ctrl.HaveFreshReports(), ChaosEvents: chaosEvents}
 
 		// Decision phase.
+		sw := stats.StartStopwatch()
 		plan, err := ctrl.ReallocateContext(ctx)
+		rs.DecisionTime = sw.Elapsed()
 		if err != nil {
 			return out, err
 		}
@@ -300,7 +318,11 @@ func RunController(ctx context.Context, link transport.ControllerLink, hub *Hub,
 			if len(plan.ServedBy[rx]) == 0 {
 				continue
 			}
-			for k := 0; k < cfg.FramesPerRX; k++ {
+			want := cfg.FramesPerRX
+			if cfg.Demand != nil {
+				want = cfg.Demand(rx)
+			}
+			for k := 0; k < want; k++ {
 				payload := []byte(fmt.Sprintf("round %d frame %d for rx %d", round, k, rx))
 				df, seq, err := ctrl.DataFrame(plan, rx, payload)
 				if err != nil {

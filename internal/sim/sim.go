@@ -29,6 +29,7 @@ import (
 	"densevlc/internal/stats"
 	"densevlc/internal/transport"
 	"densevlc/internal/units"
+	"densevlc/internal/workload"
 )
 
 // Config parameterises a system run.
@@ -84,12 +85,28 @@ type Config struct {
 	CacheQuantum units.Meters
 	// CacheSize bounds the cache entry count (0 selects 256).
 	CacheSize int
+	// Workload, when non-nil, replaces Trajectories with a churn-driven
+	// population: Fleet receiver slots whose tenancy evolves by Poisson
+	// arrivals and exponential dwell (see internal/workload). Free slots
+	// report dark channels, so the allocator serves only live users. The
+	// run is deterministic for a given seed, like everything else in this
+	// engine. Mutually exclusive with Trajectories and CacheQuantum (the
+	// geometry cache keys on positions and live TXs only — it is not
+	// churn-aware).
+	Workload *workload.Spec
 	// Seed makes the run reproducible.
 	Seed int64
 }
 
 func (c *Config) withDefaults() error {
-	if len(c.Trajectories) == 0 {
+	if c.Workload != nil {
+		if len(c.Trajectories) != 0 {
+			return errors.New("sim: Workload and Trajectories are mutually exclusive")
+		}
+		if c.CacheQuantum > 0 {
+			return errors.New("sim: the geometry cache is not churn-aware; disable it with Workload")
+		}
+	} else if len(c.Trajectories) == 0 {
 		return errors.New("sim: no receivers")
 	}
 	if c.Policy == nil {
@@ -137,6 +154,19 @@ type RoundMetrics struct {
 	ChaosEvents int
 	// FailedTXs lists the transmitters dark during this round.
 	FailedTXs []int
+	// Churn carries the workload engine's view of the round (nil without
+	// Config.Workload).
+	Churn *ChurnMetrics
+}
+
+// ChurnMetrics is one round under a churn workload: the population step
+// that opened it, the handover transitions its plan performed, and the
+// per-slot occupancy the invariant suites assert against.
+type ChurnMetrics struct {
+	Step     workload.StepStats
+	Handover workload.HandoverStats
+	// Active marks the slots hosting users this round (a copy).
+	Active []bool
 }
 
 // Result aggregates a run.
@@ -150,6 +180,10 @@ type Result struct {
 	// Trace records the chaos events applied during the run (empty without
 	// a schedule).
 	Trace *chaos.Trace
+	// WorkloadTrace is the churn engine's canonical event log (nil without
+	// Config.Workload): byte-identical across runs with the same seed and
+	// spec, which is how the determinism suites compare runs.
+	WorkloadTrace []byte
 }
 
 // faultState is the synchronous engine's model of injected faults; it
@@ -234,6 +268,18 @@ func Run(cfg Config) (*Result, error) {
 
 	n := cfg.Setup.Grid.N()
 	m := len(cfg.Trajectories)
+	var engine *workload.Engine
+	var tracker *workload.Tracker
+	var activeMask []bool
+	if cfg.Workload != nil {
+		var err error
+		engine, err = workload.NewEngine(*cfg.Workload, cfg.Setup, cfg.Budget, stats.SplitRand(rng))
+		if err != nil {
+			return nil, err
+		}
+		m = cfg.Workload.Fleet
+		tracker = workload.NewTracker(m)
+	}
 	if n > 64 {
 		return nil, fmt.Errorf("sim: %d TXs exceed the 64-bit TX-ID mask", n)
 	}
@@ -291,15 +337,33 @@ func Run(cfg Config) (*Result, error) {
 		// this epoch's reallocation recovers from them.
 		chaosEvents := injector.Apply(round, t, faults)
 
+		// Population churn happens at the same boundary: this epoch's
+		// measurements already see the arrivals and freed slots.
+		var churnStep workload.StepStats
+		if engine != nil {
+			churnStep = engine.Step(t, cfg.RoundDuration)
+		}
+
 		// Receiver positions for this round.
 		pos := make([]geom.Vec, m)
-		for i, traj := range cfg.Trajectories {
-			p := traj.Position(t)
-			pos[i] = geom.V(p.X, p.Y, 0)
+		if engine != nil {
+			for i := range pos {
+				pos[i] = engine.Position(i, t)
+			}
+		} else {
+			for i, traj := range cfg.Trajectories {
+				p := traj.Position(t)
+				pos[i] = geom.V(p.X, p.Y, 0)
+			}
 		}
 		dets := cfg.Setup.Detectors(pos)
 		trueH := channel.BuildMatrix(emitters, dets, cfg.Blocker)
 		faults.mask(trueH)
+		if engine != nil {
+			// Free slots' photodiodes are dark: the allocator must never
+			// grant a departed user swing.
+			engine.Mask(trueH)
+		}
 
 		// --- Measurement phase: pilot slots in time division. ---
 		for j := 0; j < n; j++ {
@@ -447,6 +511,14 @@ func Run(cfg Config) (*Result, error) {
 			ChaosEvents: chaosEvents,
 			FailedTXs:   faults.failedTXs(),
 		}
+		if engine != nil {
+			activeMask = engine.ActiveMask(activeMask)
+			rm.Churn = &ChurnMetrics{
+				Step:     churnStep,
+				Handover: tracker.Observe(activeMask, plan.ServedBy, plan.Leader),
+				Active:   append([]bool(nil), activeMask...),
+			}
+		}
 		if cfg.WaveformPHY {
 			per, goodput, err := dataPhase(cfg, rng, ctrl, plan, txNodes, trueH, faults.skew)
 			if err != nil {
@@ -474,6 +546,9 @@ func Run(cfg Config) (*Result, error) {
 
 	res.MeanSystemThroughput /= units.BitsPerSecond(len(res.Rounds))
 	res.MeanCommPower /= units.Watts(len(res.Rounds))
+	if engine != nil {
+		res.WorkloadTrace = engine.TraceBytes()
+	}
 	return res, nil
 }
 

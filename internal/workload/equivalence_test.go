@@ -1,0 +1,183 @@
+package workload_test
+
+import (
+	"testing"
+
+	"densevlc/internal/alloc"
+	"densevlc/internal/cluster"
+	"densevlc/internal/geom"
+	"densevlc/internal/mac"
+	"densevlc/internal/scenario"
+	"densevlc/internal/stats"
+	"densevlc/internal/units"
+	"densevlc/internal/workload"
+)
+
+// churnHarness drives one workload engine and keeps a Mover in sync with
+// it, producing the masked gain matrix the controllers see each epoch.
+type churnHarness struct {
+	set    scenario.Setup
+	engine *workload.Engine
+	mv     *scenario.Mover
+	fleet  int
+}
+
+func newChurnHarness(t *testing.T, seed int64) *churnHarness {
+	t.Helper()
+	set := scenario.Default()
+	sp := workload.DefaultSpec()
+	sp.ArrivalRate = 1.2
+	sp.MeanDwell = 4
+	sp.Fleet = 6
+	e, err := workload.NewEngine(sp, set, 1.19, stats.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make([]geom.Vec, sp.Fleet)
+	for i := range start {
+		start[i] = e.Position(i, 0)
+	}
+	return &churnHarness{set: set, engine: e, mv: set.NewMover(start, nil), fleet: sp.Fleet}
+}
+
+// step advances the churn trace one epoch and returns the masked gains:
+// tenant columns at their current positions, free-slot columns dark.
+func (h *churnHarness) step(epoch int) [][]float64 {
+	t0 := units.Seconds(epoch)
+	h.engine.Step(t0, 1)
+	for i := 0; i < h.fleet; i++ {
+		h.mv.MoveRX(i, h.engine.Position(i, t0))
+	}
+	masked := h.mv.Env().H.Clone()
+	h.engine.Mask(masked)
+	return masked.H
+}
+
+func feedChurnReports(t *testing.T, ctrl *mac.Controller, gains [][]float64) {
+	t.Helper()
+	for rx := 0; rx < ctrl.M; rx++ {
+		node := mac.NewRXNode(rx, ctrl.N)
+		for tx := 0; tx < ctrl.N; tx++ {
+			if err := node.RecordMeasurement(tx, gains[tx][rx]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ctrl.HandleUplink(node.BuildReport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIncrementalVsScratchChurn extends the PR 9 equivalence contract to
+// churn traces: after ANY prefix of a seeded arrival/departure/mobility
+// sequence, a triggered+sharded controller's plan is bit-identical to an
+// untriggered (scratch) controller's AND to a cold cluster workspace solve
+// on the same masked environment. RelDelta 1e-9 is the contract's strict
+// setting — every churn event and every movement marks its cluster dirty,
+// so cached sub-plans are only ever reused on columns that hold exactly
+// the gains they were solved on.
+func TestIncrementalVsScratchChurn(t *testing.T) {
+	for _, seed := range []int64{11, 23} {
+		h := newChurnHarness(t, seed)
+		policy := alloc.Heuristic{Kappa: 1.3, AllowPartial: true}
+		budget := units.Watts(1.19)
+		spec := cluster.Spec{Threshold: 0.6}
+		env := h.mv.Env()
+		mk := func(trigger mac.Trigger) *mac.Controller {
+			c := mac.NewController(env.H.N, env.H.M, policy, budget, h.set.Params, h.set.LED)
+			c.Trigger = trigger
+			c.EnableSharding(spec, 1)
+			return c
+		}
+		triggered := mk(mac.Trigger{RelDelta: 1e-9})
+		scratch := mk(mac.Trigger{})
+
+		for epoch := 0; epoch < 30; epoch++ {
+			gains := h.step(epoch)
+			feedChurnReports(t, triggered, gains)
+			feedChurnReports(t, scratch, gains)
+			pt, err := triggered.Reallocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := scratch.Reallocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Triggered vs scratch controller, bit for bit.
+			for j := range ps.Swings {
+				for i := range ps.Swings[j] {
+					if pt.Swings[j][i] != ps.Swings[j][i] {
+						t.Fatalf("seed %d epoch %d: swing (%d,%d) = %v triggered, %v scratch",
+							seed, epoch, j, i, pt.Swings[j][i], ps.Swings[j][i])
+					}
+				}
+			}
+
+			// Scratch controller vs a cold workspace on the masked env: the
+			// controller holds no state a from-scratch solve lacks.
+			masked := h.mv.Env().H.Clone()
+			h.engine.Mask(masked)
+			cold, err := cluster.NewWorkspace(spec, policy, 1).
+				Solve(&alloc.Env{Params: h.set.Params, H: masked, LED: h.set.LED}, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range cold {
+				for i := range cold[j] {
+					if ps.Swings[j][i] != cold[j][i] {
+						t.Fatalf("seed %d epoch %d: swing (%d,%d) = %v controller, %v cold workspace",
+							seed, epoch, j, i, ps.Swings[j][i], cold[j][i])
+					}
+				}
+			}
+		}
+		if h.engine.Population() == 0 && len(h.engine.Trace()) == 0 {
+			t.Fatalf("seed %d: churn trace empty; equivalence never exercised", seed)
+		}
+	}
+}
+
+// TestIncrementalVsScratchChurnOptimal repeats the churn equivalence with
+// the sum-log optimal solver as the inner policy over a shorter trace: the
+// contract is policy-independent.
+func TestIncrementalVsScratchChurnOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimal solver per epoch is slow")
+	}
+	h := newChurnHarness(t, 31)
+	policy := alloc.Optimal{}
+	budget := units.Watts(1.19)
+	env := h.mv.Env()
+	mk := func(trigger mac.Trigger) *mac.Controller {
+		c := mac.NewController(env.H.N, env.H.M, policy, budget, h.set.Params, h.set.LED)
+		c.Trigger = trigger
+		c.EnableSharding(cluster.Spec{Threshold: 0.6}, 1)
+		return c
+	}
+	triggered := mk(mac.Trigger{RelDelta: 1e-9})
+	scratch := mk(mac.Trigger{})
+
+	for epoch := 0; epoch < 8; epoch++ {
+		gains := h.step(epoch)
+		feedChurnReports(t, triggered, gains)
+		feedChurnReports(t, scratch, gains)
+		pt, err := triggered.Reallocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := scratch.Reallocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ps.Swings {
+			for i := range ps.Swings[j] {
+				if pt.Swings[j][i] != ps.Swings[j][i] {
+					t.Fatalf("epoch %d: swing (%d,%d) = %v triggered, %v scratch",
+						epoch, j, i, pt.Swings[j][i], ps.Swings[j][i])
+				}
+			}
+		}
+	}
+}

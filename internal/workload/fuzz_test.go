@@ -1,0 +1,37 @@
+package workload
+
+import "testing"
+
+// FuzzWorkloadSpec fuzzes the workload grammar: Parse must never panic, and
+// any spec it accepts must validate, render, and round-trip exactly —
+// Parse(String(sp)) == sp with String a fixed point. This is the same
+// contract the chaos-spec and cluster-spec fuzzers pin for their grammars.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add("")
+	f.Add("rate:0.5;dwell:20;fleet:8")
+	f.Add("rate:2;dwell:30;fleet:16;speed:0.5;on:0.4;off:0.3;frames:12;diurnal:600;minwatts:0.1")
+	f.Add(" fleet : 4 ;; rate:1e-3 ")
+	f.Add("rate:nan")
+	f.Add("minwatts:1e309")
+	f.Add("frames:-1;fleet:999999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := sp.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid spec %+v: %v", s, sp, verr)
+		}
+		text := sp.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q) → %q does not re-parse: %v", s, text, err)
+		}
+		if again != sp {
+			t.Fatalf("round trip of %q: %+v != %+v", s, again, sp)
+		}
+		if again.String() != text {
+			t.Fatalf("String not a fixed point for %q: %q vs %q", s, again.String(), text)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package workload
+
+// HandoverStats counts the serving-set transitions one plan performed
+// relative to the previous one.
+type HandoverStats struct {
+	// Handovers counts continuously active users whose beamspot leader
+	// changed — the LED re-assignment event of multi-element VLC handover.
+	Handovers int
+	// Reassignments counts continuously active users whose serving set
+	// changed membership at all (a superset of leader handovers: power
+	// control joining or dropping secondary LEDs counts too).
+	Reassignments int
+}
+
+// Tracker observes successive allocation plans and extracts handover
+// statistics per slot. A slot that arrived or departed between two
+// observations resets — its first plan under new tenancy is formation, not
+// handover. Single-goroutine, like the Engine.
+type Tracker struct {
+	prevServed [][]int
+	prevLeader []int
+	prevActive []bool
+	seen       bool
+}
+
+// NewTracker builds a tracker for m slots.
+func NewTracker(m int) *Tracker {
+	return &Tracker{
+		prevServed: make([][]int, m),
+		prevLeader: make([]int, m),
+		prevActive: make([]bool, m),
+	}
+}
+
+// Observe compares this round's plan (servedBy and leader per slot, as in
+// mac.Plan) against the previous round's and returns the transition counts.
+// active marks the slots hosting users this round.
+func (tk *Tracker) Observe(active []bool, servedBy [][]int, leader []int) HandoverStats {
+	var st HandoverStats
+	for i := range tk.prevServed {
+		if tk.seen && active[i] && tk.prevActive[i] {
+			if leader[i] != tk.prevLeader[i] {
+				st.Handovers++
+			}
+			if !sameSet(servedBy[i], tk.prevServed[i]) {
+				st.Reassignments++
+			}
+		}
+		tk.prevServed[i] = append(tk.prevServed[i][:0], servedBy[i]...)
+		tk.prevLeader[i] = leader[i]
+		tk.prevActive[i] = active[i]
+	}
+	tk.seen = true
+	return st
+}
+
+// sameSet compares two serving sets. mac.Plan lists members in ascending TX
+// order, so element-wise equality is set equality.
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"rate:1",
+		"rate:2;dwell:30;fleet:16;speed:0.5",
+		"on:0.5;off:0.5;frames:12;diurnal:600;minwatts:0.1",
+		" rate : 0.25 ; fleet : 4 ",
+		"rate:0", // no arrivals is a valid (static) workload
+	}
+	for _, in := range cases {
+		sp, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", in, sp.String(), err)
+		}
+		if again != sp {
+			t.Errorf("%q: round trip %+v != %+v", in, again, sp)
+		}
+		if again.String() != sp.String() {
+			t.Errorf("%q: String not a fixed point: %q vs %q", in, again.String(), sp.String())
+		}
+	}
+}
+
+func TestSpecParseRejects(t *testing.T) {
+	cases := []string{
+		"bogus:1",         // unknown key
+		"rate",            // not a pair
+		"rate:x",          // not a number
+		"fleet:0",         // fleet below 1
+		"fleet:1.5",       // fleet must be an integer
+		"rate:-1",         // negative intensity
+		"rate:NaN",        // non-finite
+		"rate:+Inf",       // non-finite
+		"dwell:0",         // dwell must be positive
+		"on:1.5",          // not a probability
+		"off:-0.1",        // not a probability
+		"frames:-1",       // negative demand
+		"minwatts:-2",     // negative gate
+		"speed:Inf",       // non-finite
+		"diurnal:-5",      // negative period
+		"rate:1;;fleet:x", // error after a skipped empty pair
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSpecValidateRejectsNonFinite(t *testing.T) {
+	sp := DefaultSpec()
+	sp.ArrivalRate = math.NaN()
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "finite") {
+		t.Errorf("NaN rate: got %v, want finiteness error", err)
+	}
+}
+
+func TestDefaultSpecValidates(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec invalid: %v", err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EventArrive:   "arrive",
+		EventDepart:   "depart",
+		EventReject:   "reject",
+		EventKind(99): "EventKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind %d: got %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,28 +1,28 @@
 #!/usr/bin/env bash
-# Benchmark harness for the solver fast paths. Runs the paired macro
-# benchmarks (before/after against a baseline git ref), the building-scale
-# sharded-vs-global decision pair, the incremental re-allocation pairs
-# (single-receiver move and batch solve), and the zero-alloc kernel micros,
-# then writes BENCH_pr9.json at the repo root including the measured sum-log
-# gap of every cooperation-clustering formation at N=1024, M=256 (the
-# clusterscale experiment). Usage:
+# Benchmark harness for the solver fast paths and the service-grade churn
+# engine. Runs the paired macro benchmarks (before/after against a baseline
+# git ref), the building-scale sharded-vs-global decision pair, the
+# incremental re-allocation pairs, the zero-alloc kernel micros and the new
+# churn workload benchmarks, then writes BENCH_pr10.json at the repo root.
+# The headline numbers are sustained_decisions_per_sec (dirty-tracked
+# sharded solves per wall second on the N=1024, M=256 floor with the
+# workload engine churning the population every epoch) and frames_per_sec
+# (acknowledged data frames per wall second through the full goroutine-per-
+# node MAC/transport runtime under churn), with decision_p50_ns /
+# decision_p99_ns as the latency distribution behind the throughput. Usage:
 #
 #     ./scripts/bench.sh [output.json] [baseline-ref]
 #
 # The baseline runs from a temporary worktree under .bench-baseline/ and
 # only covers benchmarks that exist at that ref (default: HEAD — run this
 # with the PR's changes uncommitted, or pass the pre-PR commit explicitly).
-# The incremental pairs are new in this PR, so they appear after-only; the
-# headline numbers are incremental_speedup (full rebuild+solve / column
-# refresh+dirty re-solve for one receiver move at N=1024, M=256) and
-# batch_speedup (sequential Allocate loop / SolveBatch over 64 instances),
-# alongside the inherited sharded_speedup. Pass an empty baseline-ref ("")
-# to skip the before side.
+# The churn benchmarks are new in this PR, so they appear after-only. Pass
+# an empty baseline-ref ("") to skip the before side.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 baseline="${2-HEAD}"
 
 # Static/dynamic alignment gate: every function whose allocs/op the bench
@@ -79,6 +79,11 @@ cluster_pat='GlobalDecision1024$|ShardedDecision1024$|ShardedSteadyState1024$'
 # (from-scratch rebuild+solve vs column refresh + one dirty cluster), the
 # geometry kernel alone, and the warm-worker batch pair.
 incr_pat='SingleRXMoveFullResolve$|SingleRXMoveIncremental$|MoveRX1024$|BatchSequential$|BatchSolve$'
+# The churn workload pair: sustained decision throughput on the building-
+# scale floor under population churn, and acknowledged frames per second
+# through the full asynchronous MAC/transport runtime. Their custom metrics
+# (decisions/s, frames/s, p50-ns, p99-ns) feed the headline fields.
+churn_pat='ChurnDecisions1024$|ChurnFrames$'
 
 echo "==> after: working tree"
 after=$(run_benches .)
@@ -86,7 +91,8 @@ after_alloc=$(go test -run='^$' -bench "$alloc_pat" -benchtime=0.5s -count=1 ./i
 after_opt=$(go test -run='^$' -bench "$opt_pat" -benchtime=0.5s -count=1 ./internal/optimize/ | grep '^Benchmark')
 after_cluster=$(go test -run='^$' -bench "$cluster_pat" -benchtime=1x -count=3 . | grep '^Benchmark')
 after_incr=$(go test -run='^$' -bench "$incr_pat" -benchtime=5x -count=3 . | grep '^Benchmark')
-printf '%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" "$after_incr" >&2
+after_churn=$(go test -run='^$' -bench "$churn_pat" -benchtime=20x -count=3 . | grep '^Benchmark')
+printf '%s\n%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" "$after_incr" "$after_churn" >&2
 
 # The scaling curve behind the headline ratio: every formation of the
 # coverage ladder on the full floor, with its sum-log gap to the global
@@ -94,6 +100,12 @@ printf '%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_clust
 # heuristic by the equivalence contract).
 echo "==> cluster-scale gap curve (clusterscale experiment, full floor)"
 cluster_csv=$(go run ./cmd/experiments -format csv clusterscale | grep -v '^#')
+
+# The churn experiment's arrival-rate sweep: population dynamics, handover
+# counts and delivered system throughput per offered load (quick mode — the
+# golden CSV pins the full-scale table).
+echo "==> churn sweep (churn experiment, quick)"
+churn_csv=$(go run ./cmd/experiments -format csv -quick churn | grep -v '^#')
 
 before=""
 if [[ -n "$baseline" ]] && git rev-parse --verify --quiet "$baseline^{commit}" >/dev/null; then
@@ -108,9 +120,10 @@ fi
 GOMAXPROCS_N=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 
 {
-    printf '%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" "$after_incr" | sed 's/^/after /'
+    printf '%s\n%s\n%s\n%s\n%s\n%s\n' "$after" "$after_alloc" "$after_opt" "$after_cluster" "$after_incr" "$after_churn" | sed 's/^/after /'
     [[ -n "$before" ]] && printf '%s\n' "$before" | sed 's/^/before /'
     printf '%s\n' "$cluster_csv" | sed 's/^/curve /'
+    printf '%s\n' "$churn_csv" | sed 's/^/churn /'
 } | awk -v out="$out" -v procs="$GOMAXPROCS_N" -v ref="$(git rev-parse --short "${baseline:-HEAD}" 2>/dev/null || echo none)" '
 $1 == "curve" {
     # CSV rows of the clusterscale table: formation, clusters, max TXs per
@@ -124,6 +137,17 @@ $1 == "curve" {
         c[1], c[2], c[3], c[4], c[5], (c[6] == "starved" ? "null" : c[6]))
     next
 }
+$1 == "churn" {
+    # CSV rows of the churn table: rate, epochs, arrivals, rejected,
+    # departed, handovers, reassign, peak pop, mean pop, system Mb/s.
+    line = $0
+    sub(/^churn /, "", line)
+    nf = split(line, c, ",")
+    if (nf < 10 || c[2] + 0 != c[2]) next
+    churnrows[nr++] = sprintf("{\"arrival_rate_per_s\": %s, \"epochs\": %s, \"arrivals\": %s, \"rejected\": %s, \"departed\": %s, \"handovers\": %s, \"reassignments\": %s, \"peak_population\": %s, \"mean_population\": %s, \"system_mbps\": %s}", \
+        c[1], c[2], c[3], c[4], c[5], c[6], c[7], c[8], c[9], c[10])
+    next
+}
 {
     side = $1
     name = $2
@@ -134,10 +158,30 @@ $1 == "curve" {
     if (side == "after" && !(name in seen)) { seen[name] = 1; order[n++] = name }
     # "X ns/op  Y B/op  Z allocs/op" rows expose the alloc gate.
     if (side == "after" && $NF == "allocs/op") allocs[name] = $(NF-1)
+    # Custom metric pairs ("value unit"): throughput metrics (anything per
+    # second) reduce by max across repeats, latency quantiles (-ns) by min.
+    if (side == "after") {
+        for (f = 6; f < NF; f += 2) {
+            unit = $(f+1)
+            if (unit ~ /\/s$/) {
+                if (!((name, unit) in met) || $f + 0 > met[name, unit] + 0) met[name, unit] = $f
+            } else if (unit ~ /-ns$/) {
+                if (!((name, unit) in met) || $f + 0 < met[name, unit] + 0) met[name, unit] = $f
+            }
+        }
+    }
 }
 END {
-    printf "{\n  \"pr\": 9,\n  \"suite\": \"incremental re-allocation: row-local updates, event triggers, geometry cache, batch solve\",\n  \"gomaxprocs\": %d,\n  \"baseline_ref\": \"%s\",\n", procs, ref > out
-    printf "  \"note\": \"before numbers measured from a worktree at baseline_ref; the incremental pairs are new in this PR and report after-only, with incremental_speedup (full rebuild+solve / column refresh+dirty re-solve for one RX move at N=1024, M=256) and batch_speedup (sequential Allocate loop / SolveBatch, warm workers) as the headline ratios; on a single-core box batch_speedup hovers around 1 (no fan-out possible) and batch_alloc_ratio (sequential allocs/op / SolveBatch allocs/op) carries the warm-worker economy\",\n" >> out
+    printf "{\n  \"pr\": 10,\n  \"suite\": \"service-grade workload engine: churn, traffic models, handover — sustained decision and frame throughput\",\n  \"gomaxprocs\": %d,\n  \"baseline_ref\": \"%s\",\n", procs, ref > out
+    printf "  \"note\": \"before numbers measured from a worktree at baseline_ref; the churn benchmarks are new in this PR and report after-only: sustained_decisions_per_sec counts dirty-tracked sharded solves per wall second on the N=1024/M=256 floor with the workload engine churning the population every epoch (decision_p50_ns/decision_p99_ns are the solve-latency quantiles behind it), and frames_per_sec counts acknowledged data frames per wall second through the full goroutine-per-node MAC/transport runtime under churn\",\n" >> out
+    if (("BenchmarkChurnDecisions1024", "decisions/s") in met)
+        printf "  \"sustained_decisions_per_sec\": %.1f,\n", met["BenchmarkChurnDecisions1024", "decisions/s"] >> out
+    if (("BenchmarkChurnDecisions1024", "p50-ns") in met)
+        printf "  \"decision_p50_ns\": %.0f,\n", met["BenchmarkChurnDecisions1024", "p50-ns"] >> out
+    if (("BenchmarkChurnDecisions1024", "p99-ns") in met)
+        printf "  \"decision_p99_ns\": %.0f,\n", met["BenchmarkChurnDecisions1024", "p99-ns"] >> out
+    if (("BenchmarkChurnFrames", "frames/s") in met)
+        printf "  \"frames_per_sec\": %.1f,\n", met["BenchmarkChurnFrames", "frames/s"] >> out
     if (("after", "BenchmarkSingleRXMoveFullResolve") in ns && ("after", "BenchmarkSingleRXMoveIncremental") in ns)
         printf "  \"incremental_speedup\": %.2f,\n", ns["after", "BenchmarkSingleRXMoveFullResolve"] / ns["after", "BenchmarkSingleRXMoveIncremental"] >> out
     if (("after", "BenchmarkBatchSequential") in ns && ("after", "BenchmarkBatchSolve") in ns)
@@ -151,11 +195,19 @@ END {
         name = order[i]
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns["after", name] >> out
         if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name] >> out
+        else printf "bench.sh: note: %s reports no allocs/op (missing b.ReportAllocs); allocation gate skipped for it\n", name > "/dev/stderr"
+        if ((name, "decisions/s") in met) printf ", \"decisions_per_sec\": %s", met[name, "decisions/s"] >> out
+        if ((name, "frames/s") in met) printf ", \"frames_per_sec\": %s", met[name, "frames/s"] >> out
+        if ((name, "p50-ns") in met) printf ", \"p50_ns\": %s", met[name, "p50-ns"] >> out
+        if ((name, "p99-ns") in met) printf ", \"p99_ns\": %s", met[name, "p99-ns"] >> out
         printf "}%s\n", (i < n-1 ? "," : "") >> out
     }
     printf "  ],\n  \"cluster_scale\": [\n" >> out
     for (i = 0; i < nc; i++)
         printf "    %s%s\n", curves[i], (i < nc-1 ? "," : "") >> out
+    printf "  ],\n  \"churn_sweep\": [\n" >> out
+    for (i = 0; i < nr; i++)
+        printf "    %s%s\n", churnrows[i], (i < nr-1 ? "," : "") >> out
     printf "  ],\n  \"pairs\": [\n" >> out
     first = 1
     for (i = 0; i < n; i++) {

@@ -42,10 +42,14 @@
 #                     full size (N=1024 TXs, M=256 RXs, heuristic per
 #                     cluster) under the race detector, time-bounded so a
 #                     solver regression cannot hang the gate
-#  11. short fuzz   — a few seconds of the frame-codec, Manchester
-#                     round-trip, chaos-spec and cluster-spec grammar
-#                     fuzzers, enough to catch regressions on the seeded
-#                     corpora plus fresh mutations
+#  11. churn smoke  — both engines under the workload engine (-churn) plus
+#                     the churn experiment, all under the race detector and
+#                     time-bounded: population churn exercises the handover
+#                     and admission paths end to end
+#  12. short fuzz   — a few seconds of the frame-codec, Manchester
+#                     round-trip, chaos-spec, cluster-spec and workload-spec
+#                     grammar fuzzers, enough to catch regressions on the
+#                     seeded corpora plus fresh mutations
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -108,7 +112,7 @@ go test -race -run 'TestParallelDeterminism' ./internal/experiments/
 echo "==> incremental-vs-scratch equivalence under -race (explicit)"
 go test -race -run 'TestIncrementalVsScratch' \
     ./internal/channel/ ./internal/scenario/ ./internal/cluster/ \
-    ./internal/mac/ ./internal/alloc/
+    ./internal/mac/ ./internal/alloc/ ./internal/workload/
 
 # Chaos smoke: one fault-injected end-to-end run per engine. The tx-blackout
 # preset kills every receiver's best server mid-run; the commands fail on any
@@ -125,13 +129,24 @@ go run ./cmd/experiments -quick resilience > /dev/null
 echo "==> cluster-scale smoke (N=1024, M=256, -race, time-bounded)"
 timeout 600 go run -race ./cmd/experiments clusterscale > /dev/null
 
+# Churn smoke: the workload engine end to end through both engines (the
+# synchronous simulator with the incremental trigger, and the asynchronous
+# goroutine-per-node runtime) plus the churn experiment, all under the race
+# detector. timeout(1) bounds the gate the same way the cluster-scale smoke
+# is bounded.
+echo "==> churn smoke (both engines + churn experiment, -race, time-bounded)"
+timeout 600 go run -race ./cmd/densevlc -rounds 6 -udp=false -churn -arrival-rate 1.5 -fleet 6 -incremental > /dev/null
+timeout 600 go run -race ./cmd/densevlc -rounds 4 -udp=false -async -churn -arrival-rate 2 -fleet 4 > /dev/null
+timeout 600 go run -race ./cmd/experiments -quick churn > /dev/null
+
 # Short fuzz budget: -fuzz requires exactly one matching target per package,
 # so each fuzzer gets its own invocation.
-echo "==> short fuzz (frame codec, Manchester demodulator, chaos spec, cluster spec)"
+echo "==> short fuzz (frame codec, Manchester demodulator, chaos spec, cluster spec, workload spec)"
 go test -run='^$' -fuzz='^FuzzDownlinkRoundTrip$' -fuzztime=10s ./internal/frame/
 go test -run='^$' -fuzz='^FuzzManchesterRoundTrip$' -fuzztime=10s ./internal/dsp/
 go test -run='^$' -fuzz='^FuzzManchesterDecode$' -fuzztime=5s ./internal/dsp/
 go test -run='^$' -fuzz='^FuzzChaosSpec$' -fuzztime=5s ./internal/chaos/
 go test -run='^$' -fuzz='^FuzzClusterSpec$' -fuzztime=5s ./internal/cluster/
+go test -run='^$' -fuzz='^FuzzWorkloadSpec$' -fuzztime=5s ./internal/workload/
 
 echo "==> ci.sh: all gates passed"
